@@ -1,0 +1,57 @@
+"""E5 — Theorems 4.8/4.13 and Corollary 4.14: compact routing.
+
+Regenerates the compact-routing trade-off: stretch at most ``4k - 3 + o(1)``,
+table sizes tracking ``O~(n^{1/k})``, labels of ``O(k log n)`` bits, and the
+truncated (skeleton) construction of Theorem 4.13.
+"""
+
+import pytest
+
+from repro.analysis import render_table, run_compact_experiment
+
+
+@pytest.mark.benchmark(group="compact")
+def test_compact_k_sweep(benchmark, routing_workloads):
+    g = routing_workloads["er_n32"]
+
+    def run():
+        return [run_compact_experiment(g, k=k, mode="budget", pair_sample=200, seed=k)
+                for k in (1, 2, 3, 4)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "k", "stretch_bound", "max_route_stretch", "mean_route_stretch",
+        "delivery_rate", "max_table_words", "table_bound_words",
+        "max_label_bits", "max_bunch_size", "rounds",
+    ], title="E5 — compact routing: stretch / table-size trade-off vs k"))
+    for record in rows:
+        assert record["delivery_rate"] == 1.0
+        assert record["max_route_stretch"] <= record["stretch_bound"] + 1e-6
+    # Larger k buys smaller bunches (tables) at the price of larger stretch
+    # bounds — the defining trade-off.
+    bunches = [r["max_bunch_size"] for r in rows]
+    assert bunches[-1] <= bunches[0]
+
+
+@pytest.mark.benchmark(group="compact")
+def test_compact_modes(benchmark, routing_workloads):
+    g = routing_workloads["geometric_n30"]
+
+    def run():
+        rows = []
+        for mode, l0 in (("budget", None), ("spd", None), ("truncated", 2), ("auto", None)):
+            record = run_compact_experiment(g, k=3, mode=mode, l0=l0,
+                                            pair_sample=200, seed=5)
+            rows.append(record)
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "mode", "l0", "max_route_stretch", "stretch_bound", "delivery_rate",
+        "rounds", "round_bound", "max_table_words", "max_label_bits",
+    ], title="E5 — compact routing construction variants (Thm 4.8 / 4.13 / Cor 4.14)"))
+    for record in rows:
+        assert record["delivery_rate"] == 1.0
+        assert record["max_route_stretch"] <= record["stretch_bound"] + 1e-6

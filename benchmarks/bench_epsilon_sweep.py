@@ -1,0 +1,37 @@
+"""E7 — Theorem 3.3: accuracy / cost trade-off in epsilon.
+
+Sweeps epsilon for full (V, n, n)-estimation: the measured maximum stretch
+must stay below ``1 + eps``, the number of rounding levels grows as
+``log_{1+eps}(wmax)`` and the round bound as ``1/eps^2``.
+"""
+
+import pytest
+
+from repro import graphs
+from repro.analysis import render_table, run_epsilon_sweep
+
+
+@pytest.fixture(scope="module")
+def eps_graph():
+    return graphs.erdos_renyi_graph(
+        22, 0.2, graphs.mixed_scale_weights(1, 10 ** 4, 0.3), seed=37)
+
+
+@pytest.mark.benchmark(group="epsilon")
+def test_epsilon_accuracy_tradeoff(benchmark, eps_graph):
+    def run():
+        return run_epsilon_sweep(eps_graph, [2.0, 1.0, 0.5, 0.25, 0.1])
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "epsilon", "guarantee", "max_stretch", "mean_stretch", "levels",
+        "rounds_bound", "within_guarantee",
+    ], title="E7 — PDE accuracy vs epsilon (Theorem 3.3)"))
+    for record in rows:
+        assert record["within_guarantee"]
+    stretches = [r["max_stretch"] for r in rows]
+    # Smaller epsilon gives (weakly) better worst-case accuracy.
+    assert stretches == sorted(stretches, reverse=True) or max(stretches) - min(stretches) < 1.0
+    levels = [r["levels"] for r in rows]
+    assert levels == sorted(levels)

@@ -1,0 +1,37 @@
+"""E1 — Figure 1: congestion over the bottleneck edge.
+
+Regenerates the point of Figure 1: exact weighted ``(S, h+1, sigma)``-
+detection must push ``Omega(h * sigma)`` distinct values over the single cut
+edge, so its cost grows with the product ``h * sigma``, whereas the PDE
+algorithm's per-node broadcast count is governed by ``O(sigma^2 log n / eps)``
+(Lemma 3.4) independently of ``h``.
+"""
+
+import pytest
+
+from repro.analysis import render_table, run_figure1_congestion
+
+
+SWEEP = [(2, 2), (3, 2), (4, 2), (3, 3), (4, 3)]
+
+
+def _run_sweep():
+    return [run_figure1_congestion(h, sigma, epsilon=0.5) for h, sigma in SWEEP]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_figure1_congestion_sweep(benchmark):
+    records = benchmark.pedantic(_run_sweep, iterations=1, rounds=1)
+    print()
+    print(render_table(records, columns=[
+        "h", "sigma", "paper_bound_values", "exact_bottleneck_messages",
+        "exact_rounds", "exact_round_bound", "pde_bottleneck_messages",
+        "pde_max_broadcasts", "pde_broadcast_bound",
+    ], title="E1 / Figure 1 — messages across the bottleneck edge"))
+    # Reproduction criteria: the exact protocol's bottleneck traffic is at
+    # least the paper's h*sigma bound, and it grows with h for fixed sigma.
+    for record in records:
+        assert record["exact_bottleneck_messages"] >= record["paper_bound_values"]
+    fixed_sigma = [r for r in records if r["sigma"] == 2]
+    traffic = [r["exact_bottleneck_messages"] for r in fixed_sigma]
+    assert traffic == sorted(traffic)

@@ -1,0 +1,71 @@
+"""E3 — Corollary 3.5 / Lemma 3.4: PDE rounds and per-node broadcasts.
+
+Measures the faithful simulator: rounds against the ``(h+sigma)/eps^2 log n``
+bound and per-node broadcasts against the ``sigma^2/eps log n`` bound, as
+``h`` and ``sigma`` vary.
+"""
+
+import pytest
+
+from repro import graphs
+from repro.analysis import render_table, run_pde_scaling
+
+
+@pytest.fixture(scope="module")
+def pde_graph():
+    return graphs.erdos_renyi_graph(20, 0.2, graphs.uniform_weights(1, 60), seed=21)
+
+
+@pytest.mark.benchmark(group="pde")
+def test_pde_sigma_sweep(benchmark, pde_graph):
+    def run():
+        return [run_pde_scaling(pde_graph, num_sources=8, h=5, sigma=sigma,
+                                epsilon=0.5, engine="simulate")
+                for sigma in (1, 2, 3, 4)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "sigma", "h", "levels", "rounds", "round_bound",
+        "max_broadcasts", "broadcast_bound", "per_level_cap",
+    ], title="E3 — PDE cost vs sigma (Corollary 3.5 / Lemma 3.4)"))
+    # Lemma 3.4: per level a node broadcasts at most sigma(sigma+1)/2 times,
+    # and there are O(log n / eps) levels.
+    for record in rows:
+        assert record["max_broadcasts"] <= record["per_level_cap"] * record["levels"]
+    broadcasts = [r["max_broadcasts"] for r in rows]
+    assert broadcasts == sorted(broadcasts)  # grows with sigma
+
+
+@pytest.mark.benchmark(group="pde")
+def test_pde_h_sweep(benchmark, pde_graph):
+    def run():
+        return [run_pde_scaling(pde_graph, num_sources=8, h=h, sigma=3,
+                                epsilon=0.5, engine="simulate")
+                for h in (2, 4, 6, 8)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "h", "sigma", "rounds", "round_bound", "max_broadcasts", "broadcast_bound",
+    ], title="E3 — PDE cost vs h"))
+    # Broadcast counts are governed by sigma, not by h (Lemma 3.4): the
+    # largest-h run must not broadcast more than ~the bound.
+    for record in rows:
+        assert record["max_broadcasts"] <= record["broadcast_bound"]
+
+
+@pytest.mark.benchmark(group="pde")
+def test_pde_epsilon_cost(benchmark, pde_graph):
+    def run():
+        return [run_pde_scaling(pde_graph, num_sources=6, h=4, sigma=3,
+                                epsilon=eps, engine="simulate")
+                for eps in (1.0, 0.5, 0.25)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "epsilon", "levels", "rounds", "round_bound", "max_broadcasts",
+    ], title="E3 — PDE cost vs epsilon (more levels for smaller eps)"))
+    levels = [r["levels"] for r in rows]
+    assert levels == sorted(levels)

@@ -1,0 +1,32 @@
+"""E8 — Exact vs approximate Thorup–Zwick hierarchy (Section 4.3).
+
+Quantifies what the (1+eps)-approximate distances of the distributed
+construction cost relative to the centralized exact hierarchy: distance
+stretch and bunch (table) sizes, for several k.
+"""
+
+import pytest
+
+from repro.analysis import render_table, run_tz_comparison
+
+
+@pytest.mark.benchmark(group="tz")
+def test_exact_vs_approx_hierarchy(benchmark, routing_workloads):
+    g = routing_workloads["er_n32"]
+
+    def run():
+        return [run_tz_comparison(g, k=k, epsilon=0.25, pair_sample=250, seed=k)
+                for k in (2, 3, 4)]
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    print()
+    print(render_table(rows, columns=[
+        "k", "stretch_bound", "exact_max_stretch", "approx_max_stretch",
+        "exact_mean_stretch", "approx_mean_stretch",
+        "exact_max_bunch", "approx_max_bunch",
+    ], title="E8 — exact vs PDE-approximate Thorup-Zwick hierarchy"))
+    for record in rows:
+        assert record["exact_max_stretch"] <= record["stretch_bound"] + 1e-6
+        assert record["approx_max_stretch"] <= record["stretch_bound"] + 1e-6
+        # The approximation costs at most a constant factor over exact here.
+        assert record["approx_mean_stretch"] <= 2.0 * record["exact_mean_stretch"] + 0.5

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Scenario: compact routing tables for a low-diameter fabric (Section 4.3).
+
+Data-centre-like topologies have a small hop diameter but too many nodes for
+every switch to hold a full routing table.  This example builds the
+approximate Thorup–Zwick hierarchy (Theorems 4.8/4.13, Corollary 4.14) on a
+dense low-diameter graph and shows the table-size / stretch trade-off as the
+compactness parameter ``k`` grows, including the truncated construction that
+exploits the small diameter.
+
+Run:  python examples/compact_routing_datacenter.py
+"""
+
+from repro import graphs
+from repro.analysis import complexity, render_table
+from repro.graphs import hop_diameter
+from repro.routing import build_compact_routing
+from repro.routing.stretch import evaluate_routing, sample_pairs
+
+
+def main() -> None:
+    # A dense low-diameter "fabric": BA graph with extra random shortcuts.
+    fabric = graphs.barabasi_albert_graph(
+        40, 3, graphs.uniform_weights(1, 20), seed=11)
+    diameter = hop_diameter(fabric)
+    print(f"fabric: {fabric.num_nodes} switches, {fabric.num_edges} links, "
+          f"hop diameter {diameter}")
+
+    rows = []
+    for k in (1, 2, 3, 4):
+        hierarchy = build_compact_routing(fabric, k=k, seed=k)
+        pairs = sample_pairs(fabric.nodes(), 400)
+        report = evaluate_routing(hierarchy, fabric, pairs=pairs)
+        build = hierarchy.build_report()
+        rows.append({
+            "k": k,
+            "mode": build.mode,
+            "stretch bound": complexity.compact_stretch_bound(k),
+            "measured max stretch": round(report.max_stretch, 3),
+            "delivery": report.delivery_rate,
+            "max table words": build.max_table_words,
+            "avg bunch size": round(build.avg_bunch_size, 1),
+            "label bits": build.max_label_bits,
+            "rounds": build.rounds,
+        })
+
+    print()
+    print(render_table(rows, title="Compact routing on the fabric (Cor. 4.14)"))
+    print("\nInterpretation: growing k shrinks the per-switch state (bunch /")
+    print("table size tracks ~n^(1/k)) while the worst-case stretch stays")
+    print("below 4k-3; with k >= 3 the construction short-circuits the upper")
+    print("hierarchy levels through a skeleton, exploiting the small diameter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Scenario: why exact weighted source detection is slow (Figure 1).
+
+Reconstructs the paper's Figure 1 gadget, runs the exact weighted detection
+protocol and the PDE algorithm on the faithful CONGEST simulator, and
+compares the traffic over the single bottleneck edge: the exact problem
+forces ``h * sigma`` distinct values across it, while PDE's per-node
+broadcast count is governed by ``sigma^2`` per rounding level regardless
+of ``h``.
+
+Run:  python examples/congestion_lower_bound.py
+"""
+
+from repro.analysis import render_table, run_figure1_congestion
+
+
+def main() -> None:
+    rows = []
+    for h, sigma in [(2, 2), (3, 2), (4, 2), (5, 2)]:
+        record = run_figure1_congestion(h, sigma, epsilon=0.5)
+        rows.append({
+            "h": h,
+            "sigma": sigma,
+            "h*sigma (paper bound)": record["paper_bound_values"],
+            "exact: msgs over cut": record["exact_bottleneck_messages"],
+            "exact: rounds": record["exact_rounds"],
+            "PDE: max broadcasts/node": record["pde_max_broadcasts"],
+        })
+    print(render_table(rows, title="Figure 1 — bottleneck congestion as h grows"))
+    print("\nInterpretation: the exact protocol's traffic over the cut grows")
+    print("linearly in h (matching the Omega(h*sigma) lower bound), whereas")
+    print("the PDE algorithm's per-node broadcast budget does not depend on h")
+    print("(Lemma 3.4) — the reason the paper's sub-linear algorithms exist.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Scenario: computing routing tables for a latency-weighted WAN (Theorem 4.5).
+
+The paper's motivating application is distributed routing-table construction
+in a network whose links have heterogeneous costs (latencies).  This example
+models a wide-area network as a random geometric graph (edge weight =
+Euclidean latency), builds the Theorem 4.5 scheme for two values of ``k``,
+and reports the trade-off the theorem describes: stretch ``6k - 1 + o(1)``
+versus construction rounds ``O~(n^{1/2 + 1/(4k)} + D)``, with ``O(log n)``-bit
+node labels.
+
+Run:  python examples/routing_tables_wan.py
+"""
+
+from repro import graphs
+from repro.analysis import complexity, render_table
+from repro.routing import RelabelingRoutingScheme
+from repro.routing.stretch import evaluate_routing, sample_pairs
+
+
+def main() -> None:
+    # A 45-router WAN on the unit square; link weight = scaled latency.
+    wan = graphs.random_geometric_graph(45, 0.3, None, seed=7)
+    print(f"WAN: {wan.num_nodes} routers, {wan.num_edges} links")
+
+    rows = []
+    for k in (1, 2, 3):
+        scheme = RelabelingRoutingScheme.build(wan, k=k, epsilon=0.25, seed=k)
+        pairs = sample_pairs(wan.nodes(), 400)
+        report = evaluate_routing(scheme, wan, pairs=pairs)
+        build = scheme.build_report()
+        rows.append({
+            "k": k,
+            "stretch bound": complexity.relabeling_stretch_bound(k),
+            "measured max stretch": round(report.max_stretch, 3),
+            "measured mean stretch": round(report.mean_stretch, 3),
+            "delivery": report.delivery_rate,
+            "rounds": build.rounds,
+            "skeleton": build.skeleton_size,
+            "label bits": build.label_bits_max,
+        })
+
+    print()
+    print(render_table(rows, title="Theorem 4.5 routing tables on the WAN"))
+    print("\nInterpretation: all routes deliver; the worst-case stretch stays")
+    print("well below the 6k-1 guarantee, and labels stay O(log n) bits for")
+    print("every k (the compactness knob only affects tables and rounds).")
+
+
+if __name__ == "__main__":
+    main()

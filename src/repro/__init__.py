@@ -1,0 +1,36 @@
+"""repro — reproduction of "Fast Partial Distance Estimation and Applications".
+
+Lenzen & Patt-Shamir, PODC 2015 (arXiv:1412.7922).
+
+The package is organised by subsystem:
+
+* :mod:`repro.congest`  — synchronous CONGEST-model simulator (rounds,
+  bandwidth accounting, BFS primitives).
+* :mod:`repro.graphs`   — weighted-graph substrate: data structure, exact
+  distance machinery, generators, the Figure 1 lower-bound gadget.
+* :mod:`repro.core`     — the paper's contribution: unweighted source
+  detection, weight rounding, partial distance estimation (PDE), and the
+  deterministic ``(1+eps)``-approximate APSP of Theorem 4.1.
+* :mod:`repro.routing`  — the applications of Section 4: skeletons,
+  Baswana–Sen spanners, Thorup–Zwick tree routing, the relabeling routing
+  scheme (Theorem 4.5) and the compact routing hierarchy (Theorems 4.8/4.13).
+* :mod:`repro.baselines` — comparison algorithms: distributed Bellman–Ford,
+  topology flooding + Dijkstra, Nanongkai-style randomized APSP, and the
+  prior-work STOC'13 scheme.
+* :mod:`repro.analysis` — theoretical bound calculators, experiment runners
+  and report formatting used by the benchmark harness.
+
+Quickstart::
+
+    from repro import graphs, core
+
+    g = graphs.erdos_renyi_graph(50, 0.1, graphs.uniform_weights(1, 100), seed=1)
+    result = core.approximate_apsp(g, epsilon=0.25)
+    print(result.stretch_audit(g))
+"""
+
+from . import congest, graphs, core
+
+__version__ = "0.1.0"
+
+__all__ = ["congest", "graphs", "core", "__version__"]

@@ -1,0 +1,18 @@
+"""Baseline algorithms the paper compares against (introduction and Section 4)."""
+
+from .bellman_ford import DistanceVectorProtocol, bellman_ford_apsp, BellmanFordResult
+from .flooding import LinkStateResult, link_state_apsp
+from .nanongkai import RandomizedAPSPResult, nanongkai_apsp
+from .prior_stoc13 import LongRangeComparison, compare_long_range_schemes
+
+__all__ = [
+    "DistanceVectorProtocol",
+    "bellman_ford_apsp",
+    "BellmanFordResult",
+    "LinkStateResult",
+    "link_state_apsp",
+    "RandomizedAPSPResult",
+    "nanongkai_apsp",
+    "LongRangeComparison",
+    "compare_long_range_schemes",
+]

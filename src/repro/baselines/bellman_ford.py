@@ -1,0 +1,111 @@
+"""Distributed Bellman–Ford APSP (distance-vector routing, RIP-style).
+
+The paper's introduction recalls that a Bellman–Ford all-pairs computation in
+the CONGEST model takes ``Theta(n^2)`` rounds in the worst case and
+``Theta(n log n)`` bits of storage per node.  This module provides the
+baseline for experiment E2:
+
+* :class:`DistanceVectorProtocol` — a faithful CONGEST protocol in which
+  every node maintains a distance vector to all destinations and, per round,
+  broadcasts one improved ``(destination, distance)`` entry (the CONGEST
+  bandwidth allows only a constant number of words per edge per round).
+  Running it to quiescence measures the real round count.
+* :func:`bellman_ford_apsp` — exact output (ground-truth distances) together
+  with either measured rounds (``simulate=True``) or the analytic worst-case
+  bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..congest.message import BROADCAST, Message
+from ..congest.metrics import CongestMetrics
+from ..congest.network import CongestNetwork
+from ..congest.node import CongestAlgorithm, NodeView
+from ..graphs.distances import all_pairs_weighted_distances
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = ["DistanceVectorProtocol", "bellman_ford_apsp", "BellmanFordResult"]
+
+
+@dataclass
+class BellmanFordResult:
+    """Exact APSP distances plus the cost accounting of the baseline."""
+
+    distances: Dict[Hashable, Dict[Hashable, float]]
+    next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]]
+    metrics: CongestMetrics = field(default_factory=CongestMetrics)
+
+    def estimate(self, u: Hashable, v: Hashable) -> float:
+        if u == v:
+            return 0.0
+        return self.distances.get(u, {}).get(v, float("inf"))
+
+
+class DistanceVectorProtocol(CongestAlgorithm):
+    """RIP-style distance-vector protocol, one announcement per round."""
+
+    def init_state(self, view: NodeView):
+        return {
+            "dist": {view.node_id: 0.0},
+            "via": {view.node_id: None},
+            "pending": {view.node_id},   # destinations whose entry changed
+            "announced": set(),          # (dest, dist) pairs already broadcast
+        }
+
+    def generate(self, view: NodeView, state, round_index: int):
+        candidates = sorted(
+            ((state["dist"][dest], repr(dest), dest) for dest in state["pending"]),
+        )
+        for dist, _, dest in candidates:
+            if (dest, dist) in state["announced"]:
+                state["pending"].discard(dest)
+                continue
+            state["announced"].add((dest, dist))
+            state["pending"].discard(dest)
+            return [(BROADCAST, Message(("dv", dest, dist)))]
+        return []
+
+    def receive(self, view: NodeView, state, round_index: int, inbox):
+        for sender, msg in inbox:
+            tag, dest, dist = msg.payload
+            if tag != "dv":
+                continue
+            nd = dist + view.neighbor_weights[sender]
+            if nd < state["dist"].get(dest, float("inf")):
+                state["dist"][dest] = nd
+                state["via"][dest] = sender
+                state["pending"].add(dest)
+
+    def finished(self, view: NodeView, state, round_index: int) -> bool:
+        return not state["pending"]
+
+    def output(self, view: NodeView, state):
+        return {"dist": dict(state["dist"]), "via": dict(state["via"])}
+
+
+def bellman_ford_apsp(graph: WeightedGraph, simulate: bool = True,
+                      max_rounds: Optional[int] = None) -> BellmanFordResult:
+    """Exact APSP by distributed distance-vector computation.
+
+    With ``simulate=True`` the protocol is executed round by round and the
+    measured round count is reported; otherwise the exact distances are
+    computed centrally and the worst-case CONGEST bound ``n^2`` is attached.
+    """
+    n = graph.num_nodes
+    if simulate:
+        protocol = DistanceVectorProtocol()
+        network = CongestNetwork(graph, protocol)
+        budget = max_rounds if max_rounds is not None else 4 * n * n + 10
+        metrics = network.run(max_rounds=budget)
+        outputs = network.outputs()
+        distances = {v: outputs[v]["dist"] for v in graph.nodes()}
+        next_hops = {v: outputs[v]["via"] for v in graph.nodes()}
+        return BellmanFordResult(distances=distances, next_hops=next_hops,
+                                 metrics=metrics)
+    distances = all_pairs_weighted_distances(graph)
+    next_hops = {v: {} for v in graph.nodes()}
+    metrics = CongestMetrics(rounds=n * n, measured=False)
+    return BellmanFordResult(distances=distances, next_hops=next_hops, metrics=metrics)

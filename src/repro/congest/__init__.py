@@ -1,0 +1,34 @@
+"""CONGEST-model simulator: round engine, messages, metrics, BFS primitives."""
+
+from .message import Message, BROADCAST, message_words
+from .metrics import CongestMetrics, merge_metrics
+from .node import CongestAlgorithm, NodeView
+from .network import CongestNetwork, BandwidthViolation
+from .bfs import (
+    BFSTree,
+    build_bfs_tree,
+    pipelined_broadcast_rounds,
+    convergecast_rounds,
+    global_broadcast_metrics,
+    DistributedBFS,
+    verify_bfs_outputs,
+)
+
+__all__ = [
+    "Message",
+    "BROADCAST",
+    "message_words",
+    "CongestMetrics",
+    "merge_metrics",
+    "CongestAlgorithm",
+    "NodeView",
+    "CongestNetwork",
+    "BandwidthViolation",
+    "BFSTree",
+    "build_bfs_tree",
+    "pipelined_broadcast_rounds",
+    "convergecast_rounds",
+    "global_broadcast_metrics",
+    "DistributedBFS",
+    "verify_bfs_outputs",
+]

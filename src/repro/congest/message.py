@@ -1,0 +1,64 @@
+"""Messages exchanged in the CONGEST model.
+
+In the CONGEST model every edge carries one message of ``B ∈ Θ(log n)`` bits
+per round.  We represent a message as an immutable payload (a tuple of small
+integers / identifiers) together with a size estimate in "words", where one
+word is an ``O(log n)``-bit quantity (a node identifier, a distance bounded
+by a polynomial in ``n``, a level index, or a flag).
+
+The simulator enforces the bandwidth constraint in units of words: a message
+of more than ``words_per_round`` words cannot be sent in a single round.
+Most algorithms in the paper send messages consisting of a constant number of
+words (e.g. a ``(distance, source)`` pair), so the default budget of a small
+constant is faithful to the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+__all__ = ["Message", "BROADCAST", "message_words"]
+
+#: Sentinel destination meaning "send the same message to every neighbour".
+BROADCAST = object()
+
+
+def message_words(payload: Any) -> int:
+    """Estimate the size of a payload in ``O(log n)``-bit words.
+
+    Scalars (ints, floats, short strings, ``None``, booleans) count as one
+    word; tuples and lists count as the sum of their elements.  This is the
+    accounting unit used by :class:`~repro.congest.network.CongestNetwork`.
+    """
+    if payload is None or isinstance(payload, (int, float, bool, str)):
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(message_words(item) for item in payload)
+    if isinstance(payload, dict):
+        return sum(message_words(k) + message_words(v) for k, v in payload.items())
+    return 1
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single CONGEST message.
+
+    Attributes
+    ----------
+    payload:
+        The content (typically a tuple such as ``(distance, source_id)``).
+    words:
+        Size in ``O(log n)``-bit words; computed from the payload if omitted.
+    """
+
+    payload: Any
+    words: int = 0
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            object.__setattr__(self, "words", message_words(self.payload))
+
+    def __iter__(self):
+        # Allow unpacking tuple payloads directly: ``d, s = msg``.
+        return iter(self.payload)

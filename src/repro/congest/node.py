@@ -1,0 +1,99 @@
+"""Node-algorithm interface for the CONGEST simulator.
+
+A distributed algorithm is written once, from the perspective of a single
+node, by subclassing :class:`CongestAlgorithm`.  The simulator
+(:class:`~repro.congest.network.CongestNetwork`) instantiates one state
+object per node and drives the three steps of a CONGEST round (Section 2.1
+of the paper): local computation, sending, receiving.
+
+The interface is deliberately minimal:
+
+* :meth:`CongestAlgorithm.init_state` builds the node's local state from its
+  local knowledge only (its identifier and incident edge weights) — matching
+  the paper's initial-knowledge assumption.
+* :meth:`CongestAlgorithm.generate` returns the messages the node sends this
+  round (at most one per incident edge; a broadcast counts as one message on
+  every incident edge but as a single "broadcast" for Lemma 3.4 accounting).
+* :meth:`CongestAlgorithm.receive` consumes the messages delivered at the end
+  of the round.
+* :meth:`CongestAlgorithm.finished` lets the simulator terminate early once
+  all nodes report completion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Iterable, List, Tuple, Union
+
+from .message import BROADCAST, Message
+
+__all__ = ["CongestAlgorithm", "Outgoing", "NodeView"]
+
+#: A message addressed either to one neighbour or broadcast to all of them.
+Outgoing = Tuple[Union[Hashable, object], Message]
+
+
+class NodeView:
+    """The local knowledge a node starts with: its id and incident edges."""
+
+    __slots__ = ("node_id", "neighbor_weights", "num_nodes")
+
+    def __init__(self, node_id: Hashable, neighbor_weights: Dict[Hashable, int],
+                 num_nodes: int) -> None:
+        self.node_id = node_id
+        self.neighbor_weights = dict(neighbor_weights)
+        self.num_nodes = num_nodes
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbor_weights)
+
+    def neighbors(self) -> Iterable[Hashable]:
+        return self.neighbor_weights.keys()
+
+
+class CongestAlgorithm(ABC):
+    """Per-node behaviour of a synchronous CONGEST algorithm."""
+
+    @abstractmethod
+    def init_state(self, view: NodeView) -> Any:
+        """Create and return the initial local state for a node."""
+
+    @abstractmethod
+    def generate(self, view: NodeView, state: Any, round_index: int) -> List[Outgoing]:
+        """Return the messages this node sends in ``round_index``.
+
+        Each entry is ``(destination, message)``; use
+        :data:`~repro.congest.message.BROADCAST` as destination to send the
+        same message over every incident edge.
+        """
+
+    @abstractmethod
+    def receive(self, view: NodeView, state: Any, round_index: int,
+                inbox: List[Tuple[Hashable, Message]]) -> None:
+        """Consume messages delivered at the end of ``round_index``.
+
+        ``inbox`` holds ``(sender, message)`` pairs; order is arbitrary but
+        deterministic (sorted by sender representation).
+        """
+
+    def finished(self, view: NodeView, state: Any, round_index: int) -> bool:
+        """Whether this node has terminated (default: never, run to max_rounds)."""
+        return False
+
+    def output(self, view: NodeView, state: Any) -> Any:
+        """The value placed in the node's output register at the end."""
+        return state
+
+
+def normalize_outgoing(outgoing: List[Outgoing]) -> List[Outgoing]:
+    """Validate a ``generate`` result, wrapping bare payloads in Message objects."""
+    normalized: List[Outgoing] = []
+    for item in outgoing:
+        if not isinstance(item, tuple) or len(item) != 2:
+            raise TypeError(f"generate() must return (dest, Message) pairs, got {item!r}")
+        dest, msg = item
+        if not isinstance(msg, Message):
+            msg = Message(payload=msg)
+        normalized.append((dest, msg))
+    return normalized

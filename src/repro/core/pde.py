@@ -1,0 +1,234 @@
+"""Partial Distance Estimation (PDE) — Theorem 3.3 and Corollary 3.5.
+
+``(1+eps)``-approximate ``(S, h, sigma)``-estimation (Definition 2.2) asks
+for a distance function ``wd'`` with
+
+* ``wd'(v, s) >= wd(v, s)`` for all ``v`` and sources ``s``, and
+* ``wd'(v, s) <= (1+eps) * wd(v, s)`` whenever the minimum-hop shortest path
+  from ``v`` to ``s`` has at most ``h`` hops,
+
+and for each node the prefix ``L_v`` of the (up to) ``sigma`` smallest
+``(wd'(v, s), s)`` pairs.
+
+The solver follows the construction of Theorem 3.3 exactly:
+
+1. Build the rounding levels ``i = 0..imax`` (:class:`RoundingScheme`).
+2. Per level, solve unweighted ``(S, h', sigma)``-detection on the virtual
+   graph ``G_i`` (edge ``e`` subdivided into ``ceil(W(e)/b(i))`` unit edges)
+   with horizon ``h' in O(h/eps)``.
+3. Combine: ``wd~(v, s) = min_i b(i) * hd_i(v, s)`` over levels where ``s``
+   appears in the level list ``L_{v,i}``; output the top ``sigma`` entries.
+
+Two engines are available:
+
+* ``engine="logical"`` — per-level detection computed centrally (identical
+  output, analytic round/message bounds).
+* ``engine="simulate"`` — per-level detection run faithfully on the CONGEST
+  simulator over the materialised virtual graph; metrics are measured.
+
+Per Corollary 3.5 the expected cost is ``O((h + sigma)/eps^2 * log n + D)``
+rounds and ``O(sigma^2 / eps * log n)`` broadcasts per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..congest.metrics import CongestMetrics, merge_metrics
+from ..graphs.weighted_graph import WeightedGraph
+from .source_detection import (
+    DetectionEntry,
+    SourceDetectionResult,
+    detect_sources_logical,
+    run_source_detection_simulation,
+)
+from .weight_rounding import RoundingScheme
+
+__all__ = ["PDEEntry", "PDEResult", "solve_pde"]
+
+
+@dataclass(frozen=True)
+class PDEEntry:
+    """One entry of a node's PDE output list ``L_v``."""
+
+    estimate: float
+    source: Hashable
+    next_hop: Optional[Hashable] = None
+    level: int = 0
+
+    def key(self) -> Tuple[float, str]:
+        return (self.estimate, repr(self.source))
+
+
+@dataclass
+class PDEResult:
+    """Output of ``(1+eps)``-approximate ``(S, h, sigma)``-estimation.
+
+    Attributes
+    ----------
+    lists:
+        ``lists[v]`` — the top-``sigma`` prefix of the sorted
+        ``(wd'(v, s), s)`` pairs (Definition 2.2).
+    estimates:
+        ``estimates[v][s] = wd'(v, s)`` for every source that was detected at
+        any level (a superset of the sources appearing in ``lists[v]``).
+    next_hops:
+        ``next_hops[v][s]`` — a neighbour of ``v`` on a path realising the
+        estimate (used to build routing tables, Corollary 3.5).
+    levels_used:
+        ``levels_used[v][s]`` — the rounding level achieving the minimum.
+    per_level:
+        Optional raw per-level detection results (needed by the tree-routing
+        argument of Lemma 4.4 and by tests).
+    rounding:
+        The :class:`RoundingScheme` employed.
+    metrics:
+        Rounds / broadcasts accounting (measured when simulated).
+    """
+
+    sources: Set[Hashable]
+    h: int
+    sigma: int
+    epsilon: float
+    lists: Dict[Hashable, List[PDEEntry]]
+    estimates: Dict[Hashable, Dict[Hashable, float]]
+    next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]]
+    levels_used: Dict[Hashable, Dict[Hashable, int]]
+    rounding: RoundingScheme
+    metrics: CongestMetrics = field(default_factory=CongestMetrics)
+    per_level: Optional[Dict[int, SourceDetectionResult]] = None
+
+    # ------------------------------------------------------------------
+    def estimate(self, node: Hashable, source: Hashable) -> float:
+        """``wd'(node, source)`` — infinity if the source was never detected."""
+        return self.estimates.get(node, {}).get(source, float("inf"))
+
+    def next_hop(self, node: Hashable, source: Hashable) -> Optional[Hashable]:
+        return self.next_hops.get(node, {}).get(source)
+
+    def list_of(self, node: Hashable) -> List[PDEEntry]:
+        return self.lists.get(node, [])
+
+    def in_list(self, node: Hashable, source: Hashable) -> bool:
+        return any(entry.source == source for entry in self.lists.get(node, []))
+
+    def detected_sources(self, node: Hashable) -> List[Hashable]:
+        return [entry.source for entry in self.lists.get(node, [])]
+
+    def closest_source_in(self, node: Hashable,
+                          subset: Set[Hashable]) -> Optional[PDEEntry]:
+        """The entry minimising ``(wd'(node, s), s)`` among ``s in subset``.
+
+        Considers all detected sources (not only the top-``sigma`` list), so
+        callers such as Lemma 4.2 can locate ``s'_v`` even if it narrowly
+        misses the list.
+        """
+        best: Optional[PDEEntry] = None
+        for s, est in self.estimates.get(node, {}).items():
+            if s not in subset:
+                continue
+            entry = PDEEntry(
+                estimate=est, source=s,
+                next_hop=self.next_hops.get(node, {}).get(s),
+                level=self.levels_used.get(node, {}).get(s, 0),
+            )
+            if best is None or entry.key() < best.key():
+                best = entry
+        return best
+
+
+def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: int,
+              epsilon: float, engine: str = "logical", message_cap: bool = True,
+              store_levels: bool = True) -> PDEResult:
+    """Solve ``(1+eps)``-approximate ``(S, h, sigma)``-estimation (Theorem 3.3).
+
+    Parameters
+    ----------
+    graph:
+        The weighted network graph.
+    sources:
+        The source set ``S``.
+    h, sigma:
+        Hop budget and list length of Definition 2.2.
+    epsilon:
+        Approximation parameter (``wd' <= (1+eps) wd`` within ``h`` hops).
+    engine:
+        ``"logical"`` (fast, analytic metrics) or ``"simulate"`` (faithful
+        CONGEST execution on the materialised virtual graphs, measured
+        metrics).
+    message_cap:
+        Apply the Lemma 3.4 per-node broadcast cap in the simulator.
+    store_levels:
+        Keep the raw per-level detection results on the result object.
+    """
+    source_set = set(sources)
+    if not source_set:
+        raise ValueError("the source set must be non-empty")
+    for s in source_set:
+        if not graph.has_node(s):
+            raise ValueError(f"source {s!r} is not a node of the graph")
+    if engine not in ("logical", "simulate"):
+        raise ValueError(f"unknown engine {engine!r}")
+    if h < 1 or sigma < 1:
+        raise ValueError("h and sigma must be at least 1")
+
+    rounding = RoundingScheme(epsilon=epsilon, max_weight=graph.max_weight())
+    horizon = rounding.horizon(h)
+
+    per_level: Dict[int, SourceDetectionResult] = {}
+    level_metrics: List[CongestMetrics] = []
+    for level in rounding.levels():
+        length_fn = rounding.edge_length_fn(level)
+        if engine == "simulate":
+            detection = run_source_detection_simulation(
+                graph, source_set, horizon, sigma,
+                edge_length=length_fn, message_cap=message_cap)
+        else:
+            detection = detect_sources_logical(
+                graph, source_set, horizon, sigma, edge_length=length_fn)
+        per_level[level] = detection
+        level_metrics.append(detection.metrics)
+
+    estimates: Dict[Hashable, Dict[Hashable, float]] = {v: {} for v in graph.nodes()}
+    next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {
+        v: {} for v in graph.nodes()}
+    levels_used: Dict[Hashable, Dict[Hashable, int]] = {v: {} for v in graph.nodes()}
+
+    for level, detection in per_level.items():
+        for node, entries in detection.lists.items():
+            if node not in estimates:
+                continue  # ignore any virtual helper nodes
+            for entry in entries:
+                value = rounding.scaled_distance(level, entry.distance)
+                current = estimates[node].get(entry.source)
+                if current is None or value < current:
+                    estimates[node][entry.source] = value
+                    next_hops[node][entry.source] = entry.next_hop
+                    levels_used[node][entry.source] = level
+
+    lists: Dict[Hashable, List[PDEEntry]] = {}
+    for node in graph.nodes():
+        entries = [
+            PDEEntry(estimate=est, source=s,
+                     next_hop=next_hops[node].get(s),
+                     level=levels_used[node].get(s, 0))
+            for s, est in estimates[node].items()
+        ]
+        entries.sort(key=lambda e: e.key())
+        lists[node] = entries[:sigma]
+
+    metrics = merge_metrics(*level_metrics, sequential=True)
+    return PDEResult(
+        sources=source_set,
+        h=h,
+        sigma=sigma,
+        epsilon=epsilon,
+        lists=lists,
+        estimates=estimates,
+        next_hops=next_hops,
+        levels_used=levels_used,
+        rounding=rounding,
+        metrics=metrics,
+        per_level=per_level if store_levels else None,
+    )

@@ -1,0 +1,125 @@
+"""The weight-rounding reduction of Section 3 (Nanongkai / Zwick).
+
+For a fixed ``0 < eps in O(1)`` the reduction considers the levels
+``i = 0, .., imax`` with ``imax = ceil(log_{1+eps}(wmax))`` and, per level,
+
+* the base ``b(i) = (1 + eps)^i``,
+* the rounded weight function ``W_i(e) = b(i) * ceil(W(e) / b(i))``,
+* the virtual unweighted graph ``G_i`` obtained by subdividing each edge
+  ``e`` into ``W_i(e) / b(i) = ceil(W(e) / b(i))`` unit edges.
+
+Lemma 3.1 / Corollary 3.2 then guarantee that for every pair ``(v, w)`` there
+is a level ``i_{v,w}`` at which the hop distance in ``G_i`` is both a
+``(1+eps)``-approximation of ``wd(v, w)`` (after scaling by ``b(i)``) and at
+most ``O(h_{v,w} / eps)`` — so an unweighted source detection with a horizon
+``h' = O(h / eps)`` per level suffices.
+
+:class:`RoundingScheme` packages these quantities; it is consumed by the PDE
+solver and by the analysis helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+__all__ = ["RoundingScheme"]
+
+
+@dataclass(frozen=True)
+class RoundingScheme:
+    """Rounding levels for a given ``eps`` and maximum edge weight.
+
+    Parameters
+    ----------
+    epsilon:
+        Approximation parameter, ``0 < eps``; the paper assumes ``eps in O(1)``.
+    max_weight:
+        The maximum edge weight ``wmax`` of the input graph (assumed to be
+        polynomial in ``n``).
+    """
+
+    epsilon: float
+    max_weight: int
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if self.max_weight < 1:
+            raise ValueError("max_weight must be at least 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def imax(self) -> int:
+        """``imax = ceil(log_{1+eps}(wmax))`` (0 for unit weights)."""
+        if self.max_weight <= 1:
+            return 0
+        return max(0, math.ceil(math.log(self.max_weight, 1.0 + self.epsilon)))
+
+    def levels(self) -> range:
+        """The level indices ``0, ..., imax`` (inclusive)."""
+        return range(self.imax + 1)
+
+    @property
+    def num_levels(self) -> int:
+        return self.imax + 1
+
+    def base(self, level: int) -> float:
+        """``b(i) = (1 + eps)^i``."""
+        self._check_level(level)
+        return (1.0 + self.epsilon) ** level
+
+    def rounded_weight(self, level: int, weight: int) -> float:
+        """``W_i(e) = b(i) * ceil(W(e) / b(i))``."""
+        base = self.base(level)
+        return base * math.ceil(weight / base)
+
+    def edge_length(self, level: int, weight: int) -> int:
+        """Length of edge ``e`` in the virtual graph ``G_i``: ``ceil(W(e)/b(i))``."""
+        if weight < 1:
+            raise ValueError("edge weights must be positive")
+        return max(1, math.ceil(weight / self.base(level)))
+
+    def edge_length_fn(self, level: int):
+        """Return an ``(u, v, w) -> int`` callback for the given level."""
+        base = self.base(level)
+        return lambda u, v, w: max(1, math.ceil(w / base))
+
+    # ------------------------------------------------------------------
+    def horizon(self, h: int) -> int:
+        """Unweighted detection horizon ``h'`` such that relevant pairs stay in range.
+
+        By Lemma 3.1 and Corollary 3.2, for the level ``i_{v,w}`` the hop
+        distance in ``G_i`` of a pair with ``h_{v,w} <= h`` is below
+        ``h * (2 + 1/eps)``; we add one for slack from the ceiling operations.
+        """
+        if h < 0:
+            raise ValueError("h must be non-negative")
+        return int(math.ceil(h * (2.0 + 1.0 / self.epsilon))) + 1
+
+    def level_for_pair(self, weighted_distance: float, hops: int) -> int:
+        """The level ``i_{v,w}`` of Lemma 3.1 for a pair at distance ``wd`` and ``hops``."""
+        if hops <= 0 or weighted_distance <= 0:
+            return 0
+        value = self.epsilon * weighted_distance / hops
+        if value <= 1.0:
+            return 0
+        return min(self.imax,
+                   max(0, math.floor(math.log(value, 1.0 + self.epsilon))))
+
+    # ------------------------------------------------------------------
+    def scaled_distance(self, level: int, hop_distance: int) -> float:
+        """Translate a ``G_i`` hop distance back to a weighted estimate ``b(i)*hd_i``."""
+        return self.base(level) * hop_distance
+
+    def _check_level(self, level: int) -> None:
+        if level < 0 or level > self.imax:
+            raise ValueError(f"level {level} outside [0, {self.imax}]")
+
+    def describe(self) -> List[dict]:
+        """Human-readable per-level summary (used by examples and reports)."""
+        return [
+            {"level": i, "base": self.base(i)}
+            for i in self.levels()
+        ]

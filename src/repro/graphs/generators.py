@@ -1,0 +1,278 @@
+"""Seeded graph and weight generators for experiments and tests.
+
+The paper's algorithms are evaluated on weighted undirected graphs where the
+interplay between *hop* distance and *weighted* distance matters (this is the
+whole point of partial distance estimation).  The generators here therefore
+offer several weighting strategies, in particular a "mixed-scale" strategy
+that produces shortest weighted paths that are many hops long — the hard case
+motivating the rounding technique of Section 3.
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from .weighted_graph import WeightedGraph
+
+__all__ = [
+    "WeightStrategy",
+    "unit_weights",
+    "uniform_weights",
+    "heavy_tailed_weights",
+    "mixed_scale_weights",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "complete_graph",
+    "star_graph",
+    "random_tree",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "random_geometric_graph",
+    "caterpillar_graph",
+    "make_connected",
+    "standard_test_suite",
+]
+
+# A weight strategy maps (u, v, rng) to a positive integer weight.
+WeightStrategy = Callable[[Hashable, Hashable, random.Random], int]
+
+
+# ----------------------------------------------------------------------
+# weight strategies
+# ----------------------------------------------------------------------
+def unit_weights() -> WeightStrategy:
+    """All edges get weight 1 (unweighted graph)."""
+    return lambda u, v, rng: 1
+
+
+def uniform_weights(low: int = 1, high: int = 100) -> WeightStrategy:
+    """Weights drawn uniformly from ``[low, high]``."""
+    if low < 1 or high < low:
+        raise ValueError("need 1 <= low <= high")
+    return lambda u, v, rng: rng.randint(low, high)
+
+
+def heavy_tailed_weights(max_weight: int = 10 ** 6, alpha: float = 1.5) -> WeightStrategy:
+    """Pareto-like heavy-tailed integer weights in ``[1, max_weight]``.
+
+    Produces a few very heavy edges, which makes rounded weight levels
+    (Section 3) genuinely distinct.
+    """
+    if max_weight < 1:
+        raise ValueError("max_weight must be >= 1")
+
+    def strategy(u, v, rng: random.Random) -> int:
+        raw = rng.paretovariate(alpha)
+        return max(1, min(max_weight, int(raw)))
+
+    return strategy
+
+
+def mixed_scale_weights(light: int = 1, heavy: int = 10 ** 4,
+                        heavy_fraction: float = 0.2) -> WeightStrategy:
+    """A fraction of edges is heavy, the rest light.
+
+    This produces graphs where the minimum-hop path and the minimum-weight
+    path differ drastically: shortest weighted paths thread through many
+    light edges, which is exactly the regime where exact weighted source
+    detection degrades to ``Ω(n)`` rounds and PDE shines.
+    """
+
+    def strategy(u, v, rng: random.Random) -> int:
+        if rng.random() < heavy_fraction:
+            return heavy
+        return light
+
+    return strategy
+
+
+# ----------------------------------------------------------------------
+# topology generators
+# ----------------------------------------------------------------------
+def _apply_weights(edges: Iterable[Tuple[Hashable, Hashable]],
+                   nodes: Sequence[Hashable],
+                   weights: Optional[WeightStrategy],
+                   rng: random.Random) -> WeightedGraph:
+    strategy = weights if weights is not None else unit_weights()
+    graph = WeightedGraph()
+    for node in nodes:
+        graph.add_node(node)
+    for u, v in edges:
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, strategy(u, v, rng))
+    return graph
+
+
+def path_graph(n: int, weights: Optional[WeightStrategy] = None,
+               seed: int = 0) -> WeightedGraph:
+    """Path on ``n`` nodes ``0 - 1 - ... - (n-1)``."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def cycle_graph(n: int, weights: Optional[WeightStrategy] = None,
+                seed: int = 0) -> WeightedGraph:
+    """Cycle on ``n`` nodes."""
+    if n < 3:
+        raise ValueError("cycle_graph requires n >= 3")
+    rng = random.Random(seed)
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def grid_graph(rows: int, cols: int, weights: Optional[WeightStrategy] = None,
+               seed: int = 0) -> WeightedGraph:
+    """``rows x cols`` grid; node ``(r, c)`` is numbered ``r * cols + c``."""
+    rng = random.Random(seed)
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return _apply_weights(edges, range(rows * cols), weights, rng)
+
+
+def complete_graph(n: int, weights: Optional[WeightStrategy] = None,
+                   seed: int = 0) -> WeightedGraph:
+    """Complete graph on ``n`` nodes (the Congested Clique topology)."""
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def star_graph(n: int, weights: Optional[WeightStrategy] = None,
+               seed: int = 0) -> WeightedGraph:
+    """Star with centre ``0`` and leaves ``1..n-1``."""
+    rng = random.Random(seed)
+    edges = [(0, i) for i in range(1, n)]
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def random_tree(n: int, weights: Optional[WeightStrategy] = None,
+                seed: int = 0) -> WeightedGraph:
+    """Uniform random recursive tree on ``n`` nodes."""
+    rng = random.Random(seed)
+    edges = [(i, rng.randrange(i)) for i in range(1, n)]
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def caterpillar_graph(spine: int, legs: int,
+                      weights: Optional[WeightStrategy] = None,
+                      seed: int = 0) -> WeightedGraph:
+    """A spine path with ``legs`` leaves attached to every spine node."""
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    next_id = spine
+    nodes = list(range(spine))
+    for i in range(spine):
+        for _ in range(legs):
+            edges.append((i, next_id))
+            nodes.append(next_id)
+            next_id += 1
+    return _apply_weights(edges, nodes, weights, rng)
+
+
+def erdos_renyi_graph(n: int, p: float, weights: Optional[WeightStrategy] = None,
+                      seed: int = 0, connect: bool = True) -> WeightedGraph:
+    """Erdős–Rényi ``G(n, p)`` graph, optionally patched to be connected."""
+    rng = random.Random(seed)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p]
+    graph = _apply_weights(edges, range(n), weights, rng)
+    if connect:
+        graph = make_connected(graph, weights, rng)
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, weights: Optional[WeightStrategy] = None,
+                          seed: int = 0) -> WeightedGraph:
+    """Barabási–Albert preferential-attachment graph with ``m`` edges per new node."""
+    if m < 1 or n < m + 1:
+        raise ValueError("need 1 <= m < n")
+    rng = random.Random(seed)
+    edges: List[Tuple[int, int]] = []
+    targets = list(range(m))
+    repeated: List[int] = list(range(m))
+    for new in range(m, n):
+        chosen = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(repeated) if repeated else rng.randrange(new))
+        for t in chosen:
+            edges.append((new, t))
+            repeated.append(new)
+            repeated.append(t)
+        targets.append(new)
+    return _apply_weights(edges, range(n), weights, rng)
+
+
+def random_geometric_graph(n: int, radius: float,
+                           weights: Optional[WeightStrategy] = None,
+                           seed: int = 0, connect: bool = True) -> WeightedGraph:
+    """Random geometric graph on the unit square.
+
+    If ``weights`` is ``None``, edge weights are the (scaled, integer)
+    Euclidean distances, giving a natural "latency" interpretation.
+    """
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    edges = []
+    geo_weights: Dict[Tuple[int, int], int] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            dx = points[i][0] - points[j][0]
+            dy = points[i][1] - points[j][1]
+            dist = math.hypot(dx, dy)
+            if dist <= radius:
+                edges.append((i, j))
+                geo_weights[(i, j)] = max(1, int(dist * 1000))
+    if weights is None:
+        def strategy(u, v, _rng):
+            key = (u, v) if (u, v) in geo_weights else (v, u)
+            return geo_weights.get(key, 1)
+        weights = strategy
+    graph = _apply_weights(edges, range(n), weights, rng)
+    if connect:
+        graph = make_connected(graph, weights, rng)
+    return graph
+
+
+def make_connected(graph: WeightedGraph,
+                   weights: Optional[WeightStrategy] = None,
+                   rng: Optional[random.Random] = None) -> WeightedGraph:
+    """Return a connected copy by linking consecutive components with one edge."""
+    rng = rng if rng is not None else random.Random(0)
+    strategy = weights if weights is not None else unit_weights()
+    components = graph.connected_components()
+    if len(components) <= 1:
+        return graph
+    result = graph.copy()
+    for first, second in zip(components, components[1:]):
+        u = first[0]
+        v = second[0]
+        result.add_edge(u, v, strategy(u, v, rng))
+    return result
+
+
+def standard_test_suite(seed: int = 0) -> Dict[str, WeightedGraph]:
+    """A small zoo of graphs used by integration tests and benchmarks."""
+    return {
+        "path_unit": path_graph(20, unit_weights(), seed),
+        "path_heavy": path_graph(20, uniform_weights(1, 1000), seed),
+        "cycle": cycle_graph(24, uniform_weights(1, 50), seed),
+        "grid": grid_graph(5, 6, uniform_weights(1, 20), seed),
+        "tree": random_tree(30, uniform_weights(1, 100), seed),
+        "er_sparse": erdos_renyi_graph(40, 0.1, uniform_weights(1, 100), seed),
+        "er_dense": erdos_renyi_graph(30, 0.3, mixed_scale_weights(), seed),
+        "ba": barabasi_albert_graph(35, 2, heavy_tailed_weights(10 ** 4), seed),
+        "geometric": random_geometric_graph(35, 0.35, None, seed),
+        "clique_mixed": complete_graph(15, mixed_scale_weights(1, 10 ** 4, 0.5), seed),
+    }

@@ -1,0 +1,122 @@
+"""The Figure 1 lower-bound construction of the paper.
+
+Figure 1 of the paper exhibits a weighted graph on which exact
+``(S, h+1, sigma)``-detection cannot be solved in ``o(h * sigma)`` rounds:
+all ``h * sigma`` source/distance values relevant to the nodes ``u_i`` must
+traverse a single bottleneck edge ``{u_1, v_h}``.
+
+Construction (following the figure):
+
+* a chain of "receiver" nodes ``u_h - u_{h-1} - ... - u_1``,
+* the bottleneck edge ``{u_1, v_h}``,
+* a chain of "attachment" nodes ``v_h - v_{h-1} - ... - v_1``,
+* each ``v_i`` carries ``sigma`` leaf sources ``s_{i,1}, ..., s_{i,sigma}``
+  attached by edges of weight ``~4^i * h`` (geometrically growing so that the
+  relevant distance values are pairwise distinct and cannot be aggregated),
+* all chain edges have weight 1 (negligible).
+
+The construction is exposed as a :class:`LowerBoundInstance` so that the
+benchmark for experiment E1 can (a) count the number of distinct
+``(source, distance)`` values that must cross the bottleneck and (b) measure
+how many messages the exact-detection baseline and the PDE algorithm actually
+push across that edge in the CONGEST simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .weighted_graph import WeightedGraph
+
+__all__ = ["LowerBoundInstance", "build_figure1_graph"]
+
+
+@dataclass
+class LowerBoundInstance:
+    """The Figure 1 gadget together with the named node groups."""
+
+    graph: WeightedGraph
+    h: int
+    sigma: int
+    receivers: List[str] = field(default_factory=list)   # u_1 ... u_h
+    attachments: List[str] = field(default_factory=list)  # v_1 ... v_h
+    sources: List[str] = field(default_factory=list)      # s_{i,j}
+    bottleneck: Tuple[str, str] = ("", "")
+
+    @property
+    def source_set(self) -> Set[str]:
+        return set(self.sources)
+
+    @property
+    def detection_hop_budget(self) -> int:
+        """The ``h + 1`` hop budget used in the figure's statement.
+
+        With a hop budget of ``h + 1``... (receiver ``u_1`` is one hop from
+        ``v_h``, and ``v_i`` is ``h - i + 1`` hops further, plus one hop to
+        the leaves), every receiver can see a large slice of the sources, so
+        choose a budget that lets ``u_1`` reach all of them.
+        """
+        return 2 * self.h + 1
+
+    def required_values_over_bottleneck(self) -> int:
+        """Number of distinct (source, distance) values that must cross the cut.
+
+        Every receiver node ``u_i`` must output distances to ``sigma``
+        sources (its closest ones), and all sources sit on the far side of
+        the bottleneck edge, hence at least ``h * sigma / sigma``... The
+        information-theoretic argument of the figure is that the *union* of
+        values needed by ``u_1, ..., u_h`` has size ``h * sigma`` because the
+        geometric weights make every receiver's relevant source set the same
+        but the distances distinct and incompressible.  We report the count
+        ``h * sigma`` as the paper's bound.
+        """
+        return self.h * self.sigma
+
+
+def build_figure1_graph(h: int, sigma: int, base: int = 4) -> LowerBoundInstance:
+    """Build the Figure 1 gadget for parameters ``h`` and ``sigma``.
+
+    Parameters
+    ----------
+    h:
+        Length of both chains (number of receivers and of attachment nodes).
+    sigma:
+        Number of leaf sources per attachment node.
+    base:
+        Growth base of the leaf edge weights (the paper uses 4).
+    """
+    if h < 1 or sigma < 1:
+        raise ValueError("h and sigma must be positive")
+    graph = WeightedGraph()
+    receivers = [f"u{i}" for i in range(1, h + 1)]
+    attachments = [f"v{i}" for i in range(1, h + 1)]
+    sources: List[str] = []
+
+    # receiver chain u_h - ... - u_1 (weight-1 edges)
+    for i in range(len(receivers) - 1):
+        graph.add_edge(receivers[i], receivers[i + 1], 1)
+    # attachment chain v_h - ... - v_1 (weight-1 edges)
+    for i in range(len(attachments) - 1):
+        graph.add_edge(attachments[i], attachments[i + 1], 1)
+    # bottleneck edge {u_1, v_h}
+    bottleneck = (receivers[0], attachments[-1])
+    graph.add_edge(*bottleneck, 1)
+
+    # leaf sources s_{i,j} attached to v_i with geometrically growing weights
+    for i in range(1, h + 1):
+        weight = (base ** i) * h
+        for j in range(1, sigma + 1):
+            name = f"s{i}_{j}"
+            sources.append(name)
+            graph.add_edge(attachments[i - 1], name, weight)
+
+    return LowerBoundInstance(
+        graph=graph,
+        h=h,
+        sigma=sigma,
+        receivers=receivers,
+        attachments=attachments,
+        sources=sources,
+        bottleneck=bottleneck,
+    )

@@ -1,0 +1,260 @@
+"""Weighted undirected graph data structure used throughout the reproduction.
+
+The paper models the network as a simple, connected, weighted undirected graph
+``G = (V, E, W)`` with integer edge weights ``W : E -> N`` bounded by a
+polynomial in ``n``.  :class:`WeightedGraph` is a small adjacency-map
+implementation tailored to the needs of the CONGEST simulator and the
+distance machinery: integer node identifiers, positive integer weights, and
+cheap neighbourhood iteration.
+
+The class intentionally does not depend on :mod:`networkx` for its core
+operations (the simulator iterates adjacency lists in tight loops), but it
+converts to and from ``networkx.Graph`` for interoperability with the graph
+generators and for users who want to plug in their own topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["WeightedGraph", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for structurally invalid graph operations."""
+
+
+class WeightedGraph:
+    """A simple undirected graph with positive integer edge weights.
+
+    Nodes are hashable identifiers (typically small integers, matching the
+    paper's assumption of ``O(log n)``-bit identifiers).  Parallel edges and
+    self-loops are rejected, matching the "simple graph" assumption of the
+    CONGEST model description in Section 2.1 of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[object, Dict[object, int]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: object) -> None:
+        """Add an isolated node (no-op if it already exists)."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_edge(self, u: object, v: object, weight: int = 1) -> None:
+        """Add the undirected edge ``{u, v}`` with the given positive weight.
+
+        Adding an edge that already exists overwrites its weight; this keeps
+        generators simple (they may emit the same edge twice with the same
+        weight).
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u!r})")
+        if not isinstance(weight, (int,)) or isinstance(weight, bool):
+            raise GraphError(f"edge weight must be an int, got {weight!r}")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def remove_edge(self, u: object, v: object) -> None:
+        """Remove the edge ``{u, v}``; raises :class:`GraphError` if absent."""
+        if not self.has_edge(u, v):
+            raise GraphError(f"edge {{{u!r}, {v!r}}} does not exist")
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[object]:
+        """Return the list of nodes (insertion order)."""
+        return list(self._adj.keys())
+
+    def has_node(self, node: object) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: object, v: object) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def edges(self) -> Iterator[Tuple[object, object, int]]:
+        """Yield each undirected edge once as ``(u, v, weight)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = (u, v) if repr(u) <= repr(v) else (v, u)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield u, v, w
+
+    def neighbors(self, node: object) -> Iterator[object]:
+        """Iterate over the neighbours of ``node``."""
+        return iter(self._adj[node])
+
+    def neighbor_weights(self, node: object) -> Dict[object, int]:
+        """Return the ``{neighbour: weight}`` mapping for ``node``.
+
+        The returned dict is the internal adjacency map; callers must not
+        mutate it.
+        """
+        return self._adj[node]
+
+    def weight(self, u: object, v: object) -> int:
+        """Return the weight of edge ``{u, v}``."""
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise GraphError(f"edge {{{u!r}, {v!r}}} does not exist") from None
+
+    def degree(self, node: object) -> int:
+        return len(self._adj[node])
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def max_weight(self) -> int:
+        """Return the maximum edge weight (1 for an edgeless graph)."""
+        best = 1
+        for _, _, w in self.edges():
+            if w > best:
+                best = w
+        return best
+
+    def total_weight(self) -> int:
+        """Return the sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Return whether the graph is connected (empty graphs count as connected)."""
+        if self.num_nodes == 0:
+            return True
+        start = next(iter(self._adj))
+        seen = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in self._adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.num_nodes
+
+    def connected_components(self) -> List[List[object]]:
+        """Return the connected components as lists of nodes."""
+        seen: set = set()
+        components: List[List[object]] = []
+        for start in self._adj:
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        comp.append(v)
+                        stack.append(v)
+            components.append(comp)
+        return components
+
+    def subgraph(self, nodes: Iterable[object]) -> "WeightedGraph":
+        """Return the induced subgraph on ``nodes``."""
+        node_set = set(nodes)
+        sub = WeightedGraph()
+        for node in node_set:
+            if node in self._adj:
+                sub.add_node(node)
+        for u, v, w in self.edges():
+            if u in node_set and v in node_set:
+                sub.add_edge(u, v, w)
+        return sub
+
+    def copy(self) -> "WeightedGraph":
+        """Return a deep copy of the graph."""
+        other = WeightedGraph()
+        for node in self._adj:
+            other.add_node(node)
+        for u, v, w in self.edges():
+            other.add_edge(u, v, w)
+        return other
+
+    def reweighted(self, weight_fn) -> "WeightedGraph":
+        """Return a copy whose edge weights are ``weight_fn(u, v, w)``."""
+        other = WeightedGraph()
+        for node in self._adj:
+            other.add_node(node)
+        for u, v, w in self.edges():
+            other.add_edge(u, v, int(weight_fn(u, v, w)))
+        return other
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, nx_graph, weight_attr: str = "weight",
+                      default_weight: int = 1) -> "WeightedGraph":
+        """Build a :class:`WeightedGraph` from a ``networkx.Graph``."""
+        graph = cls()
+        for node in nx_graph.nodes():
+            graph.add_node(node)
+        for u, v, data in nx_graph.edges(data=True):
+            if u == v:
+                continue
+            weight = int(data.get(weight_attr, default_weight))
+            graph.add_edge(u, v, max(1, weight))
+        return graph
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with ``weight`` edge attributes."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(self.nodes())
+        for u, v, w in self.edges():
+            nx_graph.add_edge(u, v, weight=w)
+        return nx_graph
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[object, object, int]],
+                   nodes: Optional[Iterable[object]] = None) -> "WeightedGraph":
+        """Build a graph from an iterable of ``(u, v, weight)`` triples."""
+        graph = cls()
+        if nodes is not None:
+            for node in nodes:
+                graph.add_node(node)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w)
+        return graph
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, node: object) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __repr__(self) -> str:
+        return (f"WeightedGraph(num_nodes={self.num_nodes}, "
+                f"num_edges={self.num_edges})")

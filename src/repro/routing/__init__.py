@@ -1,0 +1,61 @@
+"""Routing applications of Section 4: relabeling RTC and compact routing."""
+
+from .tables import Label, RoutingTable, RouteTrace, payload_words, words_to_bits
+from .tree_routing import TreeRouting, TreeRoutingError
+from .cluster_trees import DestinationTree, TreeFamily, build_destination_trees
+from .skeleton import (
+    default_sampling_probability,
+    default_detection_budget,
+    sample_skeleton,
+    exact_skeleton_graph,
+    skeleton_graph_from_pde,
+    skeleton_distance_audit,
+)
+from .spanner import baswana_sen_spanner, greedy_spanner, verify_spanner, spanner_stretch
+from .stretch import (
+    StretchReport,
+    sample_pairs,
+    evaluate_routing,
+    evaluate_distance_estimates,
+    validate_route,
+)
+from .relabeling_scheme import RelabelingRoutingScheme, RelabelingBuildReport
+from .tz_exact import ExactThorupZwickOracle, sample_levels
+from .tz_hierarchy import CompactRoutingHierarchy, HierarchyBuildReport
+from .compact import build_compact_routing, choose_truncation_level
+
+__all__ = [
+    "ExactThorupZwickOracle",
+    "sample_levels",
+    "CompactRoutingHierarchy",
+    "HierarchyBuildReport",
+    "build_compact_routing",
+    "choose_truncation_level",
+    "Label",
+    "RoutingTable",
+    "RouteTrace",
+    "payload_words",
+    "words_to_bits",
+    "TreeRouting",
+    "TreeRoutingError",
+    "DestinationTree",
+    "TreeFamily",
+    "build_destination_trees",
+    "default_sampling_probability",
+    "default_detection_budget",
+    "sample_skeleton",
+    "exact_skeleton_graph",
+    "skeleton_graph_from_pde",
+    "skeleton_distance_audit",
+    "baswana_sen_spanner",
+    "greedy_spanner",
+    "verify_spanner",
+    "spanner_stretch",
+    "StretchReport",
+    "sample_pairs",
+    "evaluate_routing",
+    "evaluate_distance_estimates",
+    "validate_route",
+    "RelabelingRoutingScheme",
+    "RelabelingBuildReport",
+]

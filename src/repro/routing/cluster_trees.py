@@ -1,0 +1,192 @@
+"""Destination-rooted routing trees built from PDE next-hop pointers.
+
+Corollary 3.5 observes that the per-level source-detection lists double as
+routing tables: for every entry ``(wd'(v, s), s)`` of a node ``v`` there is a
+next hop realising a path of weight at most ``wd'(v, s)`` toward ``s``.
+Following these pointers from every node that detected ``s`` induces, per
+destination ``s``, a tree ``T_s`` rooted at ``s`` (Lemma 4.4 bounds its depth
+and the number of trees a node participates in).
+
+This module materialises these trees.  Because the distributed construction
+uses *approximate* distances, a pointer chain may occasionally reach a node
+that did not itself detect ``s`` (its list was truncated at ``sigma``); in
+that case we graft the chain onto an exact shortest-path pointer and count
+the event — the ``fallback_edges`` statistic reported by benchmarks measures
+how often the approximation forces this repair (it is rare, and zero when
+``sigma`` is large enough, e.g. for the second estimation of Theorem 4.5
+where ``sigma = |S|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from ..core.pde import PDEResult
+from ..graphs.distances import dijkstra
+from ..graphs.weighted_graph import WeightedGraph
+from .tree_routing import TreeRouting
+
+__all__ = ["DestinationTree", "build_destination_trees", "TreeFamily"]
+
+
+@dataclass
+class DestinationTree:
+    """A routing tree rooted at one destination.
+
+    ``parent[v]`` is the next hop from ``v`` toward the root; the root's
+    parent is ``None``.  ``fallback_edges`` counts pointers that had to be
+    repaired with exact shortest-path information (see module docstring).
+    """
+
+    root: Hashable
+    parent: Dict[Hashable, Optional[Hashable]]
+    fallback_edges: int = 0
+    _routing: Optional[TreeRouting] = field(default=None, repr=False)
+
+    def contains(self, node: Hashable) -> bool:
+        return node in self.parent
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    @property
+    def routing(self) -> TreeRouting:
+        """Interval tree-routing structure (built lazily)."""
+        if self._routing is None:
+            self._routing = TreeRouting(self.root, self.parent)
+        return self._routing
+
+    @property
+    def depth(self) -> int:
+        return self.routing.height
+
+    def path_to_root(self, node: Hashable) -> List[Hashable]:
+        if node not in self.parent:
+            raise KeyError(f"{node!r} is not in the tree rooted at {self.root!r}")
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def tree_route(self, source: Hashable, target: Hashable) -> List[Hashable]:
+        """The tree path between two members (via their lowest common ancestor)."""
+        return self.routing.route(source, target)
+
+    def label_of(self, node: Hashable) -> int:
+        return self.routing.label_of(node)
+
+
+class TreeFamily:
+    """The collection of destination trees induced by one PDE instance."""
+
+    def __init__(self, trees: Dict[Hashable, DestinationTree]) -> None:
+        self.trees = trees
+
+    def __getitem__(self, destination: Hashable) -> DestinationTree:
+        return self.trees[destination]
+
+    def __contains__(self, destination: Hashable) -> bool:
+        return destination in self.trees
+
+    def get(self, destination: Hashable) -> Optional[DestinationTree]:
+        return self.trees.get(destination)
+
+    def destinations(self) -> Iterable[Hashable]:
+        return self.trees.keys()
+
+    def trees_containing(self, node: Hashable) -> List[Hashable]:
+        """Destinations whose tree contains ``node`` (table-size accounting)."""
+        return [dest for dest, tree in self.trees.items() if tree.contains(node)]
+
+    def total_fallback_edges(self) -> int:
+        return sum(tree.fallback_edges for tree in self.trees.values())
+
+    def max_depth(self) -> int:
+        return max((tree.depth for tree in self.trees.values()), default=0)
+
+    def membership_counts(self) -> Dict[Hashable, int]:
+        counts: Dict[Hashable, int] = {}
+        for tree in self.trees.values():
+            for node in tree.parent:
+                counts[node] = counts.get(node, 0) + 1
+        return counts
+
+
+def build_destination_trees(graph: WeightedGraph, pde: PDEResult,
+                            destinations: Optional[Iterable[Hashable]] = None,
+                            members_of: Optional[Dict[Hashable, Set[Hashable]]] = None,
+                            ) -> TreeFamily:
+    """Build one routing tree per destination from PDE next-hop pointers.
+
+    Parameters
+    ----------
+    graph:
+        The underlying network (used only for fallback repairs).
+    pde:
+        The PDE instance providing next hops and estimates.
+    destinations:
+        Which sources to build trees for (default: all PDE sources).
+    members_of:
+        Optional explicit membership: ``members_of[s]`` is the set of nodes
+        that must appear in ``T_s``.  By default the members of ``T_s`` are
+        the nodes whose output list contains ``s``.
+    """
+    dests = list(destinations) if destinations is not None else sorted(
+        pde.sources, key=repr)
+    if members_of is None:
+        members_of = {}
+        for s in dests:
+            members_of[s] = set()
+        for node, entries in pde.lists.items():
+            for entry in entries:
+                if entry.source in members_of:
+                    members_of[entry.source].add(node)
+
+    exact_parents: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {}
+
+    def exact_next_hop(node: Hashable, dest: Hashable) -> Optional[Hashable]:
+        if dest not in exact_parents:
+            _, parent = dijkstra(graph, dest)
+            exact_parents[dest] = parent
+        return exact_parents[dest].get(node)
+
+    trees: Dict[Hashable, DestinationTree] = {}
+    for dest in dests:
+        parent: Dict[Hashable, Optional[Hashable]] = {dest: None}
+        fallbacks = 0
+        members = set(members_of.get(dest, set())) | {dest}
+        for start in sorted(members, key=repr):
+            current = start
+            # ``chain`` records, per walked node, the hop taken the *last*
+            # time the walk left it; ordering by last-departure time makes
+            # the final pointer assignment acyclic even if the walk loops
+            # before a fallback repair breaks the cycle.
+            chain: Dict[Hashable, Hashable] = {}
+            visited: Set[Hashable] = set()
+            unreachable = False
+            while current not in parent:
+                if current in visited:
+                    hop = exact_next_hop(current, dest)
+                    fallbacks += 1
+                else:
+                    visited.add(current)
+                    hop = pde.next_hop(current, dest)
+                    if hop is None or not graph.has_edge(current, hop):
+                        hop = exact_next_hop(current, dest)
+                        fallbacks += 1
+                if hop is None:
+                    # Destination unreachable from this member; skip the chain.
+                    unreachable = True
+                    break
+                chain[current] = hop
+                current = hop
+            if unreachable:
+                continue
+            for node, hop in chain.items():
+                if node not in parent:
+                    parent[node] = hop
+        trees[dest] = DestinationTree(root=dest, parent=parent,
+                                      fallback_edges=fallbacks)
+    return TreeFamily(trees)

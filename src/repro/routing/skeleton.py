@@ -1,0 +1,140 @@
+"""Skeleton sampling and skeleton graphs (Section 4.2 and Definition 4.9).
+
+The long-range part of the paper's routing schemes samples a set ``S`` of
+"skeleton" nodes (each node independently with probability ``p``) and works
+on the *skeleton graph*: the graph on ``S`` whose edges connect skeleton
+nodes that are few hops apart in ``G``, weighted by their (approximate)
+distance.  W.h.p. skeleton-graph distances equal the original distances for
+sufficiently large sampling probability, because every shortest path has a
+sampled node every ``O(log n / p)`` hops.
+
+Two constructions are provided:
+
+* :func:`exact_skeleton_graph` — Definition 4.9: edges between skeleton nodes
+  within ``h`` hops, weighted by exact distance (used as ground truth).
+* :func:`skeleton_graph_from_pde` — the distributed construction: edge
+  weights are the ``(1+eps)``-approximate estimates ``wd'_S`` produced by a
+  PDE instance with source set ``S`` (the graph ``G~`` of Corollary 4.11).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Iterable, Optional, Set
+
+from ..core.pde import PDEResult
+from ..graphs.distances import dijkstra, h_hop_distances
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "default_sampling_probability",
+    "default_detection_budget",
+    "sample_skeleton",
+    "exact_skeleton_graph",
+    "skeleton_graph_from_pde",
+    "skeleton_distance_audit",
+]
+
+
+def default_sampling_probability(n: int, k: int) -> float:
+    """The sampling probability ``p = n^{-1/2 - 1/(4k)}`` of Theorem 4.5."""
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be positive")
+    return min(1.0, n ** (-0.5 - 1.0 / (4.0 * k)))
+
+
+def default_detection_budget(n: int, p: float, c: float = 2.0) -> int:
+    """The hop/list budget ``h = sigma = c * log n / p`` used with a skeleton.
+
+    The constant ``c`` trades the failure probability of the "a sampled node
+    appears among every ``c log n / p`` closest nodes" argument (Lemma 4.2)
+    against running time; ``c = 2`` keeps test instances small while the
+    benchmarks expose it as a parameter.
+    """
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    budget = int(math.ceil(c * math.log(max(2, n)) / p))
+    return max(1, min(n, budget))
+
+
+def sample_skeleton(nodes: Iterable[Hashable], p: float,
+                    rng: Optional[random.Random] = None) -> Set[Hashable]:
+    """Sample each node independently with probability ``p``.
+
+    The paper assumes ``S != emptyset`` (which holds w.h.p.); to keep small
+    test instances well-defined we add the lexicographically smallest node
+    when the sample comes out empty.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    nodes = list(nodes)
+    skeleton = {v for v in nodes if rng.random() < p}
+    if not skeleton and nodes:
+        skeleton.add(min(nodes, key=repr))
+    return skeleton
+
+
+def exact_skeleton_graph(graph: WeightedGraph, skeleton: Set[Hashable],
+                         h: int) -> WeightedGraph:
+    """Definition 4.9: edges between skeleton nodes at hop distance ``<= h``.
+
+    Edge weights are the ``h``-hop distances (which, for sufficiently large
+    ``h``, coincide with true distances along sampled shortest paths).
+    """
+    sk = WeightedGraph()
+    for s in skeleton:
+        sk.add_node(s)
+    for s in sorted(skeleton, key=repr):
+        dist = h_hop_distances(graph, s, h)
+        for t, d in dist.items():
+            if t in skeleton and t != s:
+                sk.add_edge(s, t, max(1, int(math.ceil(d))))
+    return sk
+
+
+def skeleton_graph_from_pde(pde: PDEResult, skeleton: Set[Hashable]) -> WeightedGraph:
+    """The approximate skeleton graph ``G~`` built from PDE estimates.
+
+    For skeleton nodes ``s, t``, an edge ``{s, t}`` with weight
+    ``ceil(wd'_S(s, t))`` is added whenever ``t`` appears in ``s``'s estimate
+    table (Corollary 4.11).  Rounding up preserves the "estimates never
+    undershoot" invariant.
+    """
+    sk = WeightedGraph()
+    for s in skeleton:
+        sk.add_node(s)
+    for s in sorted(skeleton, key=repr):
+        for t, est in pde.estimates.get(s, {}).items():
+            if t in skeleton and t != s and est != float("inf"):
+                weight = max(1, int(math.ceil(est)))
+                if sk.has_edge(s, t):
+                    weight = min(weight, sk.weight(s, t))
+                    sk.remove_edge(s, t)
+                sk.add_edge(s, t, weight)
+    return sk
+
+
+def skeleton_distance_audit(graph: WeightedGraph, skeleton_graph: WeightedGraph
+                            ) -> Dict[str, float]:
+    """Compare skeleton-graph distances against true distances in ``G``.
+
+    Returns the maximum multiplicative error over skeleton pairs (1.0 means
+    the skeleton preserves distances exactly, as the paper argues happens
+    w.h.p. for the exact construction).
+    """
+    worst = 1.0
+    pairs = 0
+    unreachable = 0
+    for s in skeleton_graph.nodes():
+        true_dist, _ = dijkstra(graph, s)
+        sk_dist, _ = dijkstra(skeleton_graph, s)
+        for t in skeleton_graph.nodes():
+            if t == s:
+                continue
+            pairs += 1
+            if t not in sk_dist:
+                unreachable += 1
+                continue
+            if true_dist.get(t, 0) > 0:
+                worst = max(worst, sk_dist[t] / true_dist[t])
+    return {"max_ratio": worst, "pairs": pairs, "unreachable": unreachable}

@@ -1,0 +1,202 @@
+"""Graph spanners: Baswana–Sen and the greedy reference construction.
+
+Theorem 4.5 makes the long-range part of the routing scheme compact by
+broadcasting not the whole skeleton graph but a ``(2k-1)``-spanner of it,
+constructed by simulating the Baswana–Sen algorithm [3] on the skeleton
+(as in the prior work [15]).  A ``(2k-1)``-spanner is a subgraph in which
+every distance grows by a factor of at most ``2k - 1``; Baswana–Sen produces
+one with ``O(k n^{1+1/k})`` edges in expectation.
+
+This module implements
+
+* :func:`baswana_sen_spanner` — the randomized clustering construction
+  (the algorithm the paper simulates), and
+* :func:`greedy_spanner` — the deterministic greedy ``(2k-1)``-spanner, used
+  as a reference in tests (its stretch guarantee is immediate).
+
+plus :func:`verify_spanner` which certifies the stretch of a candidate
+spanner against the source graph.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..graphs.distances import dijkstra
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = ["baswana_sen_spanner", "greedy_spanner", "verify_spanner", "spanner_stretch"]
+
+
+def greedy_spanner(graph: WeightedGraph, k: int) -> WeightedGraph:
+    """The greedy ``(2k-1)``-spanner (Althöfer et al.).
+
+    Process edges by non-decreasing weight; keep an edge only if the current
+    spanner distance between its endpoints exceeds ``(2k-1)`` times its
+    weight.  The result is a ``(2k-1)``-spanner with ``O(n^{1+1/k})`` edges.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    spanner = WeightedGraph()
+    for node in graph.nodes():
+        spanner.add_node(node)
+    stretch = 2 * k - 1
+    for u, v, w in sorted(graph.edges(), key=lambda e: (e[2], repr(e[0]), repr(e[1]))):
+        dist = _bounded_distance(spanner, u, v, stretch * w)
+        if dist > stretch * w:
+            spanner.add_edge(u, v, w)
+    return spanner
+
+
+def _bounded_distance(graph: WeightedGraph, source: Hashable, target: Hashable,
+                      bound: float) -> float:
+    """Dijkstra pruned at ``bound``; returns ``inf`` if target beyond the bound."""
+    import heapq
+
+    dist = {source: 0.0}
+    heap: List[Tuple[float, Hashable]] = [(0.0, source)]
+    settled: Set[Hashable] = set()
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u == target:
+            return d
+        if u in settled or d > bound:
+            continue
+        settled.add(u)
+        for v, w in graph.neighbor_weights(u).items():
+            nd = d + w
+            if nd <= bound and nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist.get(target, float("inf"))
+
+
+def baswana_sen_spanner(graph: WeightedGraph, k: int,
+                        rng: Optional[random.Random] = None) -> WeightedGraph:
+    """The Baswana–Sen randomized ``(2k-1)``-spanner.
+
+    The construction runs ``k - 1`` clustering phases followed by a
+    vertex–cluster joining phase.  In each phase a fraction ``n^{-1/k}`` of
+    the clusters survives; a node adjacent to a surviving cluster joins it
+    through its lightest connecting edge, while a node with no surviving
+    neighbouring cluster adds its lightest edge to *every* adjacent cluster
+    and retires.  The final phase connects every remaining node to each
+    adjacent surviving cluster with one lightest edge.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    rng = rng if rng is not None else random.Random(0)
+    n = graph.num_nodes
+    spanner = WeightedGraph()
+    for node in graph.nodes():
+        spanner.add_node(node)
+    if k == 1:
+        # A 1-spanner is the graph itself.
+        for u, v, w in graph.edges():
+            spanner.add_edge(u, v, w)
+        return spanner
+
+    sample_prob = n ** (-1.0 / k) if n > 1 else 1.0
+
+    # cluster[v]: centre of the cluster containing v (None once v retired).
+    cluster: Dict[Hashable, Optional[Hashable]] = {v: v for v in graph.nodes()}
+    # Working edge set: edges not yet discarded, stored per node.
+    alive_edges: Dict[Hashable, Dict[Hashable, int]] = {
+        v: dict(graph.neighbor_weights(v)) for v in graph.nodes()
+    }
+
+    def discard_edge(u: Hashable, v: Hashable) -> None:
+        alive_edges[u].pop(v, None)
+        alive_edges[v].pop(u, None)
+
+    def lightest_edge_to(node: Hashable, centres: Set[Hashable]
+                         ) -> Dict[Hashable, Tuple[int, Hashable]]:
+        """Per adjacent cluster centre, the lightest alive edge from ``node``."""
+        best: Dict[Hashable, Tuple[int, Hashable]] = {}
+        for nbr, w in alive_edges[node].items():
+            centre = cluster.get(nbr)
+            if centre is None or centre not in centres:
+                continue
+            if centre not in best or (w, repr(nbr)) < (best[centre][0], repr(best[centre][1])):
+                best[centre] = (w, nbr)
+        return best
+
+    current_centres: Set[Hashable] = set(graph.nodes())
+    for _phase in range(k - 1):
+        sampled_centres = {c for c in current_centres if rng.random() < sample_prob}
+        new_cluster: Dict[Hashable, Optional[Hashable]] = {}
+        for v in graph.nodes():
+            centre = cluster.get(v)
+            if centre is None:
+                new_cluster[v] = None
+                continue
+            if centre in sampled_centres:
+                # v's cluster survives; v stays.
+                new_cluster[v] = centre
+                continue
+            adjacent = lightest_edge_to(v, current_centres)
+            sampled_adjacent = {c: e for c, e in adjacent.items() if c in sampled_centres}
+            if not sampled_adjacent:
+                # No sampled neighbouring cluster: add lightest edge to every
+                # adjacent cluster and retire v from clustering.
+                for c, (w, nbr) in sorted(adjacent.items(), key=lambda item: repr(item[0])):
+                    spanner.add_edge(v, nbr, w)
+                    discard_edge(v, nbr)
+                new_cluster[v] = None
+                for nbr in list(alive_edges[v]):
+                    if cluster.get(nbr) is not None and cluster[nbr] in adjacent:
+                        discard_edge(v, nbr)
+            else:
+                # Join the sampled cluster with the lightest connecting edge.
+                best_centre, (best_w, best_nbr) = min(
+                    sampled_adjacent.items(),
+                    key=lambda item: (item[1][0], repr(item[1][1])))
+                spanner.add_edge(v, best_nbr, best_w)
+                new_cluster[v] = best_centre
+                # Add one lightest edge to every adjacent cluster with a
+                # strictly lighter connection, then discard edges to clusters
+                # that are now "covered".
+                for c, (w, nbr) in sorted(adjacent.items(), key=lambda item: repr(item[0])):
+                    if c == best_centre:
+                        continue
+                    if (w, repr(nbr)) < (best_w, repr(best_nbr)):
+                        spanner.add_edge(v, nbr, w)
+                        for other in list(alive_edges[v]):
+                            if cluster.get(other) == c:
+                                discard_edge(v, other)
+                # Discard intra-cluster edges of the joined cluster.
+                for other in list(alive_edges[v]):
+                    if cluster.get(other) == best_centre:
+                        discard_edge(v, other)
+        cluster = new_cluster
+        current_centres = {c for c in sampled_centres
+                           if any(centre == c for centre in cluster.values())}
+
+    # Final phase: every node adds one lightest edge to each adjacent cluster.
+    for v in graph.nodes():
+        adjacent = lightest_edge_to(v, current_centres)
+        for c, (w, nbr) in sorted(adjacent.items(), key=lambda item: repr(item[0])):
+            if cluster.get(v) == c:
+                continue
+            spanner.add_edge(v, nbr, w)
+    return spanner
+
+
+def spanner_stretch(graph: WeightedGraph, spanner: WeightedGraph) -> float:
+    """The maximum ratio of spanner distance to original distance over all pairs."""
+    worst = 1.0
+    for u in graph.nodes():
+        orig, _ = dijkstra(graph, u)
+        span, _ = dijkstra(spanner, u)
+        for v, d in orig.items():
+            if v == u or d == 0:
+                continue
+            sd = span.get(v, float("inf"))
+            worst = max(worst, sd / d)
+    return worst
+
+
+def verify_spanner(graph: WeightedGraph, spanner: WeightedGraph, k: int) -> bool:
+    """Check the defining property of a ``(2k-1)``-spanner."""
+    return spanner_stretch(graph, spanner) <= 2 * k - 1 + 1e-9

@@ -1,0 +1,106 @@
+"""Labels, routing tables and route traces — the objects Section 2.3 defines.
+
+The routing-table-construction (RTC) problem asks every node to output a
+label ``lambda(v)`` and a ``next_v`` function; the distance-approximation
+problem asks for a label and a ``dist_v`` function.  This module provides
+the concrete data structures the schemes of Section 4 produce, together with
+size accounting in ``O(log n)``-bit words (one word = an identifier, a
+distance, a level index or a flag), which is how the paper states label and
+table sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["Label", "RoutingTable", "RouteTrace", "words_to_bits", "payload_words"]
+
+
+def payload_words(value: Any) -> int:
+    """Number of ``O(log n)``-bit words needed to encode ``value``."""
+    if value is None or isinstance(value, (int, float, bool, str)):
+        return 1
+    if isinstance(value, (tuple, list)):
+        return sum(payload_words(item) for item in value)
+    if isinstance(value, dict):
+        return sum(payload_words(k) + payload_words(v) for k, v in value.items())
+    return 1
+
+
+def words_to_bits(words: int, n: int) -> int:
+    """Convert a word count into bits assuming ``ceil(log2 n)``-bit words."""
+    return words * max(1, math.ceil(math.log2(max(2, n))))
+
+
+@dataclass
+class Label:
+    """A node label: named fields plus size accounting.
+
+    The paper measures label size in bits; we count the number of words the
+    fields occupy and convert with :func:`words_to_bits`.
+    """
+
+    owner: Hashable
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def words(self) -> int:
+        return 1 + payload_words(self.fields)  # +1 for the owner identifier
+
+    def bits(self, n: int) -> int:
+        return words_to_bits(self.words(), n)
+
+
+@dataclass
+class RoutingTable:
+    """A node's local routing state.
+
+    ``next_hops`` maps destination identifiers to neighbours; ``extra``
+    holds auxiliary per-node structures (tree-routing intervals, bunch
+    distance estimates, spanner copies, ...), each accounted by
+    :func:`payload_words`.
+    """
+
+    owner: Hashable
+    next_hops: Dict[Hashable, Hashable] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def words(self) -> int:
+        words = 0
+        for dest, nxt in self.next_hops.items():
+            words += payload_words(dest) + payload_words(nxt)
+        for key, value in self.extra.items():
+            words += payload_words(value)
+        return words
+
+    def bits(self, n: int) -> int:
+        return words_to_bits(self.words(), n)
+
+
+@dataclass
+class RouteTrace:
+    """The outcome of routing one packet: path taken, success flag, cost."""
+
+    source: Hashable
+    target: Hashable
+    path: List[Hashable] = field(default_factory=list)
+    delivered: bool = False
+    weight: float = float("inf")
+    fallback_hops: int = 0
+    estimate: Optional[float] = None
+
+    @property
+    def hops(self) -> int:
+        return max(0, len(self.path) - 1)
+
+    def stretch(self, exact_distance: float) -> float:
+        """Multiplicative stretch of the traced route against the true distance."""
+        if not self.delivered:
+            return float("inf")
+        if exact_distance <= 0:
+            return 1.0
+        return self.weight / exact_distance

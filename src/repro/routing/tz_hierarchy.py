@@ -1,0 +1,571 @@
+"""Approximate Thorup–Zwick routing hierarchy — Theorems 4.8 and 4.13.
+
+The compact-routing results of Section 4.3 build the Thorup–Zwick hierarchy
+with ``(1+eps)``-approximate distances obtained from partial distance
+estimation, achieving stretch ``4k - 3 + o(1)`` with tables of ``O~(n^{1/k})``
+words and labels of ``O(k log n)`` bits.
+
+Hierarchy (Section 4.3):
+
+1. Every node draws a level from a geometric distribution: level at least
+   ``l`` with probability ``n^{-l/k}``; ``S_l`` is the set of nodes of level
+   at least ``l`` (``S_0 = V``).
+2. Per level ``l``, a PDE instance with source set ``S_l`` gives every node
+   approximate distances to its closest ``~n^{1/k} log n`` level-``l`` nodes
+   (Lemma 4.7); from it each node derives its pivot ``s'_{l+1}(v)`` (closest
+   ``S_{l+1}`` node) and its bunch ``S'_l(v)`` (level-``l`` nodes closer than
+   the pivot).
+3. Routing from ``v`` to ``w`` uses the minimal level ``l`` with
+   ``s'_l(w) in S'_l(v)``: climb the tree of ``s'_l(w)`` from ``v`` and
+   descend to ``w`` using ``w``'s tree-routing label (Lemma 4.6 bounds the
+   stretch by ``4k - 3 + o(1)``).
+
+Three construction modes map to the paper's variants:
+
+* ``mode="budget"`` — Lemma 4.7 budgets ``h_{l+1} = c n^{(l+1)/k} log n``.
+* ``mode="spd"`` — Theorem 4.8: every level uses ``h = SPD`` (requires the
+  shortest-path diameter, or an upper bound on it, as input).
+* ``mode="truncated"`` — Theorem 4.13: levels ``>= l0`` are built on the
+  skeleton graph ``G~(l0)`` (Definition 4.9 / Corollary 4.11), with the
+  skeleton-level computation "simulated" globally via a BFS tree; rounds are
+  accounted per Lemma 4.12.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..congest.bfs import build_bfs_tree, pipelined_broadcast_rounds
+from ..congest.metrics import CongestMetrics, merge_metrics
+from ..core.pde import PDEResult, solve_pde
+from ..graphs.distances import dijkstra, path_weight, shortest_path_diameter
+from ..graphs.weighted_graph import WeightedGraph
+from .cluster_trees import TreeFamily, build_destination_trees
+from .skeleton import skeleton_graph_from_pde
+from .tables import Label, RouteTrace, RoutingTable
+from .tree_routing import TreeRouting
+from .tz_exact import sample_levels
+from .stretch import evaluate_routing
+
+__all__ = ["CompactRoutingHierarchy", "HierarchyBuildReport"]
+
+
+@dataclass
+class HierarchyBuildReport:
+    """Construction statistics for the Theorem 4.8 / 4.13 accounting."""
+
+    n: int
+    k: int
+    epsilon: float
+    mode: str
+    l0: Optional[int]
+    level_sizes: List[int]
+    rounds: int
+    max_bunch_size: int
+    avg_bunch_size: float
+    max_table_words: int
+    avg_table_words: float
+    max_label_bits: int
+    fallback_edges: int
+    bunch_overflows: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _LevelData:
+    """Everything derived from the level-``l`` estimation."""
+
+    sources: Set[Hashable]
+    h: int
+    sigma: int
+    estimates: Dict[Hashable, Dict[Hashable, float]] = field(default_factory=dict)
+    bunches: Dict[Hashable, Dict[Hashable, float]] = field(default_factory=dict)
+    next_pivot: Dict[Hashable, Optional[Hashable]] = field(default_factory=dict)
+    next_pivot_dist: Dict[Hashable, float] = field(default_factory=dict)
+    trees: Optional[TreeFamily] = None
+    skeleton_level: bool = False
+    overflow_count: int = 0
+
+
+class CompactRoutingHierarchy:
+    """Compact routing tables with stretch ``4k - 3 + o(1)`` (Section 4.3)."""
+
+    def __init__(self, graph: WeightedGraph, k: int, epsilon: float, mode: str,
+                 l0: Optional[int], levels: Dict[Hashable, int],
+                 level_sets: List[Set[Hashable]], level_data: List[_LevelData],
+                 pivots: Dict[int, Dict[Hashable, Hashable]],
+                 pivot_dists: Dict[int, Dict[Hashable, float]],
+                 pde_skel: Optional[PDEResult], skeleton_graph: Optional[WeightedGraph],
+                 attach_trees: Optional[TreeFamily], skeleton_trees: Dict[int, TreeFamily],
+                 metrics: CongestMetrics) -> None:
+        self.graph = graph
+        self.k = k
+        self.epsilon = epsilon
+        self.mode = mode
+        self.l0 = l0
+        self.levels = levels
+        self.level_sets = level_sets
+        self.level_data = level_data
+        self.pivots = pivots
+        self.pivot_dists = pivot_dists
+        self.pde_skel = pde_skel
+        self.skeleton_graph = skeleton_graph
+        self.attach_trees = attach_trees
+        self.skeleton_trees = skeleton_trees
+        self.metrics = metrics
+        self._exact_parent_cache: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {}
+        self._route_fallbacks = 0
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+    @classmethod
+    def build(cls, graph: WeightedGraph, k: int, epsilon: float = 0.25,
+              seed: int = 0, mode: str = "budget", l0: Optional[int] = None,
+              budget_constant: float = 2.0, spd: Optional[int] = None,
+              engine: str = "logical") -> "CompactRoutingHierarchy":
+        """Build the approximate hierarchy.
+
+        Parameters
+        ----------
+        mode:
+            ``"budget"`` (Lemma 4.7), ``"spd"`` (Theorem 4.8) or
+            ``"truncated"`` (Theorem 4.13, requires ``l0``).
+        l0:
+            Truncation level for ``mode="truncated"``; per Theorem 4.13 it
+            should satisfy ``k/2 + 1 <= l0 <= k``.
+        spd:
+            Optional upper bound on the shortest-path diameter for
+            ``mode="spd"`` (computed exactly when omitted).
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if mode not in ("budget", "spd", "truncated"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "truncated":
+            if k < 2:
+                raise ValueError("truncated mode needs k >= 2")
+            if l0 is None:
+                l0 = max(1, min(k - 1, k // 2 + 1))
+            if not 1 <= l0 <= k - 1:
+                raise ValueError("l0 must satisfy 1 <= l0 <= k-1")
+        else:
+            l0 = None
+
+        n = graph.num_nodes
+        rng = random.Random(seed)
+        levels = sample_levels(graph.nodes(), k, rng)
+        level_sets = [
+            {v for v, lvl in levels.items() if lvl >= l} for l in range(k)
+        ]
+
+        log_n = max(1.0, math.log(max(2, n)))
+        spd_value = None
+        if mode == "spd":
+            spd_value = spd if spd is not None else shortest_path_diameter(graph)
+
+        def level_budgets(l: int) -> Tuple[int, int]:
+            sigma = max(1, min(len(level_sets[l]),
+                               int(math.ceil(budget_constant * n ** (1.0 / k) * log_n))))
+            if l == k - 1:
+                return n, max(1, len(level_sets[l]))
+            if mode == "spd":
+                return max(1, int(spd_value)), sigma
+            h = max(1, min(n, int(math.ceil(
+                budget_constant * n ** ((l + 1) / k) * log_n))))
+            return h, sigma
+
+        level_data: List[_LevelData] = []
+        level_metrics: List[CongestMetrics] = []
+        pde_results: List[Optional[PDEResult]] = []
+
+        # --- levels computed directly on G --------------------------------
+        direct_levels = range(k) if mode != "truncated" else range(l0)
+        for l in direct_levels:
+            h, sigma = level_budgets(l)
+            pde = solve_pde(graph, level_sets[l], h=h, sigma=sigma,
+                            epsilon=epsilon, engine=engine, store_levels=False)
+            pde_results.append(pde)
+            level_metrics.append(pde.metrics)
+            level_data.append(_LevelData(sources=level_sets[l], h=h, sigma=sigma,
+                                         estimates=pde.estimates))
+
+        pde_skel: Optional[PDEResult] = None
+        skeleton_graph: Optional[WeightedGraph] = None
+        attach_trees: Optional[TreeFamily] = None
+        skeleton_trees: Dict[int, TreeFamily] = {}
+
+        # --- truncated levels computed on the skeleton graph ---------------
+        if mode == "truncated":
+            h_l0 = max(1, min(n, int(math.ceil(
+                budget_constant * n ** (l0 / k) * log_n))))
+            pde_skel = solve_pde(graph, level_sets[l0], h=h_l0,
+                                 sigma=max(1, len(level_sets[l0])),
+                                 epsilon=epsilon, engine=engine, store_levels=False)
+            level_metrics.append(pde_skel.metrics)
+            skeleton_graph = skeleton_graph_from_pde(pde_skel, level_sets[l0])
+            attach_trees = build_destination_trees(graph, pde_skel)
+
+            bfs_height = build_bfs_tree(graph, graph.nodes()[0]).height
+            for l in range(l0, k):
+                sigma = max(1, min(len(level_sets[l]),
+                                   int(math.ceil(budget_constant * n ** (1.0 / k) * log_n))))
+                if l == k - 1:
+                    sigma = max(1, len(level_sets[l]))
+                h_skel = max(1, min(max(1, skeleton_graph.num_nodes), int(math.ceil(
+                    budget_constant * n ** ((l + 1 - l0) / k) * log_n))))
+                if skeleton_graph.num_edges == 0 or len(level_sets[l]) == 0:
+                    pde_results.append(None)
+                    level_data.append(_LevelData(sources=level_sets[l], h=h_skel,
+                                                 sigma=sigma, skeleton_level=True))
+                    continue
+                pde_sk = solve_pde(skeleton_graph, level_sets[l], h=h_skel,
+                                   sigma=sigma, epsilon=epsilon, engine="logical",
+                                   store_levels=False)
+                pde_results.append(pde_sk)
+                skeleton_trees[l] = build_destination_trees(skeleton_graph, pde_sk)
+                # Lemma 4.12 round accounting for the global simulation of
+                # the skeleton computation over a BFS tree.
+                broadcasts = skeleton_graph.num_nodes * sigma * sigma
+                sim_rounds = pipelined_broadcast_rounds(broadcasts, bfs_height) \
+                    + (h_skel + sigma) * max(1, bfs_height)
+                level_metrics.append(CongestMetrics(rounds=sim_rounds, measured=False))
+
+                # Combined estimates wd'(v, s) = min_t wd'_skel(v, t) + wd'_sk(t, s)
+                combined: Dict[Hashable, Dict[Hashable, float]] = {}
+                for v in graph.nodes():
+                    row: Dict[Hashable, float] = {}
+                    anchors = dict(pde_skel.estimates.get(v, {}))
+                    if v in level_sets[l0]:
+                        anchors[v] = 0.0
+                    for t, dt in anchors.items():
+                        for s, ds in pde_sk.estimates.get(t, {}).items():
+                            total = dt + ds
+                            if total < row.get(s, float("inf")):
+                                row[s] = total
+                    combined[v] = row
+                level_data.append(_LevelData(sources=level_sets[l], h=h_skel,
+                                             sigma=sigma, estimates=combined,
+                                             skeleton_level=True))
+
+        # --- bunches, pivots, trees ----------------------------------------
+        pivots: Dict[int, Dict[Hashable, Hashable]] = {}
+        pivot_dists: Dict[int, Dict[Hashable, float]] = {}
+
+        for l in range(k):
+            data = level_data[l]
+            upper = level_sets[l + 1] if l + 1 < k else None
+            for v in graph.nodes():
+                row = data.estimates.get(v, {})
+                # Closest next-level node according to this level's estimates.
+                if upper is not None:
+                    best = None
+                    for s, est in row.items():
+                        if s in upper and (best is None or (est, repr(s)) < best[:2]):
+                            best = (est, repr(s), s)
+                    if best is not None:
+                        data.next_pivot[v] = best[2]
+                        data.next_pivot_dist[v] = best[0]
+                    else:
+                        data.next_pivot[v] = None
+                        data.next_pivot_dist[v] = float("inf")
+                        data.overflow_count += 1
+                else:
+                    data.next_pivot[v] = None
+                    data.next_pivot_dist[v] = float("inf")
+                # Bunch: level-l nodes strictly closer than the next pivot.
+                cutoff = (data.next_pivot_dist[v], repr(data.next_pivot[v]))
+                bunch = {}
+                for s, est in row.items():
+                    if s not in data.sources:
+                        continue
+                    if upper is None or (est, repr(s)) < cutoff:
+                        bunch[s] = est
+                data.bunches[v] = bunch
+
+        # Pivots s'_l(v) for l >= 1 come from the level-(l-1) estimation.
+        for l in range(1, k):
+            pivots[l] = {}
+            pivot_dists[l] = {}
+            prev = level_data[l - 1]
+            cur = level_data[l]
+            for v in graph.nodes():
+                source = prev.next_pivot.get(v)
+                dist = prev.next_pivot_dist.get(v, float("inf"))
+                if source is None:
+                    # Fall back to the closest level-l node seen at level l.
+                    row = cur.estimates.get(v, {})
+                    best = None
+                    for s, est in row.items():
+                        if s in cur.sources and (best is None or (est, repr(s)) < best[:2]):
+                            best = (est, repr(s), s)
+                    if best is not None:
+                        source, dist = best[2], best[0]
+                if source is None and cur.sources:
+                    source = min(cur.sources, key=repr)
+                    dist = float("inf")
+                pivots[l][v] = source
+                pivot_dists[l][v] = 0.0 if v == source else dist
+
+        # Destination trees for directly-computed levels.
+        for l in direct_levels:
+            data = level_data[l]
+            pde = pde_results[l]
+            members: Dict[Hashable, Set[Hashable]] = {s: set() for s in data.sources}
+            for v in graph.nodes():
+                for s in data.bunches[v]:
+                    members[s].add(v)
+                if l >= 1 and pivots[l].get(v) in members:
+                    members[pivots[l][v]].add(v)
+            data.trees = build_destination_trees(graph, pde, destinations=sorted(
+                data.sources, key=repr), members_of=members)
+
+        metrics = merge_metrics(*level_metrics, sequential=True)
+        return cls(graph=graph, k=k, epsilon=epsilon, mode=mode, l0=l0,
+                   levels=levels, level_sets=level_sets, level_data=level_data,
+                   pivots=pivots, pivot_dists=pivot_dists, pde_skel=pde_skel,
+                   skeleton_graph=skeleton_graph, attach_trees=attach_trees,
+                   skeleton_trees=skeleton_trees, metrics=metrics)
+
+    # ==================================================================
+    # labels and tables
+    # ==================================================================
+    def label_of(self, node: Hashable) -> Label:
+        """Label of ``O(k log n)`` bits: per level the pivot, its distance and
+        the tree-routing label of ``node`` in that pivot's tree."""
+        pivot_ids: List[Hashable] = []
+        pivot_ds: List[float] = []
+        tree_labels: List[int] = []
+        for l in range(1, self.k):
+            s = self.pivots[l][node]
+            pivot_ids.append(s)
+            pivot_ds.append(self.pivot_dists[l][node])
+            data = self.level_data[l]
+            label_value = 0
+            if data.trees is not None:
+                tree = data.trees.get(s)
+                if tree is not None and tree.contains(node):
+                    label_value = tree.label_of(node)
+            tree_labels.append(label_value)
+        return Label(owner=node, fields={
+            "pivots": tuple(pivot_ids),
+            "pivot_dists": tuple(pivot_ds),
+            "tree_labels": tuple(tree_labels),
+        })
+
+    def table_of(self, node: Hashable) -> RoutingTable:
+        table = RoutingTable(owner=node)
+        bunch_entries = {}
+        for l in range(self.k):
+            for s, est in self.level_data[l].bunches[node].items():
+                bunch_entries[(l, s)] = est
+        table.extra["bunches"] = bunch_entries
+        memberships = []
+        for l in range(self.k):
+            data = self.level_data[l]
+            if data.trees is not None:
+                memberships.extend((l, d) for d in data.trees.trees_containing(node))
+        table.extra["tree_memberships"] = memberships
+        if self.pde_skel is not None:
+            table.extra["skeleton_list"] = {
+                e.source: e.estimate for e in self.pde_skel.list_of(node)}
+        return table
+
+    def table_words(self, node: Hashable) -> int:
+        return self.table_of(node).words()
+
+    # ==================================================================
+    # queries
+    # ==================================================================
+    def _target_pivot(self, target: Hashable, level: int) -> Hashable:
+        return target if level == 0 else self.pivots[level][target]
+
+    def _select_level(self, source: Hashable, target: Hashable
+                      ) -> Tuple[int, Hashable, float]:
+        """The minimal level ``l`` with ``s'_l(target)`` in ``source``'s bunch."""
+        for l in range(self.k):
+            pivot = self._target_pivot(target, l)
+            if pivot is None:
+                continue
+            bunch = self.level_data[l].bunches[source]
+            if pivot in bunch:
+                tail = 0.0 if l == 0 else self.pivot_dists[l][target]
+                return l, pivot, bunch[pivot] + tail
+        return self.k, None, float("inf")
+
+    def distance(self, source: Hashable, target: Hashable) -> float:
+        """Distance estimate from ``source``'s table and ``target``'s label."""
+        if source == target:
+            return 0.0
+        _, _, estimate = self._select_level(source, target)
+        return estimate
+
+    def route(self, source: Hashable, target: Hashable) -> RouteTrace:
+        if source == target:
+            return RouteTrace(source=source, target=target, path=[source],
+                              delivered=True, weight=0.0, estimate=0.0)
+        level, pivot, estimate = self._select_level(source, target)
+        if pivot is None:
+            path, fallback = self._exact_path(source, target), 1
+            return self._finish(source, target, path, fallback, estimate)
+        data = self.level_data[level]
+        fallback = 0
+        if not data.skeleton_level and data.trees is not None:
+            tree = data.trees.get(pivot)
+            if tree is not None and tree.contains(source) and tree.contains(target):
+                path = tree.tree_route(source, target)
+            else:
+                segments = []
+                if tree is not None and tree.contains(source):
+                    segments = tree.path_to_root(source)
+                else:
+                    segments = self._exact_path(source, pivot)
+                    fallback += 1
+                if tree is not None and tree.contains(target):
+                    down = list(reversed(tree.path_to_root(target)))
+                else:
+                    down = self._exact_path(pivot, target)
+                    fallback += 1
+                path = segments + down[1:]
+        else:
+            up, fb_up = self._route_via_skeleton(source, pivot, level)
+            down, fb_down = self._route_via_skeleton(target, pivot, level)
+            fallback += fb_up + fb_down
+            path = up + list(reversed(down))[1:]
+        return self._finish(source, target, path, fallback, estimate)
+
+    # -- truncated-mode routing -----------------------------------------
+    def _route_via_skeleton(self, node: Hashable, pivot: Hashable, level: int
+                            ) -> Tuple[List[Hashable], int]:
+        """Path from ``node`` to ``pivot`` through the level-``l0`` skeleton."""
+        if node == pivot:
+            return [node], 0
+        fallback = 0
+        data = self.level_data[level]
+        sk_trees = self.skeleton_trees.get(level)
+        # Choose the attachment skeleton node minimising the combined estimate.
+        anchors = dict(self.pde_skel.estimates.get(node, {})) if self.pde_skel else {}
+        if node in (self.level_sets[self.l0] if self.l0 is not None else set()):
+            anchors[node] = 0.0
+        best = None
+        if sk_trees is not None:
+            sk_pde_est = {}
+            tree = sk_trees.get(pivot)
+            for t, dt in anchors.items():
+                if tree is not None and tree.contains(t):
+                    best_t = dt
+                    if best is None or best_t < best[0]:
+                        best = (best_t, t)
+        if best is None:
+            fallback += 1
+            return self._exact_path(node, pivot), fallback
+        _, attach = best
+        segment = self._attach_path(node, attach)
+        tree = sk_trees.get(pivot)
+        skeleton_path = tree.path_to_root(attach)
+        path = list(segment)
+        for a, b in zip(skeleton_path, skeleton_path[1:]):
+            expanded, fb = self._expand_skeleton_edge(a, b)
+            fallback += fb
+            path = path + expanded[1:]
+        return path, fallback
+
+    def _attach_path(self, node: Hashable, skeleton_node: Hashable) -> List[Hashable]:
+        if node == skeleton_node:
+            return [node]
+        tree = self.attach_trees.get(skeleton_node) if self.attach_trees else None
+        if tree is not None and tree.contains(node):
+            return tree.path_to_root(node)
+        return self._exact_path(node, skeleton_node)
+
+    def _expand_skeleton_edge(self, a: Hashable, b: Hashable) -> Tuple[List[Hashable], int]:
+        tree = self.attach_trees.get(b) if self.attach_trees else None
+        if tree is not None and tree.contains(a):
+            return tree.path_to_root(a), 0
+        tree_rev = self.attach_trees.get(a) if self.attach_trees else None
+        if tree_rev is not None and tree_rev.contains(b):
+            return list(reversed(tree_rev.path_to_root(b))), 0
+        return self._exact_path(a, b), 1
+
+    # -- shared helpers ---------------------------------------------------
+    def _exact_path(self, source: Hashable, target: Hashable) -> List[Hashable]:
+        if target not in self._exact_parent_cache:
+            _, parent = dijkstra(self.graph, target)
+            self._exact_parent_cache[target] = parent
+        parent = self._exact_parent_cache[target]
+        path = [source]
+        while path[-1] != target:
+            nxt = parent.get(path[-1])
+            if nxt is None:
+                break
+            path.append(nxt)
+        return path
+
+    def _finish(self, source: Hashable, target: Hashable, path: List[Hashable],
+                fallback_hops: int, estimate: float) -> RouteTrace:
+        deduped: List[Hashable] = []
+        for node in path:
+            if not deduped or deduped[-1] != node:
+                deduped.append(node)
+        delivered = bool(deduped) and deduped[0] == source and deduped[-1] == target and all(
+            self.graph.has_edge(u, v) for u, v in zip(deduped, deduped[1:]))
+        weight = path_weight(self.graph, deduped) if delivered else float("inf")
+        return RouteTrace(source=source, target=target, path=deduped,
+                          delivered=delivered, weight=weight,
+                          fallback_hops=fallback_hops, estimate=estimate)
+
+    # ==================================================================
+    # reporting
+    # ==================================================================
+    def theoretical_stretch_bound(self) -> float:
+        return 4 * self.k - 3
+
+    def max_bunch_size(self) -> int:
+        return max(
+            sum(len(self.level_data[l].bunches[v]) for l in range(self.k))
+            for v in self.graph.nodes()
+        )
+
+    def build_report(self) -> HierarchyBuildReport:
+        n = self.graph.num_nodes
+        bunch_sizes = [
+            sum(len(self.level_data[l].bunches[v]) for l in range(self.k))
+            for v in self.graph.nodes()
+        ]
+        table_words = [self.table_words(v) for v in self.graph.nodes()]
+        label_bits = [self.label_of(v).bits(n) for v in self.graph.nodes()]
+        fallbacks = 0
+        for data in self.level_data:
+            if data.trees is not None:
+                fallbacks += data.trees.total_fallback_edges()
+        if self.attach_trees is not None:
+            fallbacks += self.attach_trees.total_fallback_edges()
+        for trees in self.skeleton_trees.values():
+            fallbacks += trees.total_fallback_edges()
+        return HierarchyBuildReport(
+            n=n,
+            k=self.k,
+            epsilon=self.epsilon,
+            mode=self.mode,
+            l0=self.l0,
+            level_sizes=[len(s) for s in self.level_sets],
+            rounds=self.metrics.rounds,
+            max_bunch_size=max(bunch_sizes),
+            avg_bunch_size=sum(bunch_sizes) / len(bunch_sizes),
+            max_table_words=max(table_words),
+            avg_table_words=sum(table_words) / len(table_words),
+            max_label_bits=max(label_bits),
+            fallback_edges=fallbacks,
+            bunch_overflows=sum(d.overflow_count for d in self.level_data),
+        )
+
+    def audit(self, pairs=None) -> Dict[str, float]:
+        report = evaluate_routing(self, self.graph, pairs=pairs)
+        summary = report.as_dict()
+        summary["stretch_bound"] = self.theoretical_stretch_bound()
+        return summary

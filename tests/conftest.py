@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast graphs reused across the test suite."""
+
+import pytest
+
+from repro import graphs
+
+
+@pytest.fixture(scope="session")
+def small_weighted_graph():
+    """A connected ER graph with moderate weights (20 nodes)."""
+    return graphs.erdos_renyi_graph(20, 0.2, graphs.uniform_weights(1, 50), seed=11)
+
+
+@pytest.fixture(scope="session")
+def mixed_scale_graph():
+    """A graph where hop-shortest and weight-shortest paths differ a lot."""
+    return graphs.erdos_renyi_graph(22, 0.18, graphs.mixed_scale_weights(1, 5000, 0.3),
+                                    seed=7)
+
+
+@pytest.fixture(scope="session")
+def unit_path():
+    return graphs.path_graph(10, graphs.unit_weights(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def weighted_path():
+    return graphs.path_graph(12, graphs.uniform_weights(1, 30), seed=3)
+
+
+@pytest.fixture(scope="session")
+def grid():
+    return graphs.grid_graph(4, 5, graphs.uniform_weights(1, 9), seed=5)
+
+
+@pytest.fixture(scope="session")
+def heavy_tree():
+    return graphs.random_tree(18, graphs.heavy_tailed_weights(10 ** 4), seed=2)
+
+
+@pytest.fixture(scope="session")
+def graph_zoo():
+    """A dictionary of diverse small graphs for integration-style tests."""
+    return {
+        "er": graphs.erdos_renyi_graph(18, 0.2, graphs.uniform_weights(1, 40), seed=1),
+        "grid": graphs.grid_graph(3, 5, graphs.uniform_weights(1, 12), seed=1),
+        "tree": graphs.random_tree(16, graphs.uniform_weights(1, 25), seed=1),
+        "cycle": graphs.cycle_graph(14, graphs.mixed_scale_weights(1, 500, 0.25), seed=1),
+        "clique": graphs.complete_graph(10, graphs.mixed_scale_weights(1, 1000, 0.4), seed=1),
+    }

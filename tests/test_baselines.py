@@ -1,0 +1,126 @@
+"""Tests for the baseline algorithms (Bellman-Ford, link-state, Nanongkai, prior work)."""
+
+import pytest
+
+from repro import graphs
+from repro.baselines import (
+    bellman_ford_apsp,
+    compare_long_range_schemes,
+    link_state_apsp,
+    nanongkai_apsp,
+)
+from repro.graphs import all_pairs_weighted_distances, hop_diameter
+
+
+class TestBellmanFord:
+    def test_simulated_exactness(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = bellman_ford_apsp(g, simulate=True)
+        exact = all_pairs_weighted_distances(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert result.distances[u].get(v) == pytest.approx(exact[u][v])
+
+    def test_next_hops_are_neighbors(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = bellman_ford_apsp(g, simulate=True)
+        for u in g.nodes():
+            for dest, via in result.next_hops[u].items():
+                if via is not None:
+                    assert g.has_edge(u, via)
+
+    def test_estimate_accessor(self, small_weighted_graph):
+        result = bellman_ford_apsp(small_weighted_graph, simulate=True)
+        v = small_weighted_graph.nodes()[0]
+        assert result.estimate(v, v) == 0.0
+
+    def test_round_count_at_least_diameter(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = bellman_ford_apsp(g, simulate=True)
+        assert result.metrics.rounds >= hop_diameter(g)
+        assert result.metrics.measured
+
+    def test_analytic_mode(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = bellman_ford_apsp(g, simulate=False)
+        assert result.metrics.rounds == g.num_nodes ** 2
+        assert not result.metrics.measured
+
+    def test_congestion_on_mixed_weights(self, mixed_scale_graph):
+        """With mixed-scale weights the distance-vector protocol needs many
+        announcements (its messages scale with the number of distance
+        improvements), unlike the PDE-based algorithm."""
+        result = bellman_ford_apsp(mixed_scale_graph, simulate=True)
+        assert result.metrics.total_messages > mixed_scale_graph.num_nodes
+
+
+class TestLinkState:
+    def test_exactness(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = link_state_apsp(g)
+        exact = all_pairs_weighted_distances(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert result.distances[u].get(v) == pytest.approx(exact[u][v])
+
+    def test_round_formula(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = link_state_apsp(g)
+        assert result.metrics.rounds >= g.num_edges
+        assert result.storage_words_per_node == 3 * g.num_edges
+
+    def test_next_hops_valid(self, grid):
+        result = link_state_apsp(grid)
+        for u in grid.nodes():
+            for dest, via in result.next_hops[u].items():
+                assert via is None or grid.has_edge(u, via)
+
+
+class TestNanongkai:
+    def test_stretch_guarantee(self, small_weighted_graph):
+        g = small_weighted_graph
+        result = nanongkai_apsp(g, epsilon=0.25, seed=1)
+        exact = all_pairs_weighted_distances(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                if u == v:
+                    continue
+                est = result.estimate(u, v)
+                assert est >= exact[u][v] - 1e-9
+                assert est <= 1.25 * exact[u][v] + 1e-6
+
+    def test_rounds_exceed_deterministic(self, small_weighted_graph):
+        """The randomized baseline pays an extra log factor in rounds."""
+        from repro.core import approximate_apsp
+
+        g = small_weighted_graph
+        ours = approximate_apsp(g, epsilon=0.25)
+        theirs = nanongkai_apsp(g, epsilon=0.25, seed=1)
+        assert theirs.metrics.rounds > ours.metrics.rounds
+
+    def test_deterministic_given_seed(self, small_weighted_graph):
+        r1 = nanongkai_apsp(small_weighted_graph, epsilon=0.5, seed=9)
+        r2 = nanongkai_apsp(small_weighted_graph, epsilon=0.5, seed=9)
+        assert r1.metrics.rounds == r2.metrics.rounds
+
+
+class TestPriorWorkAblation:
+    def test_double_spanner_never_better(self):
+        g = graphs.erdos_renyi_graph(22, 0.35, graphs.uniform_weights(1, 40), seed=12)
+        comparison = compare_long_range_schemes(g, k=3, seed=2)
+        assert comparison.new_max_stretch <= comparison.prior_max_stretch + 1e-9
+        assert comparison.new_max_stretch <= 2 * 3 - 1 + 1e-6
+        assert comparison.prior_max_stretch <= (2 * 3 - 1) ** 2 + 1e-6
+
+    def test_greedy_method(self):
+        g = graphs.erdos_renyi_graph(20, 0.4, graphs.uniform_weights(1, 30), seed=3)
+        comparison = compare_long_range_schemes(g, k=2, seed=2, method="greedy")
+        assert comparison.new_max_stretch <= 3 + 1e-6
+        assert comparison.prior_max_stretch <= 9 + 1e-6
+
+    def test_record_fields(self):
+        g = graphs.complete_graph(12, graphs.uniform_weights(1, 99), seed=4)
+        comparison = compare_long_range_schemes(g, k=2, seed=0)
+        record = comparison.as_dict()
+        assert record["skeleton_size"] == 12
+        assert record["new_spanner_edges"] > 0

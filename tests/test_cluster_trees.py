@@ -1,0 +1,112 @@
+"""Tests for destination-rooted routing trees built from PDE pointers."""
+
+import pytest
+
+from repro import graphs
+from repro.core import solve_pde
+from repro.graphs import all_pairs_weighted_distances, path_weight
+from repro.routing import build_destination_trees
+
+
+@pytest.fixture(scope="module")
+def pde_setup():
+    g = graphs.erdos_renyi_graph(24, 0.2, graphs.uniform_weights(1, 40), seed=13)
+    pde = solve_pde(g, g.nodes(), h=g.num_nodes, sigma=6, epsilon=0.25)
+    family = build_destination_trees(g, pde)
+    return g, pde, family
+
+
+class TestTreeFamily:
+    def test_one_tree_per_destination(self, pde_setup):
+        g, pde, family = pde_setup
+        assert set(family.destinations()) == set(g.nodes())
+
+    def test_members_cover_lists(self, pde_setup):
+        g, pde, family = pde_setup
+        for v in g.nodes():
+            for entry in pde.lists[v]:
+                assert family[entry.source].contains(v)
+
+    def test_roots_have_no_parent(self, pde_setup):
+        _, _, family = pde_setup
+        for dest in family.destinations():
+            assert family[dest].parent[dest] is None
+
+    def test_parents_are_graph_edges(self, pde_setup):
+        g, _, family = pde_setup
+        for dest in family.destinations():
+            tree = family[dest]
+            for node, parent in tree.parent.items():
+                if parent is not None:
+                    assert g.has_edge(node, parent)
+
+    def test_paths_reach_root_with_bounded_stretch(self, pde_setup):
+        g, pde, family = pde_setup
+        exact = all_pairs_weighted_distances(g)
+        for dest in list(family.destinations())[:10]:
+            tree = family[dest]
+            for node in list(tree.parent)[:10]:
+                path = tree.path_to_root(node)
+                assert path[0] == node
+                assert path[-1] == dest
+                if node != dest:
+                    # Routing along the tree realises (roughly) the PDE
+                    # estimate; in particular it is a real path, and when the
+                    # node detected the destination its weight is at most the
+                    # (1+eps) estimate.
+                    est = pde.estimate(node, dest)
+                    if est != float("inf"):
+                        assert path_weight(g, path) <= est + 1e-6
+
+    def test_tree_route_between_members(self, pde_setup):
+        g, _, family = pde_setup
+        dest = list(family.destinations())[0]
+        tree = family[dest]
+        members = list(tree.parent)[:6]
+        for a in members:
+            for b in members:
+                path = tree.tree_route(a, b)
+                assert path[0] == a and path[-1] == b
+                for u, v in zip(path, path[1:]):
+                    assert g.has_edge(u, v)
+
+    def test_membership_counts_consistent(self, pde_setup):
+        _, _, family = pde_setup
+        counts = family.membership_counts()
+        total = sum(counts.values())
+        assert total == sum(tree.size for tree in family.trees.values())
+
+    def test_trees_containing(self, pde_setup):
+        g, pde, family = pde_setup
+        v = g.nodes()[3]
+        containing = set(family.trees_containing(v))
+        for entry in pde.lists[v]:
+            assert entry.source in containing
+
+    def test_explicit_membership(self, pde_setup):
+        g, pde, _ = pde_setup
+        dest = g.nodes()[0]
+        members = {dest: set(g.nodes())}
+        family = build_destination_trees(g, pde, destinations=[dest],
+                                         members_of=members)
+        tree = family[dest]
+        assert all(tree.contains(v) for v in g.nodes())
+
+    def test_fallbacks_counted_not_fatal(self, pde_setup):
+        """Even with a tiny sigma (so most nodes lack pointers), trees still
+        span their members via counted fallback repairs."""
+        g, _, _ = pde_setup
+        pde_small = solve_pde(g, g.nodes(), h=g.num_nodes, sigma=1, epsilon=0.25)
+        dest = g.nodes()[0]
+        family = build_destination_trees(g, pde_small, destinations=[dest],
+                                         members_of={dest: set(g.nodes())})
+        tree = family[dest]
+        assert all(tree.contains(v) for v in g.nodes())
+        assert family.total_fallback_edges() >= 0
+
+    def test_label_and_depth(self, pde_setup):
+        _, _, family = pde_setup
+        dest = list(family.destinations())[0]
+        tree = family[dest]
+        assert tree.depth >= 0
+        assert tree.label_of(dest) == tree.routing.label_of(dest)

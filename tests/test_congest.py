@@ -1,0 +1,195 @@
+"""Tests for the CONGEST simulator: messages, metrics, network engine, BFS."""
+
+import pytest
+
+from repro import graphs
+from repro.congest import (
+    BROADCAST,
+    BandwidthViolation,
+    CongestMetrics,
+    CongestNetwork,
+    DistributedBFS,
+    Message,
+    build_bfs_tree,
+    convergecast_rounds,
+    global_broadcast_metrics,
+    merge_metrics,
+    message_words,
+    pipelined_broadcast_rounds,
+    verify_bfs_outputs,
+)
+from repro.congest.node import CongestAlgorithm, NodeView
+from repro.graphs import bfs_hop_distances, hop_diameter
+
+
+class TestMessage:
+    def test_words_scalar(self):
+        assert message_words(5) == 1
+        assert message_words("abc") == 1
+        assert message_words(None) == 1
+
+    def test_words_tuple(self):
+        assert message_words((1, 2, 3)) == 3
+        assert message_words(((1, 2), 3)) == 3
+
+    def test_words_dict(self):
+        assert message_words({"a": 1}) == 2
+
+    def test_message_autosize(self):
+        assert Message((1, 2)).words == 2
+        assert Message((1, 2), words=5).words == 5
+
+    def test_message_unpacking(self):
+        d, s = Message((7, "x"))
+        assert d == 7 and s == "x"
+
+
+class TestMetrics:
+    def test_record_and_summarise(self):
+        m = CongestMetrics()
+        m.record_broadcast("a")
+        m.record_broadcast("a")
+        m.record_edge_message("a", "b")
+        m.record_edge_message("b", "a")
+        assert m.max_broadcasts() == 2
+        assert m.edge_traffic("a", "b") == 2
+        assert m.total_messages == 2
+        assert m.summary()["max_edge_traffic"] == 2
+
+    def test_merge_sequential(self):
+        m1 = CongestMetrics(rounds=5)
+        m1.record_broadcast("a")
+        m2 = CongestMetrics(rounds=7)
+        m2.record_broadcast("a")
+        merged = merge_metrics(m1, m2, sequential=True)
+        assert merged.rounds == 12
+        assert merged.broadcasts_per_node["a"] == 2
+
+    def test_merge_parallel(self):
+        merged = merge_metrics(CongestMetrics(rounds=5), CongestMetrics(rounds=7),
+                               sequential=False)
+        assert merged.rounds == 7
+
+    def test_merge_measured_flag(self):
+        merged = merge_metrics(CongestMetrics(measured=True),
+                               CongestMetrics(measured=False))
+        assert not merged.measured
+
+
+class _FloodOnce(CongestAlgorithm):
+    """Toy algorithm: a designated node broadcasts a token once."""
+
+    def __init__(self, origin):
+        self.origin = origin
+
+    def init_state(self, view):
+        return {"seen": view.node_id == self.origin, "sent": False}
+
+    def generate(self, view, state, round_index):
+        if state["seen"] and not state["sent"]:
+            state["sent"] = True
+            return [(BROADCAST, Message(("token",)))]
+        return []
+
+    def receive(self, view, state, round_index, inbox):
+        if inbox:
+            state["seen"] = True
+
+    def output(self, view, state):
+        return state["seen"]
+
+
+class _Oversender(CongestAlgorithm):
+    def init_state(self, view):
+        return {}
+
+    def generate(self, view, state, round_index):
+        return [(BROADCAST, Message(tuple(range(50))))]
+
+    def receive(self, view, state, round_index, inbox):
+        pass
+
+
+class TestNetwork:
+    def test_flood_reaches_everyone(self, grid):
+        origin = grid.nodes()[0]
+        network = CongestNetwork(grid, _FloodOnce(origin))
+        network.run(max_rounds=grid.num_nodes)
+        assert all(network.outputs().values())
+
+    def test_flood_round_count_is_eccentricity(self, unit_path):
+        network = CongestNetwork(unit_path, _FloodOnce(0))
+        metrics = network.run(max_rounds=50)
+        # The token needs exactly n-1 rounds to reach the far end of the path.
+        assert metrics.rounds >= unit_path.num_nodes - 1
+
+    def test_bandwidth_violation_raises(self, unit_path):
+        network = CongestNetwork(unit_path, _Oversender())
+        with pytest.raises(BandwidthViolation):
+            network.run(max_rounds=1)
+
+    def test_bandwidth_enforcement_can_be_disabled(self, unit_path):
+        network = CongestNetwork(unit_path, _Oversender(), enforce_bandwidth=False)
+        network.run(max_rounds=1)  # does not raise
+
+    def test_sending_to_non_neighbor_raises(self, unit_path):
+        class Bad(CongestAlgorithm):
+            def init_state(self, view):
+                return {}
+
+            def generate(self, view, state, round_index):
+                return [(99, Message("x"))]
+
+            def receive(self, view, state, round_index, inbox):
+                pass
+
+        with pytest.raises(ValueError):
+            CongestNetwork(unit_path, Bad()).run(max_rounds=1)
+
+    def test_empty_graph_rejected(self):
+        from repro.graphs import WeightedGraph
+
+        with pytest.raises(ValueError):
+            CongestNetwork(WeightedGraph(), _FloodOnce(0))
+
+    def test_broadcast_counts(self, grid):
+        origin = grid.nodes()[0]
+        network = CongestNetwork(grid, _FloodOnce(origin))
+        metrics = network.run(max_rounds=grid.num_nodes)
+        # every node broadcasts exactly once
+        assert all(count == 1 for count in metrics.broadcasts_per_node.values())
+        assert metrics.total_messages == sum(grid.degree(v) for v in grid.nodes())
+
+
+class TestBFS:
+    def test_logical_bfs_tree(self, grid):
+        root = grid.nodes()[0]
+        tree = build_bfs_tree(grid, root)
+        truth = bfs_hop_distances(grid, root)
+        assert tree.depth == truth
+        assert tree.height == max(truth.values())
+        assert tree.parent[root] is None
+
+    def test_path_to_root(self, unit_path):
+        tree = build_bfs_tree(unit_path, 0)
+        assert tree.path_to_root(5) == [5, 4, 3, 2, 1, 0]
+
+    def test_distributed_bfs_matches_truth(self, grid):
+        root = grid.nodes()[0]
+        network = CongestNetwork(grid, DistributedBFS(root))
+        metrics = network.run(max_rounds=grid.num_nodes + 2)
+        outputs = network.outputs()
+        assert verify_bfs_outputs(grid, root, outputs)
+        assert metrics.rounds <= hop_diameter(grid) + 2
+
+    def test_pipelined_broadcast_rounds(self):
+        assert pipelined_broadcast_rounds(0, 5) == 0
+        assert pipelined_broadcast_rounds(10, 5) == 15
+        assert convergecast_rounds(10, 5) == 15
+        with pytest.raises(ValueError):
+            pipelined_broadcast_rounds(-1, 3)
+
+    def test_global_broadcast_metrics(self, grid):
+        metrics = global_broadcast_metrics(grid, 20)
+        assert not metrics.measured
+        assert metrics.rounds >= 20

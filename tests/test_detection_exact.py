@@ -1,0 +1,87 @@
+"""Tests for exact weighted (S, h, sigma)-detection and its CONGEST protocol."""
+
+import pytest
+
+from repro import graphs
+from repro.core import exact_weighted_detection, run_exact_detection_simulation
+from repro.graphs import WeightedGraph, h_hop_distances, build_figure1_graph
+
+
+def _pairs(result, node):
+    return [(e.distance, e.source) for e in result.lists[node]]
+
+
+class TestCentralizedReference:
+    def test_matches_h_hop_distances(self, mixed_scale_graph):
+        g = mixed_scale_graph
+        sources = set(list(g.nodes())[:5])
+        h, sigma = 4, 3
+        result = exact_weighted_detection(g, sources, h, sigma)
+        for v in g.nodes():
+            expected = []
+            for s in sources:
+                d = h_hop_distances(g, s, h).get(v)
+                if d is not None:
+                    expected.append((d, s))
+            expected.sort(key=lambda item: (item[0], repr(item[1])))
+            assert _pairs(result, v) == expected[:sigma]
+
+    def test_h_zero_only_self(self, grid):
+        sources = set(list(grid.nodes())[:3])
+        result = exact_weighted_detection(grid, sources, 0, 5)
+        for v in grid.nodes():
+            if v in sources:
+                assert _pairs(result, v) == [(0.0, v)]
+            else:
+                assert _pairs(result, v) == []
+
+    def test_round_bound_is_sigma_h(self, grid):
+        result = exact_weighted_detection(grid, set(grid.nodes()[:2]), 5, 3)
+        assert result.metrics.rounds == 15
+        assert not result.metrics.measured
+
+    def test_hops_recorded(self, weighted_path):
+        result = exact_weighted_detection(weighted_path, {0}, h=5, sigma=1)
+        entry = result.lists[4][0]
+        assert entry.hops == 4
+
+    def test_distance_lookup(self, grid):
+        sources = set(list(grid.nodes())[:2])
+        result = exact_weighted_detection(grid, sources, 6, 4)
+        s = next(iter(sources))
+        assert result.distance(s, s) == 0.0
+        assert result.distance(s, "nonexistent") is None
+
+    def test_invalid_args(self, grid):
+        with pytest.raises(ValueError):
+            exact_weighted_detection(grid, {grid.nodes()[0]}, -1, 2)
+        with pytest.raises(ValueError):
+            exact_weighted_detection(grid, {999}, 2, 2)
+
+
+class TestCongestProtocol:
+    def test_matches_reference_on_small_graph(self):
+        g = graphs.erdos_renyi_graph(12, 0.3, graphs.uniform_weights(1, 20), seed=4)
+        sources = set(list(g.nodes())[:4])
+        h, sigma = 4, 3
+        reference = exact_weighted_detection(g, sources, h, sigma)
+        simulated = run_exact_detection_simulation(g, sources, h, sigma)
+        for v in g.nodes():
+            assert _pairs(simulated, v) == _pairs(reference, v)
+
+    def test_figure1_bottleneck_congestion(self):
+        """The Figure 1 instance forces at least ~h*sigma values over the cut."""
+        h, sigma = 3, 3
+        instance = build_figure1_graph(h, sigma)
+        result = run_exact_detection_simulation(
+            instance.graph, instance.source_set,
+            instance.detection_hop_budget, sigma)
+        u1, vh = instance.bottleneck
+        traffic = result.metrics.edge_traffic(u1, vh)
+        assert traffic >= instance.required_values_over_bottleneck()
+
+    def test_metrics_are_measured(self, grid):
+        sources = set(list(grid.nodes())[:2])
+        result = run_exact_detection_simulation(grid, sources, 3, 2)
+        assert result.metrics.measured
+        assert result.metrics.total_messages > 0

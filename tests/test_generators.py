@@ -1,0 +1,106 @@
+"""Unit tests for graph and weight generators."""
+
+import pytest
+
+from repro import graphs
+
+
+class TestTopologies:
+    def test_path_graph(self):
+        g = graphs.path_graph(6)
+        assert g.num_nodes == 6
+        assert g.num_edges == 5
+
+    def test_cycle_graph(self):
+        g = graphs.cycle_graph(8)
+        assert g.num_edges == 8
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            graphs.cycle_graph(2)
+
+    def test_grid_graph(self):
+        g = graphs.grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # vertical + horizontal
+
+    def test_complete_graph(self):
+        g = graphs.complete_graph(7)
+        assert g.num_edges == 21
+        assert graphs.hop_diameter(g) == 1
+
+    def test_star_graph(self):
+        g = graphs.star_graph(9)
+        assert g.degree(0) == 8
+        assert g.num_edges == 8
+
+    def test_random_tree_is_tree(self):
+        g = graphs.random_tree(25, seed=4)
+        assert g.num_edges == 24
+        assert g.is_connected()
+
+    def test_caterpillar(self):
+        g = graphs.caterpillar_graph(4, 3)
+        assert g.num_nodes == 4 + 12
+        assert g.is_connected()
+
+    def test_erdos_renyi_connected(self):
+        g = graphs.erdos_renyi_graph(30, 0.05, seed=9)
+        assert g.is_connected()
+
+    def test_erdos_renyi_deterministic(self):
+        g1 = graphs.erdos_renyi_graph(20, 0.2, graphs.uniform_weights(1, 9), seed=5)
+        g2 = graphs.erdos_renyi_graph(20, 0.2, graphs.uniform_weights(1, 9), seed=5)
+        assert sorted(g1.edges(), key=repr) == sorted(g2.edges(), key=repr)
+
+    def test_barabasi_albert(self):
+        g = graphs.barabasi_albert_graph(30, 2, seed=3)
+        assert g.is_connected()
+        assert g.num_edges >= 2 * (30 - 2) - 1
+
+    def test_barabasi_albert_invalid(self):
+        with pytest.raises(ValueError):
+            graphs.barabasi_albert_graph(3, 5)
+
+    def test_random_geometric(self):
+        g = graphs.random_geometric_graph(25, 0.4, seed=2)
+        assert g.is_connected()
+        assert g.num_nodes == 25
+
+    def test_make_connected(self):
+        from repro.graphs import WeightedGraph
+        g = WeightedGraph.from_edges([(0, 1, 1), (2, 3, 1)])
+        connected = graphs.make_connected(g)
+        assert connected.is_connected()
+
+
+class TestWeightStrategies:
+    def test_unit_weights(self):
+        g = graphs.path_graph(5, graphs.unit_weights())
+        assert all(w == 1 for _, _, w in g.edges())
+
+    def test_uniform_weights_range(self):
+        g = graphs.complete_graph(8, graphs.uniform_weights(5, 10), seed=1)
+        assert all(5 <= w <= 10 for _, _, w in g.edges())
+
+    def test_uniform_weights_invalid(self):
+        with pytest.raises(ValueError):
+            graphs.uniform_weights(0, 10)
+
+    def test_heavy_tailed_bounds(self):
+        g = graphs.complete_graph(10, graphs.heavy_tailed_weights(1000), seed=1)
+        assert all(1 <= w <= 1000 for _, _, w in g.edges())
+
+    def test_mixed_scale_weights_two_values(self):
+        g = graphs.complete_graph(10, graphs.mixed_scale_weights(1, 500, 0.5), seed=1)
+        values = {w for _, _, w in g.edges()}
+        assert values <= {1, 500}
+        assert len(values) == 2
+
+    def test_standard_test_suite(self):
+        suite = graphs.standard_test_suite(seed=0)
+        assert len(suite) >= 8
+        for name, g in suite.items():
+            assert g.is_connected(), name
+            assert g.num_nodes >= 10, name

@@ -1,0 +1,50 @@
+"""Tests for the Figure 1 lower-bound gadget."""
+
+import pytest
+
+from repro.graphs import build_figure1_graph, hop_diameter
+
+
+class TestFigure1Construction:
+    def test_node_counts(self):
+        inst = build_figure1_graph(h=4, sigma=3)
+        assert len(inst.receivers) == 4
+        assert len(inst.attachments) == 4
+        assert len(inst.sources) == 12
+        assert inst.graph.num_nodes == 4 + 4 + 12
+
+    def test_bottleneck_is_cut_edge(self):
+        inst = build_figure1_graph(h=3, sigma=2)
+        g = inst.graph.copy()
+        u, v = inst.bottleneck
+        g.remove_edge(u, v)
+        comps = {frozenset(c) for c in g.connected_components()}
+        # Removing the bottleneck separates all receivers from all sources.
+        receiver_side = next(c for c in comps if inst.receivers[0] in c)
+        assert not any(s in receiver_side for s in inst.sources)
+
+    def test_weights_grow_geometrically(self):
+        inst = build_figure1_graph(h=3, sigma=1, base=4)
+        w1 = inst.graph.weight("v1", "s1_1")
+        w2 = inst.graph.weight("v2", "s2_1")
+        w3 = inst.graph.weight("v3", "s3_1")
+        assert w2 == 4 * w1
+        assert w3 == 4 * w2
+
+    def test_required_values(self):
+        inst = build_figure1_graph(h=5, sigma=4)
+        assert inst.required_values_over_bottleneck() == 20
+
+    def test_hop_budget_reaches_all_sources(self):
+        inst = build_figure1_graph(h=3, sigma=2)
+        assert inst.detection_hop_budget >= hop_diameter(inst.graph) - 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            build_figure1_graph(0, 3)
+        with pytest.raises(ValueError):
+            build_figure1_graph(3, 0)
+
+    def test_connected(self):
+        inst = build_figure1_graph(h=4, sigma=2)
+        assert inst.graph.is_connected()

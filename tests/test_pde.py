@@ -1,0 +1,160 @@
+"""Tests for partial distance estimation (Theorem 3.3 / Corollary 3.5)."""
+
+import pytest
+
+from repro import graphs
+from repro.core import solve_pde
+from repro.graphs import all_pairs_weighted_distances, dijkstra_with_hops
+
+
+def _feasibility_check(graph, pde, epsilon):
+    """The two defining properties of Definition 2.2 (see module docstring)."""
+    exact = all_pairs_weighted_distances(graph)
+    # Property 1: estimates never undershoot the true distance.
+    for v, row in pde.estimates.items():
+        for s, est in row.items():
+            assert est >= exact[v][s] - 1e-9, (v, s)
+    # Property 2 (via list correctness): every source in the output list that
+    # is within the hop budget is (1+eps)-approximated.
+    for v in graph.nodes():
+        _, hops = dijkstra_with_hops(graph, v)
+        for entry in pde.lists[v]:
+            if hops.get(entry.source, float("inf")) <= pde.h:
+                assert entry.estimate <= (1 + epsilon) * exact[v][entry.source] + 1e-6
+
+
+class TestLogicalEngine:
+    def test_feasibility_on_er(self, small_weighted_graph):
+        pde = solve_pde(small_weighted_graph, small_weighted_graph.nodes(),
+                        h=6, sigma=5, epsilon=0.25)
+        _feasibility_check(small_weighted_graph, pde, 0.25)
+
+    def test_feasibility_on_mixed_scale(self, mixed_scale_graph):
+        pde = solve_pde(mixed_scale_graph, mixed_scale_graph.nodes(),
+                        h=5, sigma=4, epsilon=0.5)
+        _feasibility_check(mixed_scale_graph, pde, 0.5)
+
+    def test_full_instance_covers_all_pairs(self, small_weighted_graph):
+        g = small_weighted_graph
+        n = g.num_nodes
+        pde = solve_pde(g, g.nodes(), h=n, sigma=n, epsilon=0.25)
+        exact = all_pairs_weighted_distances(g)
+        for v in g.nodes():
+            assert len(pde.lists[v]) == n
+            for w in g.nodes():
+                if w == v:
+                    continue
+                assert pde.estimate(v, w) <= (1 + 0.25) * exact[v][w] + 1e-6
+
+    def test_prefix_property(self, small_weighted_graph):
+        """No source within the hop budget and much closer than the last list
+        entry may be missing from the list (list-correctness of Def. 2.2)."""
+        g = small_weighted_graph
+        eps = 0.25
+        sigma = 4
+        pde = solve_pde(g, g.nodes(), h=g.num_nodes, sigma=sigma, epsilon=eps)
+        exact = all_pairs_weighted_distances(g)
+        for v in g.nodes():
+            if len(pde.lists[v]) < sigma:
+                continue
+            last = pde.lists[v][-1].estimate
+            listed = {e.source for e in pde.lists[v]}
+            for w in g.nodes():
+                if w in listed:
+                    continue
+                assert (1 + eps) * exact[v][w] >= last - 1e-6
+
+    def test_sources_subset(self, grid):
+        sources = list(grid.nodes())[:4]
+        pde = solve_pde(grid, sources, h=8, sigma=3, epsilon=0.5)
+        for v in grid.nodes():
+            for entry in pde.lists[v]:
+                assert entry.source in set(sources)
+
+    def test_source_entry_is_zero(self, grid):
+        sources = list(grid.nodes())[:4]
+        pde = solve_pde(grid, sources, h=8, sigma=3, epsilon=0.5)
+        for s in sources:
+            assert pde.estimate(s, s) == 0
+
+    def test_next_hops_are_neighbors(self, small_weighted_graph):
+        g = small_weighted_graph
+        pde = solve_pde(g, g.nodes(), h=6, sigma=4, epsilon=0.25)
+        for v in g.nodes():
+            for entry in pde.lists[v]:
+                if entry.source == v:
+                    continue
+                assert entry.next_hop is not None
+                assert g.has_edge(v, entry.next_hop)
+
+    def test_lists_sorted_and_bounded(self, small_weighted_graph):
+        pde = solve_pde(small_weighted_graph, small_weighted_graph.nodes(),
+                        h=6, sigma=3, epsilon=0.25)
+        for v in small_weighted_graph.nodes():
+            keys = [e.key() for e in pde.lists[v]]
+            assert keys == sorted(keys)
+            assert len(keys) <= 3
+
+    def test_closest_source_in(self, small_weighted_graph):
+        g = small_weighted_graph
+        pde = solve_pde(g, g.nodes(), h=g.num_nodes, sigma=g.num_nodes, epsilon=0.25)
+        subset = set(list(g.nodes())[:5])
+        exact = all_pairs_weighted_distances(g)
+        for v in g.nodes():
+            entry = pde.closest_source_in(v, subset)
+            assert entry is not None
+            best_exact = min(exact[v][s] for s in subset)
+            assert entry.estimate >= best_exact - 1e-9
+            assert entry.estimate <= (1 + 0.25) * max(exact[v][s] for s in subset)
+
+    def test_invalid_arguments(self, grid):
+        with pytest.raises(ValueError):
+            solve_pde(grid, [], h=3, sigma=2, epsilon=0.5)
+        with pytest.raises(ValueError):
+            solve_pde(grid, [999], h=3, sigma=2, epsilon=0.5)
+        with pytest.raises(ValueError):
+            solve_pde(grid, grid.nodes(), h=0, sigma=2, epsilon=0.5)
+        with pytest.raises(ValueError):
+            solve_pde(grid, grid.nodes(), h=3, sigma=2, epsilon=0.5, engine="bogus")
+
+    def test_store_levels_flag(self, grid):
+        with_levels = solve_pde(grid, grid.nodes()[:3], h=4, sigma=2, epsilon=0.5)
+        without = solve_pde(grid, grid.nodes()[:3], h=4, sigma=2, epsilon=0.5,
+                            store_levels=False)
+        assert with_levels.per_level is not None
+        assert without.per_level is None
+
+
+class TestSimulatedEngine:
+    def test_simulation_matches_logical(self):
+        g = graphs.erdos_renyi_graph(16, 0.25, graphs.uniform_weights(1, 30), seed=8)
+        sources = list(g.nodes())[:5]
+        logical = solve_pde(g, sources, h=6, sigma=3, epsilon=0.5, engine="logical")
+        simulated = solve_pde(g, sources, h=6, sigma=3, epsilon=0.5, engine="simulate")
+        for v in g.nodes():
+            log_pairs = [(e.estimate, e.source) for e in logical.lists[v]]
+            sim_pairs = [(e.estimate, e.source) for e in simulated.lists[v]]
+            assert log_pairs == sim_pairs
+
+    def test_simulation_metrics_measured(self):
+        g = graphs.grid_graph(3, 4, graphs.uniform_weights(1, 5), seed=1)
+        simulated = solve_pde(g, g.nodes()[:3], h=4, sigma=2, epsilon=0.5,
+                              engine="simulate")
+        assert simulated.metrics.measured
+        assert simulated.metrics.rounds > 0
+        assert simulated.metrics.max_broadcasts() > 0
+
+    def test_broadcast_cap_scales_with_sigma_and_levels(self):
+        g = graphs.grid_graph(3, 4, graphs.uniform_weights(1, 20), seed=1)
+        sigma = 3
+        simulated = solve_pde(g, g.nodes(), h=5, sigma=sigma, epsilon=0.5,
+                              engine="simulate")
+        per_level_cap = sigma * (sigma + 1) // 2
+        levels = simulated.rounding.num_levels
+        assert simulated.metrics.max_broadcasts() <= per_level_cap * levels
+
+    def test_feasibility_of_simulated(self):
+        g = graphs.grid_graph(3, 4, graphs.uniform_weights(1, 15), seed=2)
+        simulated = solve_pde(g, g.nodes(), h=6, sigma=4, epsilon=0.5,
+                              engine="simulate")
+        _feasibility_check(g, simulated, 0.5)

@@ -1,0 +1,153 @@
+"""Tests for the Theorem 4.5 routing scheme (relabeling, stretch 6k-1+o(1))."""
+
+import pytest
+
+from repro import graphs
+from repro.graphs import all_pairs_weighted_distances
+from repro.routing import RelabelingRoutingScheme
+from repro.routing.stretch import evaluate_distance_estimates, evaluate_routing, sample_pairs
+
+
+@pytest.fixture(scope="module")
+def er_scheme():
+    g = graphs.erdos_renyi_graph(30, 0.15, graphs.uniform_weights(1, 60), seed=23)
+    scheme = RelabelingRoutingScheme.build(g, k=2, epsilon=0.25, seed=5)
+    return g, scheme
+
+
+@pytest.fixture(scope="module")
+def long_range_scheme():
+    """A scheme where the detection budget is deliberately small so that the
+    long-range (skeleton + spanner) path is exercised."""
+    g = graphs.erdos_renyi_graph(36, 0.12, graphs.uniform_weights(1, 80), seed=31)
+    scheme = RelabelingRoutingScheme.build(g, k=2, epsilon=0.25, seed=3,
+                                           sampling_probability=0.25,
+                                           budget_constant=0.5)
+    return g, scheme
+
+
+class TestConstruction:
+    def test_invalid_k(self, small_weighted_graph):
+        with pytest.raises(ValueError):
+            RelabelingRoutingScheme.build(small_weighted_graph, k=0)
+
+    def test_invalid_spanner_method(self, small_weighted_graph):
+        with pytest.raises(ValueError):
+            RelabelingRoutingScheme.build(small_weighted_graph, k=2,
+                                          spanner_method="bogus")
+
+    def test_skeleton_nonempty(self, er_scheme):
+        _, scheme = er_scheme
+        assert len(scheme.skeleton) >= 1
+
+    def test_home_assignment_total(self, er_scheme):
+        g, scheme = er_scheme
+        assert set(scheme.home) == set(g.nodes())
+        assert all(s in scheme.skeleton for s in scheme.home.values())
+
+    def test_skeleton_nodes_homed_at_themselves(self, er_scheme):
+        _, scheme = er_scheme
+        for s in scheme.skeleton:
+            assert scheme.home[s] == s
+
+    def test_build_report_fields(self, er_scheme):
+        g, scheme = er_scheme
+        report = scheme.build_report()
+        assert report.n == g.num_nodes
+        assert report.rounds > 0
+        assert report.skeleton_size == len(scheme.skeleton)
+        assert report.label_bits_max > 0
+
+    def test_metrics_rounds_positive(self, er_scheme):
+        _, scheme = er_scheme
+        assert scheme.metrics.rounds > 0
+
+
+class TestLabels:
+    def test_label_contains_home_and_constant_words(self, er_scheme):
+        g, scheme = er_scheme
+        for v in g.nodes():
+            label = scheme.label_of(v)
+            assert label.get("home") in scheme.skeleton
+            # home id + distance + tree label (+ keys + owner): a constant.
+            assert label.words() <= 8
+
+    def test_label_distance_nonnegative(self, er_scheme):
+        g, scheme = er_scheme
+        exact = all_pairs_weighted_distances(g)
+        for v in g.nodes():
+            label = scheme.label_of(v)
+            home = label.get("home")
+            assert label.get("dist_home") >= exact[v][home] - 1e-9
+
+    def test_table_sizes_reported(self, er_scheme):
+        g, scheme = er_scheme
+        for v in list(g.nodes())[:5]:
+            table = scheme.table_of(v)
+            assert table.words() > 0
+
+
+class TestRoutingAndDistance:
+    def test_all_pairs_delivered_with_bounded_stretch(self, er_scheme):
+        g, scheme = er_scheme
+        report = evaluate_routing(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= scheme.theoretical_stretch_bound() + 1e-6
+
+    def test_distance_estimates_feasible_and_bounded(self, er_scheme):
+        g, scheme = er_scheme
+        report = evaluate_distance_estimates(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= scheme.theoretical_stretch_bound() + 1e-6
+
+    def test_self_route(self, er_scheme):
+        g, scheme = er_scheme
+        v = g.nodes()[0]
+        trace = scheme.route(v, v)
+        assert trace.delivered and trace.weight == 0.0
+
+    def test_long_range_pairs_exercised(self, long_range_scheme):
+        g, scheme = long_range_scheme
+        pairs = sample_pairs(g.nodes())
+        long_pairs = [(u, v) for u, v in pairs
+                      if u != v and not scheme.pde_short.in_list(u, v)]
+        assert long_pairs, "expected some pairs to need the long-range path"
+        report = evaluate_routing(scheme, g, pairs=long_pairs)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= scheme.theoretical_stretch_bound() + 1e-6
+
+    def test_long_range_distance_estimates(self, long_range_scheme):
+        g, scheme = long_range_scheme
+        report = evaluate_distance_estimates(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= scheme.theoretical_stretch_bound() + 1e-6
+
+    def test_audit_summary_keys(self, er_scheme):
+        _, scheme = er_scheme
+        summary = scheme.audit(pairs=None)
+        assert {"delivery_rate", "max_stretch", "stretch_bound"} <= set(summary)
+
+
+class TestMultipleGraphFamilies:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_bound_across_k(self, k):
+        g = graphs.erdos_renyi_graph(24, 0.18, graphs.mixed_scale_weights(1, 900, 0.3),
+                                     seed=41)
+        scheme = RelabelingRoutingScheme.build(g, k=k, epsilon=0.25, seed=k)
+        report = evaluate_routing(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= 6 * k - 1 + 1e-6
+
+    def test_tree_topology(self):
+        g = graphs.random_tree(26, graphs.uniform_weights(1, 40), seed=6)
+        scheme = RelabelingRoutingScheme.build(g, k=2, epsilon=0.25, seed=6)
+        report = evaluate_routing(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= 11 + 1e-6
+
+    def test_grid_topology(self):
+        g = graphs.grid_graph(4, 6, graphs.uniform_weights(1, 25), seed=8)
+        scheme = RelabelingRoutingScheme.build(g, k=2, epsilon=0.25, seed=8)
+        report = evaluate_routing(scheme, g)
+        assert report.delivery_rate == 1.0
+        assert report.max_stretch <= 11 + 1e-6

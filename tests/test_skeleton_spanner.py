@@ -1,0 +1,131 @@
+"""Tests for skeleton sampling/graphs and for the spanner constructions."""
+
+import random
+
+import pytest
+
+from repro import graphs
+from repro.core import solve_pde
+from repro.graphs import all_pairs_weighted_distances, dijkstra
+from repro.routing import (
+    baswana_sen_spanner,
+    default_detection_budget,
+    default_sampling_probability,
+    exact_skeleton_graph,
+    greedy_spanner,
+    sample_skeleton,
+    skeleton_distance_audit,
+    skeleton_graph_from_pde,
+    spanner_stretch,
+    verify_spanner,
+)
+
+
+class TestSkeletonSampling:
+    def test_probability_formula(self):
+        assert default_sampling_probability(100, 1) == pytest.approx(100 ** -0.75)
+        assert default_sampling_probability(100, 4) == pytest.approx(100 ** -(0.5 + 1 / 16))
+        with pytest.raises(ValueError):
+            default_sampling_probability(0, 2)
+
+    def test_budget_formula(self):
+        assert default_detection_budget(100, 1.0) >= 1
+        assert default_detection_budget(100, 0.1) <= 100
+        with pytest.raises(ValueError):
+            default_detection_budget(100, 0)
+
+    def test_sampling_deterministic_and_nonempty(self):
+        nodes = list(range(50))
+        s1 = sample_skeleton(nodes, 0.2, random.Random(3))
+        s2 = sample_skeleton(nodes, 0.2, random.Random(3))
+        assert s1 == s2
+        assert sample_skeleton(nodes, 0.0, random.Random(1))  # never empty
+
+    def test_sampling_rate_reasonable(self):
+        nodes = list(range(500))
+        sampled = sample_skeleton(nodes, 0.3, random.Random(7))
+        assert 0.15 * 500 < len(sampled) < 0.45 * 500
+
+
+class TestSkeletonGraphs:
+    def test_exact_skeleton_preserves_distances_with_full_budget(self, small_weighted_graph):
+        g = small_weighted_graph
+        skeleton = sample_skeleton(g.nodes(), 0.4, random.Random(5))
+        sk = exact_skeleton_graph(g, skeleton, h=g.num_nodes)
+        audit = skeleton_distance_audit(g, sk)
+        assert audit["unreachable"] == 0
+        assert audit["max_ratio"] <= 1.0 + 1e-9
+
+    def test_exact_skeleton_hop_limited(self, small_weighted_graph):
+        g = small_weighted_graph
+        skeleton = sample_skeleton(g.nodes(), 0.4, random.Random(5))
+        sk_small = exact_skeleton_graph(g, skeleton, h=1)
+        sk_big = exact_skeleton_graph(g, skeleton, h=g.num_nodes)
+        assert sk_small.num_edges <= sk_big.num_edges
+
+    def test_pde_skeleton_weights_dominate_distance(self, small_weighted_graph):
+        g = small_weighted_graph
+        skeleton = sample_skeleton(g.nodes(), 0.4, random.Random(5))
+        pde = solve_pde(g, skeleton, h=g.num_nodes, sigma=len(skeleton), epsilon=0.25)
+        sk = skeleton_graph_from_pde(pde, skeleton)
+        exact = all_pairs_weighted_distances(g)
+        for u, v, w in sk.edges():
+            assert w >= exact[u][v] - 1e-9
+            assert w <= 1.25 * exact[u][v] + 1.0  # (1+eps) plus integer rounding
+
+    def test_pde_skeleton_distances_near_exact(self, small_weighted_graph):
+        g = small_weighted_graph
+        skeleton = sample_skeleton(g.nodes(), 0.4, random.Random(5))
+        pde = solve_pde(g, skeleton, h=g.num_nodes, sigma=len(skeleton), epsilon=0.25)
+        sk = skeleton_graph_from_pde(pde, skeleton)
+        audit = skeleton_distance_audit(g, sk)
+        assert audit["unreachable"] == 0
+        assert audit["max_ratio"] <= 1.25 + 0.1
+
+
+class TestSpanners:
+    @pytest.fixture(scope="class")
+    def dense_graph(self):
+        return graphs.erdos_renyi_graph(28, 0.35, graphs.uniform_weights(1, 60), seed=21)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_greedy_spanner_stretch(self, dense_graph, k):
+        spanner = greedy_spanner(dense_graph, k)
+        assert verify_spanner(dense_graph, spanner, k)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_baswana_sen_stretch(self, dense_graph, k):
+        spanner = baswana_sen_spanner(dense_graph, k, random.Random(11))
+        assert verify_spanner(dense_graph, spanner, k)
+
+    def test_baswana_sen_stretch_multiple_seeds(self, dense_graph):
+        for seed in range(5):
+            spanner = baswana_sen_spanner(dense_graph, 3, random.Random(seed))
+            assert verify_spanner(dense_graph, spanner, 3)
+
+    def test_spanners_sparsify(self, dense_graph):
+        greedy = greedy_spanner(dense_graph, 3)
+        assert greedy.num_edges < dense_graph.num_edges
+
+    def test_k1_spanner_is_whole_graph(self, dense_graph):
+        spanner = baswana_sen_spanner(dense_graph, 1, random.Random(0))
+        assert spanner.num_edges == dense_graph.num_edges
+        assert spanner_stretch(dense_graph, spanner) == pytest.approx(1.0)
+
+    def test_spanner_is_subgraph(self, dense_graph):
+        spanner = baswana_sen_spanner(dense_graph, 3, random.Random(2))
+        for u, v, w in spanner.edges():
+            assert dense_graph.has_edge(u, v)
+            assert dense_graph.weight(u, v) == w
+
+    def test_invalid_k(self, dense_graph):
+        with pytest.raises(ValueError):
+            greedy_spanner(dense_graph, 0)
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(dense_graph, 0)
+
+    def test_spanner_preserves_connectivity(self, dense_graph):
+        spanner = baswana_sen_spanner(dense_graph, 4, random.Random(9))
+        for u in dense_graph.nodes()[:5]:
+            dist, _ = dijkstra(spanner, u)
+            assert len(dist) == dense_graph.num_nodes

@@ -1,0 +1,102 @@
+"""Tests for the Thorup–Zwick interval tree-routing scheme."""
+
+import pytest
+
+from repro import graphs
+from repro.congest import build_bfs_tree
+from repro.routing import TreeRouting, TreeRoutingError
+
+
+def _bfs_tree_routing(graph, root):
+    tree = build_bfs_tree(graph, root)
+    return TreeRouting(root, tree.parent), tree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tr = TreeRouting("r", {"r": None})
+        assert tr.size == 1
+        assert tr.height == 0
+        assert tr.route("r", "r") == ["r"]
+
+    def test_bad_root(self):
+        with pytest.raises(TreeRoutingError):
+            TreeRouting("r", {"r": "x", "x": None})
+
+    def test_unknown_parent(self):
+        with pytest.raises(TreeRoutingError):
+            TreeRouting("r", {"r": None, "a": "ghost"})
+
+    def test_cycle_detection(self):
+        with pytest.raises(TreeRoutingError):
+            TreeRouting("r", {"r": None, "a": "b", "b": "a"})
+
+    def test_depths_and_height(self, grid):
+        root = grid.nodes()[0]
+        tr, bfs = _bfs_tree_routing(grid, root)
+        for node in grid.nodes():
+            assert tr.depth_of(node) == bfs.depth[node]
+        assert tr.height == bfs.height
+
+
+class TestLabelsAndTables:
+    def test_labels_unique(self, grid):
+        tr, _ = _bfs_tree_routing(grid, grid.nodes()[0])
+        labels = [tr.label_of(v) for v in grid.nodes()]
+        assert len(set(labels)) == len(labels)
+
+    def test_label_of_unknown_node(self, grid):
+        tr, _ = _bfs_tree_routing(grid, grid.nodes()[0])
+        with pytest.raises(TreeRoutingError):
+            tr.label_of("ghost")
+
+    def test_table_words_scale_with_degree(self, grid):
+        root = grid.nodes()[0]
+        tr, bfs = _bfs_tree_routing(grid, root)
+        for node in grid.nodes():
+            assert tr.table_words(node) == 3 * len(bfs.children[node]) + 2
+
+
+class TestRouting:
+    @pytest.mark.parametrize("graph_name", ["er", "grid", "tree", "cycle"])
+    def test_routes_follow_tree_and_deliver(self, graph_zoo, graph_name):
+        g = graph_zoo[graph_name]
+        root = g.nodes()[0]
+        tr, _ = _bfs_tree_routing(g, root)
+        nodes = g.nodes()
+        for source in nodes[:6]:
+            for target in nodes[-6:]:
+                path = tr.route(source, target)
+                assert path[0] == source
+                assert path[-1] == target
+                # every consecutive pair is a tree (hence graph) edge
+                for u, v in zip(path, path[1:]):
+                    assert g.has_edge(u, v)
+
+    def test_route_via_lca_not_root(self):
+        # Path graph rooted in the middle: routing between two nodes on the
+        # same side must not climb to the root.
+        g = graphs.path_graph(7)
+        tr, _ = _bfs_tree_routing(g, 3)
+        path = tr.route(5, 6)
+        assert path == [5, 6]
+
+    def test_next_hop_none_at_target(self, grid):
+        tr, _ = _bfs_tree_routing(grid, grid.nodes()[0])
+        target = grid.nodes()[5]
+        assert tr.next_hop(target, tr.label_of(target)) is None
+
+    def test_next_hop_outside_tree_raises(self):
+        tr = TreeRouting("r", {"r": None, "a": "r"})
+        with pytest.raises(TreeRoutingError):
+            tr.next_hop("ghost", 0)
+
+    def test_route_descends_into_correct_subtree(self):
+        parent = {"r": None, "a": "r", "b": "r", "a1": "a", "b1": "b"}
+        tr = TreeRouting("r", parent)
+        assert tr.route("a1", "b1") == ["a1", "a", "r", "b", "b1"]
+
+    def test_path_to_root(self):
+        parent = {"r": None, "a": "r", "b": "a"}
+        tr = TreeRouting("r", parent)
+        assert tr.path_to_root("b") == ["b", "a", "r"]

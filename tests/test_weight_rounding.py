@@ -1,0 +1,123 @@
+"""Tests for the Section 3 rounding scheme (Lemma 3.1 / Corollary 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core import RoundingScheme
+
+
+class TestBasics:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RoundingScheme(epsilon=0, max_weight=10)
+        with pytest.raises(ValueError):
+            RoundingScheme(epsilon=0.5, max_weight=0)
+
+    def test_unit_weight_graph_has_single_level(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=1)
+        assert scheme.imax == 0
+        assert list(scheme.levels()) == [0]
+
+    def test_imax_covers_max_weight(self):
+        scheme = RoundingScheme(epsilon=0.25, max_weight=10 ** 6)
+        assert scheme.base(scheme.imax) >= 10 ** 6
+
+    def test_num_levels_scales_with_log(self):
+        small = RoundingScheme(epsilon=0.25, max_weight=100)
+        large = RoundingScheme(epsilon=0.25, max_weight=10 ** 6)
+        assert large.num_levels > small.num_levels
+        assert large.num_levels <= 3 * small.num_levels + 1
+
+    def test_more_levels_for_smaller_epsilon(self):
+        coarse = RoundingScheme(epsilon=1.0, max_weight=10 ** 4)
+        fine = RoundingScheme(epsilon=0.1, max_weight=10 ** 4)
+        assert fine.num_levels > coarse.num_levels
+
+    def test_base_is_geometric(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=1000)
+        for i in range(scheme.imax):
+            assert scheme.base(i + 1) == pytest.approx(1.5 * scheme.base(i))
+
+    def test_level_out_of_range(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=10)
+        with pytest.raises(ValueError):
+            scheme.base(-1)
+        with pytest.raises(ValueError):
+            scheme.base(scheme.imax + 1)
+
+    def test_describe(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        rows = scheme.describe()
+        assert len(rows) == scheme.num_levels
+        assert rows[0]["base"] == 1.0
+
+
+class TestRounding:
+    def test_level_zero_is_identity(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        for w in (1, 7, 99):
+            assert scheme.rounded_weight(0, w) == w
+            assert scheme.edge_length(0, w) == w
+
+    def test_rounded_weight_never_decreases(self):
+        scheme = RoundingScheme(epsilon=0.3, max_weight=10 ** 4)
+        for level in scheme.levels():
+            for w in (1, 17, 301, 9999):
+                assert scheme.rounded_weight(level, w) >= w
+
+    def test_rounded_weight_bounded(self):
+        # W_i(e) < W(e) + b(i)
+        scheme = RoundingScheme(epsilon=0.3, max_weight=10 ** 4)
+        for level in scheme.levels():
+            for w in (1, 17, 301, 9999):
+                assert scheme.rounded_weight(level, w) < w + scheme.base(level) + 1e-6
+
+    def test_edge_length_positive_integer(self):
+        scheme = RoundingScheme(epsilon=0.4, max_weight=500)
+        for level in scheme.levels():
+            for w in (1, 3, 499):
+                length = scheme.edge_length(level, w)
+                assert isinstance(length, int)
+                assert length >= 1
+
+    def test_edge_length_fn_matches(self):
+        scheme = RoundingScheme(epsilon=0.4, max_weight=500)
+        fn = scheme.edge_length_fn(3)
+        assert fn(0, 1, 77) == scheme.edge_length(3, 77)
+
+    def test_scaled_distance(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        assert scheme.scaled_distance(2, 4) == pytest.approx(4 * scheme.base(2))
+
+    def test_invalid_edge_weight(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        with pytest.raises(ValueError):
+            scheme.edge_length(0, 0)
+
+
+class TestLemma31:
+    def test_horizon_formula(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        assert scheme.horizon(10) == math.ceil(10 * (2 + 1 / 0.5)) + 1
+        with pytest.raises(ValueError):
+            scheme.horizon(-1)
+
+    def test_level_for_pair_zero_cases(self):
+        scheme = RoundingScheme(epsilon=0.5, max_weight=100)
+        assert scheme.level_for_pair(0, 0) == 0
+        assert scheme.level_for_pair(5, 10) == 0  # eps*wd/h < 1
+
+    def test_lemma31_bound(self):
+        """At level i_{v,w}, the rounded distance is a (1+eps)-approximation
+        and the resulting hop count stays within the horizon."""
+        eps = 0.5
+        scheme = RoundingScheme(epsilon=eps, max_weight=10 ** 5)
+        # A path of `hops` edges of weight `w` each.
+        for hops, w in [(3, 1000), (7, 33), (20, 12345 // 20), (5, 1)]:
+            wd = hops * w
+            level = scheme.level_for_pair(wd, hops)
+            rounded = sum(scheme.rounded_weight(level, w) for _ in range(hops))
+            assert rounded < (1 + eps) * wd + 1e-6
+            hop_count = sum(scheme.edge_length(level, w) for _ in range(hops))
+            assert hop_count <= scheme.horizon(hops)

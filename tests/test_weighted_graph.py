@@ -1,0 +1,160 @@
+"""Unit tests for the WeightedGraph data structure."""
+
+import pytest
+
+from repro.graphs import WeightedGraph, GraphError
+from repro import graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = WeightedGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.is_connected()
+
+    def test_add_nodes_and_edges(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 5)
+        g.add_edge(2, 3, 7)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert g.weight(1, 2) == 5
+        assert g.weight(3, 2) == 7
+
+    def test_add_node_idempotent(self):
+        g = WeightedGraph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.num_nodes == 1
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1, 3)
+
+    def test_non_positive_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -4)
+
+    def test_non_integer_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 2.5)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, True)
+
+    def test_edge_overwrite_keeps_edge_count(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 5)
+        g.add_edge(1, 2, 9)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 9
+
+    def test_remove_edge(self):
+        g = WeightedGraph()
+        g.add_edge(1, 2, 5)
+        g.remove_edge(1, 2)
+        assert g.num_edges == 0
+        assert not g.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        g = WeightedGraph()
+        g.add_node(1)
+        g.add_node(2)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_from_edges(self):
+        g = WeightedGraph.from_edges([(0, 1, 2), (1, 2, 3)], nodes=[0, 1, 2, 3])
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (0, 2, 1), (0, 3, 1)])
+        assert set(g.neighbors(0)) == {1, 2, 3}
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_edges_yields_each_once(self):
+        g = WeightedGraph.from_edges([(0, 1, 2), (1, 2, 3), (2, 0, 4)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+
+    def test_missing_edge_weight_raises(self):
+        g = WeightedGraph.from_edges([(0, 1, 2)])
+        with pytest.raises(GraphError):
+            g.weight(0, 2)
+
+    def test_max_and_total_weight(self):
+        g = WeightedGraph.from_edges([(0, 1, 2), (1, 2, 10)])
+        assert g.max_weight() == 10
+        assert g.total_weight() == 12
+
+    def test_contains_and_len(self):
+        g = WeightedGraph.from_edges([(0, 1, 1)])
+        assert 0 in g
+        assert 5 not in g
+        assert len(g) == 2
+
+    def test_neighbor_weights_view(self):
+        g = WeightedGraph.from_edges([(0, 1, 3), (0, 2, 4)])
+        assert g.neighbor_weights(0) == {1: 3, 2: 4}
+
+
+class TestStructure:
+    def test_connectivity(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (2, 3, 1)])
+        assert not g.is_connected()
+        g.add_edge(1, 2, 1)
+        assert g.is_connected()
+
+    def test_connected_components(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (2, 3, 1)], nodes=[0, 1, 2, 3, 4])
+        comps = g.connected_components()
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [1, 2, 2]
+
+    def test_subgraph(self):
+        g = WeightedGraph.from_edges([(0, 1, 1), (1, 2, 2), (2, 3, 3)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert not sub.has_edge(0, 1)
+
+    def test_copy_is_independent(self):
+        g = WeightedGraph.from_edges([(0, 1, 1)])
+        h = g.copy()
+        h.add_edge(1, 2, 5)
+        assert g.num_nodes == 2
+        assert h.num_nodes == 3
+
+    def test_reweighted(self):
+        g = WeightedGraph.from_edges([(0, 1, 3), (1, 2, 5)])
+        doubled = g.reweighted(lambda u, v, w: 2 * w)
+        assert doubled.weight(0, 1) == 6
+        assert doubled.weight(1, 2) == 10
+        assert g.weight(0, 1) == 3
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, small_weighted_graph):
+        nx_graph = small_weighted_graph.to_networkx()
+        back = WeightedGraph.from_networkx(nx_graph)
+        assert back.num_nodes == small_weighted_graph.num_nodes
+        assert back.num_edges == small_weighted_graph.num_edges
+        for u, v, w in small_weighted_graph.edges():
+            assert back.weight(u, v) == w
+
+    def test_from_networkx_defaults(self):
+        import networkx as nx
+
+        nx_graph = nx.path_graph(4)
+        g = WeightedGraph.from_networkx(nx_graph)
+        assert g.num_edges == 3
+        assert g.weight(0, 1) == 1
