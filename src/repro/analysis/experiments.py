@@ -52,7 +52,8 @@ __all__ = [
 # E2 — APSP comparison (Theorem 4.1 vs baselines)
 # ----------------------------------------------------------------------
 def run_apsp_comparison(graph: WeightedGraph, epsilon: float = 0.25, seed: int = 0,
-                        include_bellman_ford: bool = True) -> List[Dict]:
+                        include_bellman_ford: bool = True,
+                        engine: str = "batched") -> List[Dict]:
     """Rounds and stretch of the Theorem 4.1 algorithm against the baselines."""
     n = graph.num_nodes
     m = graph.num_edges
@@ -60,7 +61,7 @@ def run_apsp_comparison(graph: WeightedGraph, epsilon: float = 0.25, seed: int =
     exact = all_pairs_weighted_distances(graph)
     records: List[Dict] = []
 
-    ours = approximate_apsp(graph, epsilon=epsilon)
+    ours = approximate_apsp(graph, epsilon=epsilon, engine=engine)
     stats = stretch_statistics(ours.estimates, exact)
     records.append({
         "algorithm": "pde_apsp (Thm 4.1)",
@@ -140,7 +141,7 @@ def run_pde_scaling(graph: WeightedGraph, num_sources: int, h: int, sigma: int,
 
 def run_epsilon_sweep(graph: WeightedGraph, epsilons: Sequence[float],
                       h: Optional[int] = None, sigma: Optional[int] = None,
-                      seed: int = 0) -> List[Dict]:
+                      seed: int = 0, engine: str = "batched") -> List[Dict]:
     """Accuracy/cost trade-off of PDE as epsilon varies (Theorem 3.3)."""
     n = graph.num_nodes
     h = h if h is not None else n
@@ -149,7 +150,7 @@ def run_epsilon_sweep(graph: WeightedGraph, epsilons: Sequence[float],
     records = []
     for eps in epsilons:
         pde = solve_pde(graph, graph.nodes(), h=h, sigma=sigma, epsilon=eps,
-                        engine="logical", store_levels=False)
+                        engine=engine, store_levels=False)
         stats = stretch_statistics(pde.estimates, exact)
         records.append({
             "epsilon": eps,
@@ -200,10 +201,12 @@ def run_figure1_congestion(h: int, sigma: int, epsilon: float = 0.5,
 # ----------------------------------------------------------------------
 def run_relabeling_experiment(graph: WeightedGraph, k: int, epsilon: float = 0.25,
                               seed: int = 0, budget_constant: float = 2.0,
-                              pair_sample: Optional[int] = None) -> Dict:
+                              pair_sample: Optional[int] = None,
+                              engine: str = "batched") -> Dict:
     """Build the Theorem 4.5 scheme and audit stretch, label size and rounds."""
     scheme = RelabelingRoutingScheme.build(graph, k=k, epsilon=epsilon, seed=seed,
-                                           budget_constant=budget_constant)
+                                           budget_constant=budget_constant,
+                                           engine=engine)
     pairs = sample_pairs(graph.nodes(), pair_sample, random.Random(seed))
     audit = scheme.audit(pairs=pairs)
     dist_audit = evaluate_distance_estimates(scheme, graph, pairs=pairs)
@@ -232,10 +235,11 @@ def run_relabeling_experiment(graph: WeightedGraph, k: int, epsilon: float = 0.2
 # ----------------------------------------------------------------------
 def run_compact_experiment(graph: WeightedGraph, k: int, mode: str = "auto",
                            l0: Optional[int] = None, epsilon: float = 0.25,
-                           seed: int = 0, pair_sample: Optional[int] = None) -> Dict:
+                           seed: int = 0, pair_sample: Optional[int] = None,
+                           engine: str = "batched") -> Dict:
     """Build the compact hierarchy and audit stretch / table size / rounds."""
     hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon, seed=seed,
-                                      mode=mode, l0=l0)
+                                      mode=mode, l0=l0, engine=engine)
     pairs = sample_pairs(graph.nodes(), pair_sample, random.Random(seed))
     audit = hierarchy.audit(pairs=pairs)
     report = hierarchy.build_report()
@@ -290,11 +294,13 @@ def run_prior_work_ablation(graph: WeightedGraph, k: int, seed: int = 0,
 # E8 — exact vs approximate Thorup–Zwick hierarchy
 # ----------------------------------------------------------------------
 def run_tz_comparison(graph: WeightedGraph, k: int, epsilon: float = 0.25,
-                      seed: int = 0, pair_sample: Optional[int] = None) -> Dict:
+                      seed: int = 0, pair_sample: Optional[int] = None,
+                      engine: str = "batched") -> Dict:
     """Compare the exact TZ oracle with the PDE-based approximate hierarchy."""
     exact_oracle = ExactThorupZwickOracle(graph, k=k, seed=seed)
     hierarchy = CompactRoutingHierarchy.build(graph, k=k, epsilon=epsilon,
-                                              seed=seed, mode="budget")
+                                              seed=seed, mode="budget",
+                                              engine=engine)
     exact_dists = all_pairs_weighted_distances(graph)
     pairs = sample_pairs(graph.nodes(), pair_sample, random.Random(seed))
 

@@ -58,7 +58,7 @@ def nanongkai_apsp(graph: WeightedGraph, epsilon: float, seed: int = 0
     n = graph.num_nodes
     rng = random.Random(seed)
     pde = solve_pde(graph, graph.nodes(), h=n, sigma=n, epsilon=epsilon,
-                    engine="logical", store_levels=False)
+                    engine="batched", store_levels=False)
     rounding = RoundingScheme(epsilon=epsilon, max_weight=graph.max_weight())
     horizon = rounding.horizon(n)
     log_n = max(1.0, math.log(max(2, n)))

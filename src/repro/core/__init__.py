@@ -1,8 +1,11 @@
 """The paper's primary contribution: source detection, rounding, PDE, APSP."""
 
 from .source_detection import (
+    DETECTION_ENGINES,
     DetectionEntry,
     SourceDetectionResult,
+    detect_sources,
+    detect_sources_batched,
     detect_sources_logical,
     run_source_detection_simulation,
     LenzenPelegSourceDetection,
@@ -10,7 +13,7 @@ from .source_detection import (
     lemma34_message_cap,
 )
 from .weight_rounding import RoundingScheme
-from .pde import PDEEntry, PDEResult, solve_pde
+from .pde import PDEEntry, PDEResult, pde_engine_names, solve_pde
 from .detection_exact import (
     ExactDetectionEntry,
     ExactDetectionResult,
@@ -21,8 +24,11 @@ from .detection_exact import (
 from .apsp import APSPResult, approximate_apsp, stretch_statistics
 
 __all__ = [
+    "DETECTION_ENGINES",
     "DetectionEntry",
     "SourceDetectionResult",
+    "detect_sources",
+    "detect_sources_batched",
     "detect_sources_logical",
     "run_source_detection_simulation",
     "LenzenPelegSourceDetection",
@@ -31,6 +37,7 @@ __all__ = [
     "RoundingScheme",
     "PDEEntry",
     "PDEResult",
+    "pde_engine_names",
     "solve_pde",
     "ExactDetectionEntry",
     "ExactDetectionResult",

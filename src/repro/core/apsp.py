@@ -57,7 +57,7 @@ class APSPResult:
 
 
 def approximate_apsp(graph: WeightedGraph, epsilon: float,
-                     engine: str = "logical") -> APSPResult:
+                     engine: str = "batched") -> APSPResult:
     """Theorem 4.1: deterministic ``(1+eps)``-approximate APSP.
 
     Runs ``(1+eps)``-approximate ``(V, n, n)``-estimation.  Every node ends up

@@ -19,10 +19,15 @@ The solver follows the construction of Theorem 3.3 exactly:
 3. Combine: ``wd~(v, s) = min_i b(i) * hd_i(v, s)`` over levels where ``s``
    appears in the level list ``L_{v,i}``; output the top ``sigma`` entries.
 
-Two engines are available:
+Three engines are available (the registry of
+:mod:`repro.core.source_detection`):
 
-* ``engine="logical"`` — per-level detection computed centrally (identical
-  output, analytic round/message bounds).
+* ``engine="batched"`` (default) — per-level detection via one ``sigma``-
+  truncated multi-source Dijkstra; fastest, cost independent of ``|S|``,
+  output identical to ``"logical"``.
+* ``engine="logical"`` — per-level detection computed centrally with one
+  pruned Dijkstra per source (identical output, analytic round/message
+  bounds).
 * ``engine="simulate"`` — per-level detection run faithfully on the CONGEST
   simulator over the materialised virtual graph; metrics are measured.
 
@@ -38,14 +43,14 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 from ..congest.metrics import CongestMetrics, merge_metrics
 from ..graphs.weighted_graph import WeightedGraph
 from .source_detection import (
+    DETECTION_ENGINES,
     DetectionEntry,
     SourceDetectionResult,
-    detect_sources_logical,
-    run_source_detection_simulation,
+    detect_sources,
 )
 from .weight_rounding import RoundingScheme
 
-__all__ = ["PDEEntry", "PDEResult", "solve_pde"]
+__all__ = ["PDEEntry", "PDEResult", "solve_pde", "pde_engine_names"]
 
 
 @dataclass(frozen=True)
@@ -139,7 +144,7 @@ class PDEResult:
 
 
 def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: int,
-              epsilon: float, engine: str = "logical", message_cap: bool = True,
+              epsilon: float, engine: str = "batched", message_cap: bool = True,
               store_levels: bool = True) -> PDEResult:
     """Solve ``(1+eps)``-approximate ``(S, h, sigma)``-estimation (Theorem 3.3).
 
@@ -150,17 +155,29 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
     sources:
         The source set ``S``.
     h, sigma:
-        Hop budget and list length of Definition 2.2.
+        Hop budget and list length of Definition 2.2.  Both must be at least
+        1: with ``h = 0`` or ``sigma = 0`` the guarantees of Definition 2.2 /
+        Theorem 3.3 are vacuous (no pair is within the hop budget, or no list
+        entry may be emitted), so such instances are rejected here — unlike
+        the raw detection engines, which accept the degenerate boundaries
+        (see :mod:`repro.core.source_detection`).
     epsilon:
         Approximation parameter (``wd' <= (1+eps) wd`` within ``h`` hops).
     engine:
-        ``"logical"`` (fast, analytic metrics) or ``"simulate"`` (faithful
-        CONGEST execution on the materialised virtual graphs, measured
-        metrics).
+        Per-level detection engine: ``"batched"`` (default; fastest, analytic
+        metrics), ``"logical"`` (per-source searches, identical output) or
+        ``"simulate"`` (faithful CONGEST execution on the materialised
+        virtual graphs, measured metrics).
     message_cap:
         Apply the Lemma 3.4 per-node broadcast cap in the simulator.
     store_levels:
-        Keep the raw per-level detection results on the result object.
+        Keep the raw per-level detection results on the result object.  When
+        ``False`` each level's detection output is folded into the estimates
+        as soon as it is computed and the raw
+        :class:`~repro.core.source_detection.SourceDetectionResult` is
+        released immediately instead of being retained for all levels.  (The
+        folded ``estimates`` tables themselves can still hold up to the
+        union of every level's top-``sigma`` sources per node.)
     """
     source_set = set(sources)
     if not source_set:
@@ -168,34 +185,31 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
     for s in source_set:
         if not graph.has_node(s):
             raise ValueError(f"source {s!r} is not a node of the graph")
-    if engine not in ("logical", "simulate"):
-        raise ValueError(f"unknown engine {engine!r}")
+    if engine not in DETECTION_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"available: {sorted(DETECTION_ENGINES)}")
     if h < 1 or sigma < 1:
         raise ValueError("h and sigma must be at least 1")
 
     rounding = RoundingScheme(epsilon=epsilon, max_weight=graph.max_weight())
     horizon = rounding.horizon(h)
 
-    per_level: Dict[int, SourceDetectionResult] = {}
-    level_metrics: List[CongestMetrics] = []
-    for level in rounding.levels():
-        length_fn = rounding.edge_length_fn(level)
-        if engine == "simulate":
-            detection = run_source_detection_simulation(
-                graph, source_set, horizon, sigma,
-                edge_length=length_fn, message_cap=message_cap)
-        else:
-            detection = detect_sources_logical(
-                graph, source_set, horizon, sigma, edge_length=length_fn)
-        per_level[level] = detection
-        level_metrics.append(detection.metrics)
-
     estimates: Dict[Hashable, Dict[Hashable, float]] = {v: {} for v in graph.nodes()}
     next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {
         v: {} for v in graph.nodes()}
     levels_used: Dict[Hashable, Dict[Hashable, int]] = {v: {} for v in graph.nodes()}
 
-    for level, detection in per_level.items():
+    per_level: Dict[int, SourceDetectionResult] = {}
+    level_metrics: List[CongestMetrics] = []
+    for level in rounding.levels():
+        length_fn = rounding.edge_length_fn(level)
+        engine_kwargs = {"message_cap": message_cap} if engine == "simulate" else {}
+        detection = detect_sources(graph, source_set, horizon, sigma,
+                                   edge_length=length_fn, engine=engine,
+                                   **engine_kwargs)
+        level_metrics.append(detection.metrics)
+        # Fold this level into the running minimum right away; the raw
+        # detection result is retained only when the caller asked for it.
         for node, entries in detection.lists.items():
             if node not in estimates:
                 continue  # ignore any virtual helper nodes
@@ -206,6 +220,8 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
                     estimates[node][entry.source] = value
                     next_hops[node][entry.source] = entry.next_hop
                     levels_used[node][entry.source] = level
+        if store_levels:
+            per_level[level] = detection
 
     lists: Dict[Hashable, List[PDEEntry]] = {}
     for node in graph.nodes():
@@ -232,3 +248,8 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
         metrics=metrics,
         per_level=per_level if store_levels else None,
     )
+
+
+def pde_engine_names() -> List[str]:
+    """The available per-level detection engine names."""
+    return sorted(DETECTION_ENGINES)

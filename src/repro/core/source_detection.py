@@ -7,26 +7,42 @@ pairs among sources within ``h`` hops.  On unweighted graphs this is solvable
 deterministically in ``h + sigma`` rounds, and — crucially for Lemma 3.4 — a
 node needs to broadcast at most ``O(sigma^2)`` messages overall.
 
-This module provides two interchangeable engines:
+This module provides three interchangeable engines, selectable by name via
+the :data:`DETECTION_ENGINES` registry / :func:`detect_sources` dispatcher:
 
-* :func:`detect_sources_logical` — a centralized computation of the exact
-  output the distributed algorithm produces (the problem is deterministic,
-  so the output is unique).  It supports integer *edge lengths*, which is how
-  the virtual subdivided graphs ``G_i`` of Section 3 are handled without
-  materialising them.
-* :class:`LenzenPelegSourceDetection` — the faithful per-round CONGEST
-  algorithm, run via :class:`~repro.congest.network.CongestNetwork` on an
-  explicitly subdivided graph (see :func:`expand_with_edge_lengths`).  It
-  measures real rounds and per-node broadcast counts and optionally applies
-  the Lemma 3.4 message cap.
+* ``"logical"`` — :func:`detect_sources_logical`, a centralized computation
+  of the exact output the distributed algorithm produces (the problem is
+  deterministic, so the output is unique).  One pruned Dijkstra *per source*;
+  supports integer *edge lengths*, which is how the virtual subdivided graphs
+  ``G_i`` of Section 3 are handled without materialising them.
+* ``"batched"`` — :func:`detect_sources_batched`, a single lexicographic
+  multi-source Dijkstra in which every node retains at most ``sigma``
+  ``(distance, source)`` labels and only surviving labels propagate.  This is
+  the centralized mirror of the paper's key insight (a node never needs more
+  than its top-``sigma`` labels): total cost ``O(sigma * (m + n log n))``
+  *independent of* ``|S|``, versus ``O(|S| * (m + n log n))`` for the
+  per-source engine.  Output lists are identical to ``"logical"``.
+* ``"simulate"`` — :class:`LenzenPelegSourceDetection`, the faithful
+  per-round CONGEST algorithm, run via
+  :class:`~repro.congest.network.CongestNetwork` on an explicitly subdivided
+  graph (see :func:`expand_with_edge_lengths`).  It measures real rounds and
+  per-node broadcast counts and optionally applies the Lemma 3.4 message cap.
 
-Tests assert the two engines agree.
+Tests assert the engines agree list-for-list.
+
+Boundary semantics: the detection engines accept the degenerate parameters
+``h = 0`` (only sources detect themselves, at distance 0) and ``sigma = 0``
+(every output list is empty).  These instances are well-defined by
+Definition 2.1, whereas the PDE solver (:func:`repro.core.pde.solve_pde`)
+rejects ``h < 1`` / ``sigma < 1`` because the guarantees of Definition 2.2 /
+Theorem 3.3 are vacuous there; see its docstring.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from itertools import count
 from typing import Callable, Dict, Hashable, List, Optional, Set, Tuple
 
 from ..congest.message import BROADCAST, Message
@@ -38,7 +54,10 @@ from ..graphs.weighted_graph import WeightedGraph
 __all__ = [
     "DetectionEntry",
     "SourceDetectionResult",
+    "DETECTION_ENGINES",
+    "detect_sources",
     "detect_sources_logical",
+    "detect_sources_batched",
     "LenzenPelegSourceDetection",
     "expand_with_edge_lengths",
     "run_source_detection_simulation",
@@ -114,6 +133,11 @@ def detect_sources_logical(graph: WeightedGraph, sources: Set[Hashable], h: int,
     ``{(d(v, s), s) : s in S, d(v, s) <= h}`` of length at most ``sigma``,
     where ``d`` is the (length-weighted) hop distance.  Next hops point along
     a corresponding shortest path.
+
+    The degenerate boundaries ``h = 0`` (sources detect only themselves) and
+    ``sigma = 0`` (all lists empty) are accepted; only negative parameters
+    are rejected.  Note that :func:`repro.core.pde.solve_pde` is stricter and
+    requires ``h >= 1`` and ``sigma >= 1`` (see the module docstring).
     """
     if h < 0 or sigma < 0:
         raise ValueError("h and sigma must be non-negative")
@@ -155,6 +179,102 @@ def detect_sources_logical(graph: WeightedGraph, sources: Set[Hashable], h: int,
         ]
         entries.sort(key=lambda e: e.key())
         lists[v] = entries[:sigma]
+
+    metrics = CongestMetrics(rounds=h + sigma, measured=False)
+    return SourceDetectionResult(lists=lists, h=h, sigma=sigma, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# batched engine
+# ----------------------------------------------------------------------
+def detect_sources_batched(graph: WeightedGraph, sources: Set[Hashable], h: int,
+                           sigma: int, edge_length: Optional[LengthFn] = None,
+                           ) -> SourceDetectionResult:
+    """Compute ``(S, h, sigma)``-detection with one multi-source Dijkstra.
+
+    Instead of one pruned Dijkstra per source, a single search settles
+    ``(distance, source)`` labels in global lexicographic order and keeps at
+    most ``sigma`` labels per node; only settled (i.e. surviving top-``sigma``)
+    labels propagate to neighbours.  This is exactly the pruning the paper's
+    distributed algorithm performs: if a source ``s`` is among the ``sigma``
+    lexicographically smallest for ``v`` and ``w`` lies on a shortest
+    ``v``-``s`` path, then ``s`` is among the ``sigma`` smallest for ``w`` as
+    well (any label beating ``s`` at ``w`` extends to a label beating ``s``
+    at ``v``).  Hence truncating to ``sigma`` labels per node never loses an
+    output entry, and the produced lists are identical to
+    :func:`detect_sources_logical`.
+
+    Cost is ``O(sigma * (m + n log n))`` heap operations, independent of
+    ``|S|``.  Next hops point along a shortest path realising the listed
+    distance (they may differ from the per-source engine's choice when
+    multiple shortest paths exist; the ``(distance, source)`` lists do not).
+
+    Accepts the same degenerate boundaries as the logical engine: ``h = 0``
+    and ``sigma = 0``.
+    """
+    if h < 0 or sigma < 0:
+        raise ValueError("h and sigma must be non-negative")
+    length = edge_length if edge_length is not None else (lambda u, v, w: 1)
+    for s in sources:
+        if not graph.has_node(s):
+            raise ValueError(f"source {s!r} is not a node of the graph")
+
+    lists: Dict[Hashable, List[DetectionEntry]] = {v: [] for v in graph.nodes()}
+    if sigma == 0:
+        metrics = CongestMetrics(rounds=h + sigma, measured=False)
+        return SourceDetectionResult(lists=lists, h=h, sigma=sigma, metrics=metrics)
+
+    # Tentative labels: best[v][s] = (distance, next hop from v toward s).
+    best: Dict[Hashable, Dict[Hashable, Tuple[int, Optional[Hashable]]]] = {
+        v: {} for v in graph.nodes()
+    }
+    # Sources settled per node, in lexicographic (distance, repr(source))
+    # order — lists[v] is therefore built already sorted.
+    done: Dict[Hashable, Set[Hashable]] = {v: set() for v in graph.nodes()}
+
+    # Directed adjacency with the integer lengths materialised once: each
+    # edge is otherwise re-measured on every one of its up-to-sigma
+    # relaxations, and the length callback dominates the inner loop.
+    adjacency: Dict[Hashable, List[Tuple[Hashable, int]]] = {
+        v: [(u, max(1, int(length(v, u, w))))
+            for u, w in graph.neighbor_weights(v).items()]
+        for v in graph.nodes()
+    }
+
+    # Heap keys are (distance, source rank, tiebreak) where ranks enumerate
+    # the sources in repr order — integer comparisons instead of string
+    # comparisons, matching the paper's lexicographic (distance, source)
+    # order.  Node and source ride along as payload because arbitrary
+    # Hashables need not be comparable.
+    tiebreak = count()
+    heap: List[Tuple[int, int, int, Hashable, Hashable]] = []
+    for rank, s in enumerate(sorted(sources, key=repr)):
+        best[s][s] = (0, None)
+        heapq.heappush(heap, (0, rank, next(tiebreak), s, s))
+
+    while heap:
+        d, srank, _, v, s = heapq.heappop(heap)
+        done_v = done[v]
+        if s in done_v or len(done_v) >= sigma:
+            continue
+        current = best[v].get(s)
+        if current is None or current[0] != d:
+            continue  # stale entry superseded by a shorter label
+        done_v.add(s)
+        lists[v].append(DetectionEntry(distance=d, source=s, next_hop=current[1]))
+        if d == h:
+            continue  # any relaxation would exceed the horizon
+        for u, step in adjacency[v]:
+            # A node with a full list settles no further labels, and every
+            # future label is lexicographically larger than its sigma-th
+            # settled one — skip the push outright.
+            done_u = done[u]
+            if len(done_u) >= sigma or s in done_u:
+                continue
+            nd = d + step
+            if nd <= h and nd < best[u].get(s, (h + 1,))[0]:
+                best[u][s] = (nd, v)
+                heapq.heappush(heap, (nd, srank, next(tiebreak), u, s))
 
     metrics = CongestMetrics(rounds=h + sigma, measured=False)
     return SourceDetectionResult(lists=lists, h=h, sigma=sigma, metrics=metrics)
@@ -273,6 +393,11 @@ def _map_next_hop(graph: WeightedGraph, node: Hashable,
     If the next hop is a virtual node ``("virt", repr(u), repr(v), idx)``,
     the real next hop from ``node`` is the endpoint of that subdivided edge
     other than ``node``.
+
+    Raises :class:`ValueError` when the virtual node cannot be mapped back to
+    a real neighbour of ``node`` — that means the simulation produced a next
+    hop inconsistent with the original topology (e.g. a corrupted virtual
+    node name), which previously degraded silently into a ``None`` next hop.
     """
     if not (isinstance(next_hop, tuple) and len(next_hop) == 4
             and next_hop[0] == "virt"):
@@ -282,7 +407,9 @@ def _map_next_hop(graph: WeightedGraph, node: Hashable,
     for nbr in graph.neighbors(node):
         if repr(nbr) == target_repr:
             return nbr
-    return None
+    raise ValueError(
+        f"cannot map virtual next hop {next_hop!r} back to a real neighbour "
+        f"of {node!r}: no neighbour has repr {target_repr!r}")
 
 
 def run_source_detection_simulation(graph: WeightedGraph, sources: Set[Hashable],
@@ -319,7 +446,39 @@ def run_source_detection_simulation(graph: WeightedGraph, sources: Set[Hashable]
 
     # Restrict broadcast accounting to real nodes.
     metrics.broadcasts_per_node = {
-        node: count for node, count in metrics.broadcasts_per_node.items()
+        node: cnt for node, cnt in metrics.broadcasts_per_node.items()
         if node in real_nodes
     }
     return SourceDetectionResult(lists=lists, h=h, sigma=sigma, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+#: Named detection engines.  All produce identical ``(distance, source)``
+#: lists; they differ in cost model and metrics (see the module docstring).
+DETECTION_ENGINES: Dict[str, Callable[..., SourceDetectionResult]] = {
+    "logical": detect_sources_logical,
+    "batched": detect_sources_batched,
+    "simulate": run_source_detection_simulation,
+}
+
+
+def detect_sources(graph: WeightedGraph, sources: Set[Hashable], h: int,
+                   sigma: int, edge_length: Optional[LengthFn] = None,
+                   engine: str = "batched", **engine_kwargs,
+                   ) -> SourceDetectionResult:
+    """Solve ``(S, h, sigma)``-detection with the named engine.
+
+    ``engine`` selects from :data:`DETECTION_ENGINES` (``"batched"`` by
+    default — the fastest engine with output identical to ``"logical"``).
+    Extra keyword arguments are forwarded to the engine; only ``"simulate"``
+    accepts any (``message_cap``).
+    """
+    try:
+        fn = DETECTION_ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown detection engine {engine!r}; "
+            f"available: {sorted(DETECTION_ENGINES)}") from None
+    return fn(graph, sources, h, sigma, edge_length=edge_length, **engine_kwargs)

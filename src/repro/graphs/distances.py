@@ -45,15 +45,19 @@ def dijkstra(graph: WeightedGraph, source: Hashable,
     """Single-source shortest weighted paths.
 
     Returns ``(dist, parent)`` where ``dist[v]`` is the weighted distance
-    ``wd(source, v)`` and ``parent[v]`` is the predecessor of ``v`` on a
-    shortest path from ``source`` (``None`` for the source itself).
+    ``wd(source, v)`` as a ``float`` and ``parent[v]`` is the predecessor of
+    ``v`` on a shortest path from ``source`` (``None`` for the source
+    itself).  Nodes unreachable from ``source`` are omitted from both dicts
+    (the sparse-dict contract shared by every distance function in this
+    module); all distance values are ``float`` so results from the different
+    distance functions compare and serialise consistently.
 
     ``weight_fn(u, v, w)`` may be supplied to reinterpret edge weights (used
     by the rounding machinery of Section 3).
     """
-    dist: Dict[Hashable, float] = {source: 0}
+    dist: Dict[Hashable, float] = {source: 0.0}
     parent: Dict[Hashable, Optional[Hashable]] = {source: None}
-    heap: List[Tuple[float, Hashable]] = [(0, source)]
+    heap: List[Tuple[float, Hashable]] = [(0.0, source)]
     settled = set()
     while heap:
         d, u = heapq.heappop(heap)
@@ -62,7 +66,7 @@ def dijkstra(graph: WeightedGraph, source: Hashable,
         settled.add(u)
         for v, w in graph.neighbor_weights(u).items():
             edge_w = w if weight_fn is None else weight_fn(u, v, w)
-            nd = d + edge_w
+            nd = d + float(edge_w)
             if nd < dist.get(v, INFINITY):
                 dist[v] = nd
                 parent[v] = u
@@ -77,11 +81,12 @@ def dijkstra_with_hops(graph: WeightedGraph, source: Hashable
     Returns ``(dist, hops)`` where ``hops[v]`` is the minimum number of hops
     over all shortest weighted paths from ``source`` to ``v`` (the quantity
     ``h_{source,v}`` of Section 2.2).  The search orders nodes
-    lexicographically by ``(distance, hops)``.
+    lexicographically by ``(distance, hops)``.  Distances are ``float``;
+    unreachable nodes are omitted (see :func:`dijkstra`).
     """
-    dist: Dict[Hashable, float] = {source: 0}
+    dist: Dict[Hashable, float] = {source: 0.0}
     hops: Dict[Hashable, int] = {source: 0}
-    heap: List[Tuple[float, int, Hashable]] = [(0, 0, source)]
+    heap: List[Tuple[float, int, Hashable]] = [(0.0, 0, source)]
     settled = set()
     while heap:
         d, hop, u = heapq.heappop(heap)
@@ -89,7 +94,7 @@ def dijkstra_with_hops(graph: WeightedGraph, source: Hashable
             continue
         settled.add(u)
         for v, w in graph.neighbor_weights(u).items():
-            nd = d + w
+            nd = d + float(w)
             nh = hop + 1
             if nd < dist.get(v, INFINITY) or (
                     nd == dist.get(v, INFINITY) and nh < hops.get(v, float("inf"))):
@@ -176,9 +181,13 @@ def h_hop_distances(graph: WeightedGraph, source: Hashable, h: int
     """``h``-hop distances from ``source``.
 
     ``wd_h(source, v)`` is the minimum weight over all ``source``-``v`` paths
-    with at most ``h`` hops (infinite if no such path exists).  Computed with
-    ``h`` rounds of Bellman–Ford relaxation, which mirrors exactly what an
-    ``h``-round distributed relaxation can learn.
+    with at most ``h`` hops.  Nodes admitting no such path (conceptually at
+    distance ``wd_h = infinity``) are *omitted* from the returned dict — the
+    sparse-dict contract shared by every distance function in this module;
+    use ``dist.get(v, INFINITY)`` to recover the total function.  All values
+    are ``float``.  Computed with ``h`` rounds of Bellman–Ford relaxation,
+    which mirrors exactly what an ``h``-round distributed relaxation can
+    learn.
     """
     if h < 0:
         raise ValueError("h must be non-negative")
@@ -189,7 +198,7 @@ def h_hop_distances(graph: WeightedGraph, source: Hashable, h: int
         for u in frontier:
             du = dist[u]
             for v, w in graph.neighbor_weights(u).items():
-                nd = du + w
+                nd = du + float(w)
                 if nd < dist.get(v, INFINITY) and nd < updates.get(v, INFINITY):
                     updates[v] = nd
         if not updates:

@@ -9,6 +9,7 @@ from .skeleton import (
     sample_skeleton,
     exact_skeleton_graph,
     skeleton_graph_from_pde,
+    build_skeleton_pde,
     skeleton_distance_audit,
 )
 from .spanner import baswana_sen_spanner, greedy_spanner, verify_spanner, spanner_stretch
@@ -46,6 +47,7 @@ __all__ = [
     "sample_skeleton",
     "exact_skeleton_graph",
     "skeleton_graph_from_pde",
+    "build_skeleton_pde",
     "skeleton_distance_audit",
     "baswana_sen_spanner",
     "greedy_spanner",

@@ -40,7 +40,7 @@ def choose_truncation_level(n: int, k: int, diameter: int) -> int:
 def build_compact_routing(graph: WeightedGraph, k: int, epsilon: float = 0.25,
                           seed: int = 0, mode: str = "auto",
                           l0: Optional[int] = None, budget_constant: float = 2.0,
-                          engine: str = "logical") -> CompactRoutingHierarchy:
+                          engine: str = "batched") -> CompactRoutingHierarchy:
     """Build compact routing tables per Corollary 4.14.
 
     ``mode="auto"`` measures the hop diameter ``D`` and uses the truncated

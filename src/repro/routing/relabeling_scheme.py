@@ -40,10 +40,10 @@ from ..graphs.distances import dijkstra, path_weight
 from ..graphs.weighted_graph import WeightedGraph
 from .cluster_trees import TreeFamily, build_destination_trees
 from .skeleton import (
+    build_skeleton_pde,
     default_detection_budget,
     default_sampling_probability,
     sample_skeleton,
-    skeleton_graph_from_pde,
 )
 from .spanner import baswana_sen_spanner, greedy_spanner
 from .tables import Label, RouteTrace, RoutingTable
@@ -105,7 +105,7 @@ class RelabelingRoutingScheme:
     def build(cls, graph: WeightedGraph, k: int, epsilon: float = 0.25,
               seed: int = 0, sampling_probability: Optional[float] = None,
               budget_constant: float = 2.0, spanner_method: str = "baswana_sen",
-              engine: str = "logical") -> "RelabelingRoutingScheme":
+              engine: str = "batched") -> "RelabelingRoutingScheme":
         """Run the distributed construction (logically or on the simulator)."""
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -119,9 +119,11 @@ class RelabelingRoutingScheme:
         # Step 2: short-range estimation over all nodes.
         pde_short = solve_pde(graph, graph.nodes(), h=budget, sigma=budget,
                               epsilon=epsilon, engine=engine, store_levels=False)
-        # Step 3: long-range estimation from the skeleton.
-        pde_skel = solve_pde(graph, skeleton, h=budget, sigma=max(1, len(skeleton)),
-                             epsilon=epsilon, engine=engine, store_levels=False)
+        # Step 3: long-range estimation from the skeleton, and the skeleton
+        # graph H on S with the approximate edge weights wd'_S.
+        pde_skel, skeleton_graph = build_skeleton_pde(
+            graph, skeleton, epsilon, h=budget, sigma=max(1, len(skeleton)),
+            engine=engine)
 
         # Home skeleton node s'_v of every node (Lemma 4.2).
         home: Dict[Hashable, Hashable] = {}
@@ -149,8 +151,7 @@ class RelabelingRoutingScheme:
                                              destinations=sorted(skeleton, key=repr),
                                              members_of=home_members)
 
-        # Skeleton graph and its (2k-1)-spanner, made globally known.
-        skeleton_graph = skeleton_graph_from_pde(pde_skel, skeleton)
+        # The (2k-1)-spanner of the skeleton graph, made globally known.
         if spanner_method == "greedy":
             spanner = greedy_spanner(skeleton_graph, k)
         elif spanner_method == "baswana_sen":

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, Hashable, Iterable, Optional, Set
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
-from ..core.pde import PDEResult
+from ..core.pde import PDEResult, solve_pde
 from ..graphs.distances import dijkstra, h_hop_distances
 from ..graphs.weighted_graph import WeightedGraph
 
@@ -33,6 +33,7 @@ __all__ = [
     "sample_skeleton",
     "exact_skeleton_graph",
     "skeleton_graph_from_pde",
+    "build_skeleton_pde",
     "skeleton_distance_audit",
 ]
 
@@ -112,6 +113,35 @@ def skeleton_graph_from_pde(pde: PDEResult, skeleton: Set[Hashable]) -> Weighted
                     sk.remove_edge(s, t)
                 sk.add_edge(s, t, weight)
     return sk
+
+
+def build_skeleton_pde(graph: WeightedGraph, skeleton: Set[Hashable],
+                       epsilon: float, h: Optional[int] = None,
+                       sigma: Optional[int] = None, c: float = 2.0,
+                       engine: str = "batched",
+                       ) -> Tuple[PDEResult, WeightedGraph]:
+    """Run the long-range PDE from a skeleton and build ``G~`` in one step.
+
+    Solves ``(1+eps)``-approximate ``(S, h, sigma)``-estimation with
+    ``S = skeleton`` (defaults: ``h`` from :func:`default_detection_budget`
+    with the skeleton's implied sampling rate ``|S|/n``, ``sigma = |S|`` as
+    in Theorem 4.5 step 3) and derives the approximate skeleton graph of
+    Corollary 4.11.  ``engine`` selects the per-level detection engine and is
+    forwarded to :func:`repro.core.pde.solve_pde`.
+
+    Returns ``(pde, skeleton_graph)``.
+    """
+    if not skeleton:
+        raise ValueError("the skeleton must be non-empty")
+    n = graph.num_nodes
+    if h is None:
+        p = max(len(skeleton) / max(1, n), 1.0 / max(1, n))
+        h = default_detection_budget(n, p, c=c)
+    if sigma is None:
+        sigma = max(1, len(skeleton))
+    pde = solve_pde(graph, skeleton, h=h, sigma=sigma, epsilon=epsilon,
+                    engine=engine, store_levels=False)
+    return pde, skeleton_graph_from_pde(pde, skeleton)
 
 
 def skeleton_distance_audit(graph: WeightedGraph, skeleton_graph: WeightedGraph

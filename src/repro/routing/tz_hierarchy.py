@@ -128,7 +128,7 @@ class CompactRoutingHierarchy:
     def build(cls, graph: WeightedGraph, k: int, epsilon: float = 0.25,
               seed: int = 0, mode: str = "budget", l0: Optional[int] = None,
               budget_constant: float = 2.0, spd: Optional[int] = None,
-              engine: str = "logical") -> "CompactRoutingHierarchy":
+              engine: str = "batched") -> "CompactRoutingHierarchy":
         """Build the approximate hierarchy.
 
         Parameters
@@ -142,6 +142,11 @@ class CompactRoutingHierarchy:
         spd:
             Optional upper bound on the shortest-path diameter for
             ``mode="spd"`` (computed exactly when omitted).
+        engine:
+            Per-level PDE detection engine (forwarded to
+            :func:`repro.core.pde.solve_pde`).  Skeleton-level instances are
+            globally simulated per Lemma 4.12, so ``"simulate"`` falls back
+            to ``"logical"`` there (the rounds are accounted analytically).
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -224,9 +229,12 @@ class CompactRoutingHierarchy:
                     level_data.append(_LevelData(sources=level_sets[l], h=h_skel,
                                                  sigma=sigma, skeleton_level=True))
                     continue
+                # The skeleton computation is simulated globally (Lemma 4.12),
+                # so the faithful CONGEST engine does not apply here.
+                skeleton_engine = "logical" if engine == "simulate" else engine
                 pde_sk = solve_pde(skeleton_graph, level_sets[l], h=h_skel,
-                                   sigma=sigma, epsilon=epsilon, engine="logical",
-                                   store_levels=False)
+                                   sigma=sigma, epsilon=epsilon,
+                                   engine=skeleton_engine, store_levels=False)
                 pde_results.append(pde_sk)
                 skeleton_trees[l] = build_destination_trees(skeleton_graph, pde_sk)
                 # Lemma 4.12 round accounting for the global simulation of

@@ -117,6 +117,21 @@ class TestHHopDistances:
         source = reference_graph.nodes()[0]
         assert h_hop_distances(reference_graph, source, 0) == {source: 0.0}
 
+    def test_unreachable_nodes_omitted(self):
+        # Regression: the sparse-dict contract — a disconnected node admits
+        # no source-v path at all, so it must be absent from the result
+        # (conceptually wd_h = infinity), not mapped to a sentinel.
+        g = WeightedGraph.from_edges([(0, 1, 2), (1, 2, 3)], nodes=[0, 1, 2, 3])
+        dist = h_hop_distances(g, 0, h=5)
+        assert 3 not in dist
+        assert set(dist) == {0, 1, 2}
+        assert dist[2] == 5.0
+
+    def test_beyond_hop_budget_omitted(self):
+        g = graphs.path_graph(6, graphs.unit_weights(), seed=0)
+        dist = h_hop_distances(g, 0, h=2)
+        assert set(dist) == {0, 1, 2}
+
     def test_monotone_in_h(self, mixed_scale_graph):
         source = mixed_scale_graph.nodes()[0]
         previous = h_hop_distances(mixed_scale_graph, source, 1)
@@ -150,6 +165,37 @@ class TestHHopDistances:
     def test_negative_h_rejected(self, grid):
         with pytest.raises(ValueError):
             h_hop_distances(grid, grid.nodes()[0], -1)
+
+
+class TestNumericTypes:
+    """Regression: dijkstra used to return int distances while h_hop_distances
+    returned floats, so stretch audits and serialized results compared
+    int-vs-float tables.  All distance functions now return float values."""
+
+    def test_dijkstra_returns_floats(self, reference_graph):
+        dist, _ = dijkstra(reference_graph, reference_graph.nodes()[0])
+        assert all(type(d) is float for d in dist.values())
+
+    def test_dijkstra_with_hops_returns_float_distances(self, reference_graph):
+        dist, hops = dijkstra_with_hops(reference_graph, reference_graph.nodes()[0])
+        assert all(type(d) is float for d in dist.values())
+        assert all(type(hc) is int for hc in hops.values())
+
+    def test_h_hop_distances_returns_floats(self, reference_graph):
+        dist = h_hop_distances(reference_graph, reference_graph.nodes()[0], 4)
+        assert all(type(d) is float for d in dist.values())
+
+    def test_dijkstra_and_h_hop_agree_exactly_at_full_horizon(self, reference_graph):
+        source = reference_graph.nodes()[0]
+        exact, _ = dijkstra(reference_graph, source)
+        limited = h_hop_distances(reference_graph, source,
+                                  reference_graph.num_nodes)
+        assert limited == exact  # same types, same values — no approx needed
+
+    def test_all_pairs_weighted_distances_floats(self, reference_graph):
+        table = all_pairs_weighted_distances(reference_graph)
+        for row in table.values():
+            assert all(type(d) is float for d in row.values())
 
 
 class TestPathHelpers:

@@ -4,11 +4,14 @@ import pytest
 
 from repro import graphs
 from repro.core import (
+    detect_sources_batched,
     detect_sources_logical,
     expand_with_edge_lengths,
     lemma34_message_cap,
     run_source_detection_simulation,
+    solve_pde,
 )
+from repro.core.source_detection import _map_next_hop
 from repro.graphs import WeightedGraph, bfs_hop_distances
 
 
@@ -73,6 +76,8 @@ class TestLogicalEngine:
     def test_invalid_parameters(self, unit_path):
         with pytest.raises(ValueError):
             detect_sources_logical(unit_path, {0}, h=-1, sigma=2)
+        with pytest.raises(ValueError):
+            detect_sources_logical(unit_path, {0}, h=3, sigma=-1)
 
     def test_analytic_round_bound(self, unit_path):
         result = detect_sources_logical(unit_path, {0}, h=4, sigma=3)
@@ -125,6 +130,63 @@ class TestSimulatedEngine:
         entry = simulated.lists[2][0]
         assert entry.source == 0
         assert entry.next_hop == 1
+
+
+class TestBoundarySemantics:
+    """The documented h=0 / sigma=0 boundaries (satellite of Definition 2.1):
+    detection engines accept the degenerate instances, the PDE solver rejects
+    them because the Definition 2.2 guarantees are vacuous there."""
+
+    @pytest.mark.parametrize("engine", [detect_sources_logical,
+                                        detect_sources_batched])
+    def test_h_zero_only_sources_detect_themselves(self, unit_path, engine):
+        result = engine(unit_path, {0, 4}, h=0, sigma=3)
+        assert [(e.distance, e.source) for e in result.lists[0]] == [(0, 0)]
+        assert [(e.distance, e.source) for e in result.lists[4]] == [(0, 4)]
+        assert all(result.lists[v] == [] for v in unit_path.nodes()
+                   if v not in (0, 4))
+
+    @pytest.mark.parametrize("engine", [detect_sources_logical,
+                                        detect_sources_batched])
+    def test_sigma_zero_all_lists_empty(self, unit_path, engine):
+        result = engine(unit_path, {0, 4}, h=3, sigma=0)
+        assert all(result.lists[v] == [] for v in unit_path.nodes())
+
+    def test_solve_pde_rejects_degenerate_boundaries(self, unit_path):
+        with pytest.raises(ValueError):
+            solve_pde(unit_path, [0], h=0, sigma=2, epsilon=0.5)
+        with pytest.raises(ValueError):
+            solve_pde(unit_path, [0], h=3, sigma=0, epsilon=0.5)
+
+    def test_solve_pde_accepts_minimal_boundaries(self, unit_path):
+        pde = solve_pde(unit_path, [0], h=1, sigma=1, epsilon=0.5)
+        assert pde.estimate(1, 0) >= 1.0
+
+
+class TestNextHopMapping:
+    def test_tuple_node_ids_round_trip(self):
+        # Tuple-valued node IDs must round-trip through the virtual-node
+        # names that embed their repr.
+        a, b, c = ("dc", 1), ("dc", 2), ("rack", 1, 3)
+        g = WeightedGraph.from_edges([(a, b, 3), (b, c, 2)])
+        simulated = run_source_detection_simulation(
+            g, {a}, h=8, sigma=1, edge_length=lambda u, v, w: w)
+        entry = simulated.lists[c][0]
+        assert entry.source == a
+        assert entry.next_hop == b
+        entry_b = simulated.lists[b][0]
+        assert entry_b.next_hop == a
+
+    def test_real_next_hop_passes_through(self, unit_path):
+        assert _map_next_hop(unit_path, 3, 2) == 2
+        assert _map_next_hop(unit_path, 3, None) is None
+
+    def test_unmappable_virtual_next_hop_raises(self, unit_path):
+        # Regression: an inconsistent virtual node used to degrade silently
+        # into a None next hop; it must raise a descriptive error instead.
+        bogus = ("virt", repr(998), repr(999), 1)
+        with pytest.raises(ValueError, match="cannot map virtual next hop"):
+            _map_next_hop(unit_path, 3, bogus)
 
 
 class TestExpansion:
