@@ -1,4 +1,17 @@
 """Setuptools shim for environments without PEP 660 editable-install support."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-lenzen-pattshamir",
+    version="0.1.0",
+    description="Reproduction of Lenzen & Patt-Shamir, 'Fast Partial Distance "
+                "Estimation and Applications' (PODC 2015)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "repro-serve=repro.serving.cli:main",
+        ],
+    },
+)

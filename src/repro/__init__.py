@@ -14,6 +14,9 @@ The package is organised by subsystem:
 * :mod:`repro.routing`  — the applications of Section 4: skeletons,
   Baswana–Sen spanners, Thorup–Zwick tree routing, the relabeling routing
   scheme (Theorem 4.5) and the compact routing hierarchy (Theorems 4.8/4.13).
+* :mod:`repro.serving`  — the deployment layer: persistent artifacts for
+  built hierarchies, the cached :class:`RoutingService` query facade, and
+  reproducible query-workload generators.
 * :mod:`repro.baselines` — comparison algorithms: distributed Bellman–Ford,
   topology flooding + Dijkstra, Nanongkai-style randomized APSP, and the
   prior-work STOC'13 scheme.

@@ -16,6 +16,7 @@ from .experiments import (
     run_prior_work_ablation,
     run_epsilon_sweep,
     run_tz_comparison,
+    run_serving_experiment,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "run_prior_work_ablation",
     "run_epsilon_sweep",
     "run_tz_comparison",
+    "run_serving_experiment",
 ]

@@ -34,6 +34,7 @@ from ..routing.skeleton import (
 from ..routing.stretch import evaluate_distance_estimates, sample_pairs
 from ..routing.tz_exact import ExactThorupZwickOracle
 from ..routing.tz_hierarchy import CompactRoutingHierarchy
+from ..serving import RoutingService, make_workload
 from . import complexity
 
 __all__ = [
@@ -45,6 +46,7 @@ __all__ = [
     "run_prior_work_ablation",
     "run_epsilon_sweep",
     "run_tz_comparison",
+    "run_serving_experiment",
 ]
 
 
@@ -330,3 +332,49 @@ def run_tz_comparison(graph: WeightedGraph, k: int, epsilon: float = 0.25,
         "exact_max_bunch": exact_oracle.max_bunch_size(),
         "approx_max_bunch": hierarchy.max_bunch_size(),
     }
+
+
+# ----------------------------------------------------------------------
+# E9 — serving scenario: cached query streams against a built hierarchy
+# ----------------------------------------------------------------------
+def run_serving_experiment(graph: WeightedGraph, k: int = 3,
+                           workload: str = "zipf", num_queries: int = 500,
+                           epsilon: float = 0.25, seed: int = 0,
+                           cache_size: int = 4096, batch_size: int = 64,
+                           engine: str = "batched") -> Dict:
+    """Serve a query workload cold and warm; report throughput and hit rates.
+
+    The serving unit of work is a *query stream*, not a single construction:
+    the record contrasts the first (cold-cache) pass over the workload with
+    a second (warm) pass, which is the steady state a long-running service
+    converges to on a skewed stream.
+    """
+    import time
+
+    service = RoutingService.build(graph, k=k, epsilon=epsilon, seed=seed,
+                                   engine=engine, cache_size=cache_size)
+    stream = make_workload(workload, graph, num_queries, seed=seed)
+
+    def timed_pass() -> float:
+        start = time.perf_counter()
+        for lo in range(0, len(stream.pairs), batch_size):
+            service.route_batch(stream.pairs[lo:lo + batch_size])
+        return time.perf_counter() - start
+
+    cold_seconds = timed_pass()
+    warm_seconds = timed_pass()
+    record = {
+        "n": graph.num_nodes,
+        "k": k,
+        "workload": workload,
+        "queries": len(stream),
+        "distinct_pairs": stream.distinct_pairs(),
+        "batch_size": batch_size,
+        "build_seconds": service.stats.build_seconds,
+        "cold_qps": len(stream) / cold_seconds if cold_seconds > 0 else float("inf"),
+        "warm_qps": len(stream) / warm_seconds if warm_seconds > 0 else float("inf"),
+        "cache_hit_rate": service.stats.cache_hit_rate,
+    }
+    record["warm_speedup"] = (record["warm_qps"] / record["cold_qps"]
+                              if record["cold_qps"] > 0 else float("inf"))
+    return record

@@ -71,6 +71,30 @@ class CongestMetrics:
     def max_edge_traffic(self) -> int:
         return max(self.messages_per_edge.values(), default=0)
 
+    # ------------------------------------------------------------------
+    # state export (serving artifacts)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Plain-builtin snapshot of the accounting for persistence."""
+        return {
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "broadcasts_per_node": dict(self.broadcasts_per_node),
+            "messages_per_edge": dict(self.messages_per_edge),
+            "measured": self.measured,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CongestMetrics":
+        return cls(
+            rounds=state["rounds"],
+            total_messages=state["total_messages"],
+            broadcasts_per_node=dict(state["broadcasts_per_node"]),
+            messages_per_edge={tuple(k): v
+                               for k, v in state["messages_per_edge"].items()},
+            measured=state["measured"],
+        )
+
     def summary(self) -> Dict[str, float]:
         return {
             "rounds": self.rounds,

@@ -142,6 +142,53 @@ class PDEResult:
                 best = entry
         return best
 
+    # ------------------------------------------------------------------
+    # state export (serving artifacts)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Plain-builtin snapshot for persistence.
+
+        Dict insertion order is preserved deliberately: downstream consumers
+        (skeleton anchor selection in the routing hierarchy) break ties by
+        iteration order, so a reloaded result must replay it exactly.  The
+        raw ``per_level`` detection results are intentionally dropped — they
+        are construction-time debugging state, not query state.
+        """
+        return {
+            "sources": sorted(self.sources, key=repr),
+            "h": self.h,
+            "sigma": self.sigma,
+            "epsilon": self.epsilon,
+            "lists": {v: [(e.estimate, e.source, e.next_hop, e.level)
+                          for e in entries]
+                      for v, entries in self.lists.items()},
+            "estimates": {v: dict(row) for v, row in self.estimates.items()},
+            "next_hops": {v: dict(row) for v, row in self.next_hops.items()},
+            "levels_used": {v: dict(row) for v, row in self.levels_used.items()},
+            "rounding": {"epsilon": self.rounding.epsilon,
+                         "max_weight": self.rounding.max_weight},
+            "metrics": self.metrics.export_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "PDEResult":
+        """Rebuild a result from :meth:`export_state` (``per_level`` is ``None``)."""
+        return cls(
+            sources=set(state["sources"]),
+            h=state["h"],
+            sigma=state["sigma"],
+            epsilon=state["epsilon"],
+            lists={v: [PDEEntry(estimate=est, source=s, next_hop=nh, level=lvl)
+                       for est, s, nh, lvl in entries]
+                   for v, entries in state["lists"].items()},
+            estimates={v: dict(row) for v, row in state["estimates"].items()},
+            next_hops={v: dict(row) for v, row in state["next_hops"].items()},
+            levels_used={v: dict(row) for v, row in state["levels_used"].items()},
+            rounding=RoundingScheme(**state["rounding"]),
+            metrics=CongestMetrics.from_state(state["metrics"]),
+            per_level=None,
+        )
+
 
 def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: int,
               epsilon: float, engine: str = "batched", message_cap: bool = True,

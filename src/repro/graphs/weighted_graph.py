@@ -247,6 +247,48 @@ class WeightedGraph:
         return graph
 
     # ------------------------------------------------------------------
+    # state export (serving artifacts)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Plain-builtin snapshot of the graph for persistence.
+
+        The per-node *adjacency order* is captured explicitly (not just the
+        edge set): neighbour iteration order breaks ties in the distance
+        machinery, so a faithful reload must reproduce it exactly for
+        reloaded routing structures to answer queries identically.
+        """
+        return {
+            "nodes": list(self._adj.keys()),
+            "adjacency": [(u, list(nbrs.items())) for u, nbrs in self._adj.items()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "WeightedGraph":
+        """Rebuild a graph from :meth:`export_state`, validating the invariants."""
+        graph = cls()
+        for node in state["nodes"]:
+            graph.add_node(node)
+        for u, nbrs in state["adjacency"]:
+            if u not in graph._adj:
+                raise GraphError(f"adjacency references unknown node {u!r}")
+            for v, w in nbrs:
+                if u == v:
+                    raise GraphError(f"self-loops are not allowed (node {u!r})")
+                if v not in graph._adj:
+                    raise GraphError(f"adjacency references unknown node {v!r}")
+                if not isinstance(w, int) or isinstance(w, bool) or w <= 0:
+                    raise GraphError(f"edge weight must be a positive int, got {w!r}")
+                graph._adj[u][v] = w
+        edges = 0
+        for u, nbrs in graph._adj.items():
+            for v, w in nbrs.items():
+                if graph._adj.get(v, {}).get(u) != w:
+                    raise GraphError(f"asymmetric adjacency on edge {{{u!r}, {v!r}}}")
+                edges += 1
+        graph._num_edges = edges // 2
+        return graph
+
+    # ------------------------------------------------------------------
     # dunder helpers
     # ------------------------------------------------------------------
     def __contains__(self, node: object) -> bool:

@@ -77,6 +77,20 @@ class DestinationTree:
     def label_of(self, node: Hashable) -> int:
         return self.routing.label_of(node)
 
+    # ------------------------------------------------------------------
+    # state export (serving artifacts)
+    # ------------------------------------------------------------------
+    def export_state(self) -> Dict[str, object]:
+        """Plain-builtin snapshot; the interval-routing structure is derived
+        deterministically from the parent map, so it is not serialised."""
+        return {"root": self.root, "parent": dict(self.parent),
+                "fallback_edges": self.fallback_edges}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "DestinationTree":
+        return cls(root=state["root"], parent=dict(state["parent"]),
+                   fallback_edges=state["fallback_edges"])
+
 
 class TreeFamily:
     """The collection of destination trees induced by one PDE instance."""
@@ -112,6 +126,18 @@ class TreeFamily:
             for node in tree.parent:
                 counts[node] = counts.get(node, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------
+    # state export (serving artifacts)
+    # ------------------------------------------------------------------
+    def export_state(self) -> List[Dict[str, object]]:
+        """Snapshot of every tree, preserving the destination order."""
+        return [tree.export_state() for tree in self.trees.values()]
+
+    @classmethod
+    def from_state(cls, state: List[Dict[str, object]]) -> "TreeFamily":
+        return cls({tree_state["root"]: DestinationTree.from_state(tree_state)
+                    for tree_state in state})
 
 
 def build_destination_trees(graph: WeightedGraph, pde: PDEResult,

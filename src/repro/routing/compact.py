@@ -52,12 +52,17 @@ def build_compact_routing(graph: WeightedGraph, k: int, epsilon: float = 0.25,
             diameter = hop_diameter(graph)
             level = l0 if l0 is not None else choose_truncation_level(
                 graph.num_nodes, k, diameter)
-            return CompactRoutingHierarchy.build(
+            hierarchy = CompactRoutingHierarchy.build(
                 graph, k, epsilon=epsilon, seed=seed, mode="truncated", l0=level,
                 budget_constant=budget_constant, engine=engine)
-        return CompactRoutingHierarchy.build(
-            graph, k, epsilon=epsilon, seed=seed, mode="budget",
-            budget_constant=budget_constant, engine=engine)
+            hierarchy.build_params.update(requested_mode="auto",
+                                          auto_hop_diameter=diameter)
+        else:
+            hierarchy = CompactRoutingHierarchy.build(
+                graph, k, epsilon=epsilon, seed=seed, mode="budget",
+                budget_constant=budget_constant, engine=engine)
+            hierarchy.build_params["requested_mode"] = "auto"
+        return hierarchy
     return CompactRoutingHierarchy.build(
         graph, k, epsilon=epsilon, seed=seed, mode=mode, l0=l0,
         budget_constant=budget_constant, engine=engine)

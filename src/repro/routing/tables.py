@@ -54,6 +54,10 @@ class Label:
     def bits(self, n: int) -> int:
         return words_to_bits(self.words(), n)
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-builtin view (serving responses and artifact metadata)."""
+        return {"owner": self.owner, "fields": dict(self.fields)}
+
 
 @dataclass
 class RoutingTable:
@@ -104,3 +108,16 @@ class RouteTrace:
         if exact_distance <= 0:
             return 1.0
         return self.weight / exact_distance
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-builtin view (serving responses, workload traces, JSON output)."""
+        return {
+            "source": self.source,
+            "target": self.target,
+            "path": list(self.path),
+            "delivered": self.delivered,
+            "weight": self.weight,
+            "hops": self.hops,
+            "fallback_hops": self.fallback_hops,
+            "estimate": self.estimate,
+        }

@@ -118,7 +118,9 @@ class CompactRoutingHierarchy:
         self.attach_trees = attach_trees
         self.skeleton_trees = skeleton_trees
         self.metrics = metrics
+        self.build_params: Dict[str, object] = {}
         self._exact_parent_cache: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {}
+        self._pivot_row_cache: Dict[Hashable, Tuple[Optional[Hashable], ...]] = {}
         self._route_fallbacks = 0
 
     # ==================================================================
@@ -334,11 +336,16 @@ class CompactRoutingHierarchy:
                 data.sources, key=repr), members_of=members)
 
         metrics = merge_metrics(*level_metrics, sequential=True)
-        return cls(graph=graph, k=k, epsilon=epsilon, mode=mode, l0=l0,
-                   levels=levels, level_sets=level_sets, level_data=level_data,
-                   pivots=pivots, pivot_dists=pivot_dists, pde_skel=pde_skel,
-                   skeleton_graph=skeleton_graph, attach_trees=attach_trees,
-                   skeleton_trees=skeleton_trees, metrics=metrics)
+        hierarchy = cls(graph=graph, k=k, epsilon=epsilon, mode=mode, l0=l0,
+                        levels=levels, level_sets=level_sets, level_data=level_data,
+                        pivots=pivots, pivot_dists=pivot_dists, pde_skel=pde_skel,
+                        skeleton_graph=skeleton_graph, attach_trees=attach_trees,
+                        skeleton_trees=skeleton_trees, metrics=metrics)
+        hierarchy.build_params = {
+            "k": k, "epsilon": epsilon, "seed": seed, "mode": mode, "l0": l0,
+            "budget_constant": budget_constant, "spd": spd, "engine": engine,
+        }
+        return hierarchy
 
     # ==================================================================
     # labels and tables
@@ -393,11 +400,25 @@ class CompactRoutingHierarchy:
     def _target_pivot(self, target: Hashable, level: int) -> Hashable:
         return target if level == 0 else self.pivots[level][target]
 
+    def pivot_row(self, target: Hashable) -> Tuple[Optional[Hashable], ...]:
+        """The per-level pivots ``(s'_0(target), ..., s'_{k-1}(target))``.
+
+        This is the label-derived part of every query against ``target``;
+        it is cached so that query streams hitting the same destinations
+        (the serving layer's batched APIs) pay the lookup once.
+        """
+        row = self._pivot_row_cache.get(target)
+        if row is None:
+            row = tuple(self._target_pivot(target, l) for l in range(self.k))
+            self._pivot_row_cache[target] = row
+        return row
+
     def _select_level(self, source: Hashable, target: Hashable
                       ) -> Tuple[int, Hashable, float]:
         """The minimal level ``l`` with ``s'_l(target)`` in ``source``'s bunch."""
+        row = self.pivot_row(target)
         for l in range(self.k):
-            pivot = self._target_pivot(target, l)
+            pivot = row[l]
             if pivot is None:
                 continue
             bunch = self.level_data[l].bunches[source]
@@ -412,6 +433,25 @@ class CompactRoutingHierarchy:
             return 0.0
         _, _, estimate = self._select_level(source, target)
         return estimate
+
+    def distance_batch(self, pairs: List[Tuple[Hashable, Hashable]]) -> List[float]:
+        """Distance estimates for many pairs (convenience wrapper).
+
+        Equivalent to calling :meth:`distance` per pair; label-lookup
+        amortization lives in the :meth:`pivot_row` cache, which single and
+        batched queries share.  The serving layer additionally dedups
+        repeated pairs before calling this.
+        """
+        return [self.distance(s, t) for s, t in pairs]
+
+    def clear_runtime_caches(self) -> None:
+        """Drop query-time caches (pivot rows, exact-path parents).
+
+        The caches are pure accelerators — answers are identical with or
+        without them.  Benchmarks call this to measure cold-query cost.
+        """
+        self._exact_parent_cache.clear()
+        self._pivot_row_cache.clear()
 
     def route(self, source: Hashable, target: Hashable) -> RouteTrace:
         if source == target:
@@ -577,3 +617,114 @@ class CompactRoutingHierarchy:
         summary = report.as_dict()
         summary["stretch_bound"] = self.theoretical_stretch_bound()
         return summary
+
+    # ==================================================================
+    # state export (serving artifacts)
+    # ==================================================================
+    #: Bumped whenever :meth:`export_state` changes shape incompatibly.
+    STATE_VERSION = 1
+
+    def export_state(self) -> Dict[str, object]:
+        """Snapshot of all query-relevant state as plain builtins.
+
+        Together with :meth:`from_state` this is the contract behind the
+        serving layer's persistent artifacts: the snapshot contains no
+        ``repro`` classes (only dicts / lists / tuples / scalars), so the
+        on-disk format survives refactors of the in-memory classes.
+        Runtime caches and raw per-level PDE results are excluded; dict
+        insertion orders are preserved because query tie-breaking (skeleton
+        anchors, exact-path repair) follows iteration order.
+        """
+        def family_state(trees: Optional[TreeFamily]):
+            return None if trees is None else trees.export_state()
+
+        return {
+            "state_version": self.STATE_VERSION,
+            "graph": self.graph.export_state(),
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "mode": self.mode,
+            "l0": self.l0,
+            "levels": dict(self.levels),
+            "level_sets": [sorted(s, key=repr) for s in self.level_sets],
+            "level_data": [
+                {
+                    "sources": sorted(data.sources, key=repr),
+                    "h": data.h,
+                    "sigma": data.sigma,
+                    "estimates": {v: dict(row) for v, row in data.estimates.items()},
+                    "bunches": {v: dict(row) for v, row in data.bunches.items()},
+                    "next_pivot": dict(data.next_pivot),
+                    "next_pivot_dist": dict(data.next_pivot_dist),
+                    "trees": family_state(data.trees),
+                    "skeleton_level": data.skeleton_level,
+                    "overflow_count": data.overflow_count,
+                }
+                for data in self.level_data
+            ],
+            "pivots": {l: dict(m) for l, m in self.pivots.items()},
+            "pivot_dists": {l: dict(m) for l, m in self.pivot_dists.items()},
+            "pde_skel": (self.pde_skel.export_state()
+                         if self.pde_skel is not None else None),
+            "skeleton_graph": (self.skeleton_graph.export_state()
+                               if self.skeleton_graph is not None else None),
+            "attach_trees": family_state(self.attach_trees),
+            "skeleton_trees": {l: trees.export_state()
+                               for l, trees in self.skeleton_trees.items()},
+            "metrics": self.metrics.export_state(),
+            "build_params": dict(self.build_params),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "CompactRoutingHierarchy":
+        """Rebuild a hierarchy from :meth:`export_state`.
+
+        The reloaded instance answers every ``route`` / ``distance`` query
+        identically to the instance that was exported (asserted by the
+        serving round-trip tests).
+        """
+        version = state.get("state_version")
+        if version != cls.STATE_VERSION:
+            raise ValueError(f"unsupported hierarchy state version {version!r} "
+                             f"(expected {cls.STATE_VERSION})")
+
+        def family(tree_state) -> Optional[TreeFamily]:
+            return None if tree_state is None else TreeFamily.from_state(tree_state)
+
+        level_data = []
+        for data_state in state["level_data"]:
+            level_data.append(_LevelData(
+                sources=set(data_state["sources"]),
+                h=data_state["h"],
+                sigma=data_state["sigma"],
+                estimates={v: dict(row)
+                           for v, row in data_state["estimates"].items()},
+                bunches={v: dict(row) for v, row in data_state["bunches"].items()},
+                next_pivot=dict(data_state["next_pivot"]),
+                next_pivot_dist=dict(data_state["next_pivot_dist"]),
+                trees=family(data_state["trees"]),
+                skeleton_level=data_state["skeleton_level"],
+                overflow_count=data_state["overflow_count"],
+            ))
+        hierarchy = cls(
+            graph=WeightedGraph.from_state(state["graph"]),
+            k=state["k"],
+            epsilon=state["epsilon"],
+            mode=state["mode"],
+            l0=state["l0"],
+            levels=dict(state["levels"]),
+            level_sets=[set(s) for s in state["level_sets"]],
+            level_data=level_data,
+            pivots={l: dict(m) for l, m in state["pivots"].items()},
+            pivot_dists={l: dict(m) for l, m in state["pivot_dists"].items()},
+            pde_skel=(PDEResult.from_state(state["pde_skel"])
+                      if state["pde_skel"] is not None else None),
+            skeleton_graph=(WeightedGraph.from_state(state["skeleton_graph"])
+                            if state["skeleton_graph"] is not None else None),
+            attach_trees=family(state["attach_trees"]),
+            skeleton_trees={l: TreeFamily.from_state(s)
+                            for l, s in state["skeleton_trees"].items()},
+            metrics=CongestMetrics.from_state(state["metrics"]),
+        )
+        hierarchy.build_params = dict(state["build_params"])
+        return hierarchy

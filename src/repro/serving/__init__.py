@@ -1,0 +1,59 @@
+"""Serving subsystem: persisted artifacts, cached query serving, workloads.
+
+This package turns built routing structures into a servable product — the
+bridge from the paper's preprocessing theorems to a query-serving system:
+
+* :mod:`repro.serving.artifacts` — versioned save/load of built hierarchies
+  and PDE results with integrity checking and lossless round-trips;
+* :mod:`repro.serving.service`   — the :class:`RoutingService` facade:
+  build-or-load, single and batched ``route`` / ``distance_estimate`` /
+  full-path queries;
+* :mod:`repro.serving.cache`     — LRU result caching, hot-pair
+  precomputation and the :class:`ServingStats` counters;
+* :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality
+  query-stream generators for benchmarks;
+* :mod:`repro.serving.cli`       — the ``repro-serve`` console entry point.
+"""
+
+from .artifacts import (
+    ArtifactError,
+    ArtifactInfo,
+    artifact_info,
+    load_hierarchy,
+    load_pde,
+    read_artifact,
+    save_hierarchy,
+    save_pde,
+    write_artifact,
+)
+from .cache import LRUCache, ServingStats
+from .service import RoutingService
+from .workloads import (
+    QueryWorkload,
+    WORKLOAD_NAMES,
+    locality_workload,
+    make_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactInfo",
+    "artifact_info",
+    "read_artifact",
+    "write_artifact",
+    "save_hierarchy",
+    "load_hierarchy",
+    "save_pde",
+    "load_pde",
+    "LRUCache",
+    "ServingStats",
+    "RoutingService",
+    "QueryWorkload",
+    "WORKLOAD_NAMES",
+    "uniform_workload",
+    "zipf_workload",
+    "locality_workload",
+    "make_workload",
+]

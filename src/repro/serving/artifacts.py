@@ -1,0 +1,247 @@
+"""Persistent, versioned artifacts for built routing structures.
+
+Building a compact-routing hierarchy is the expensive preprocessing phase of
+Corollary 4.14; serving queries from it is cheap.  Artifacts decouple the
+two: a hierarchy (or a PDE result) is built once, written to disk, and any
+number of serving processes load it back and answer queries *identically* to
+the in-memory original (the round-trip tests assert bit-for-bit equal query
+answers).
+
+On-disk layout (format version 1)::
+
+    REPRO-ARTIFACT v1\\n                      <- magic + format version
+    {header JSON}\\n                          <- kind, payload size + sha256,
+                                                state version, metadata
+    <payload bytes>                           <- pickled builtin-only state
+
+The payload is the ``export_state()`` snapshot of the object — plain dicts /
+lists / tuples / scalars, never ``repro`` classes — serialised with
+:mod:`pickle`.  Keeping classes out of the payload means old artifacts stay
+loadable across refactors of the in-memory types; the pickle is merely a
+container for builtins.  Integrity is checked on load: magic, format
+version, payload length and SHA-256 checksum must all match, and the header
+``kind`` must equal what the caller expects.  Artifacts are trusted local
+files (pickle is not safe against adversarial bytes — the checksum detects
+corruption, not tampering).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.pde import PDEResult
+from ..routing.tz_hierarchy import CompactRoutingHierarchy
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactInfo",
+    "FORMAT_VERSION",
+    "KIND_HIERARCHY",
+    "KIND_PDE",
+    "write_artifact",
+    "read_artifact",
+    "artifact_info",
+    "save_hierarchy",
+    "load_hierarchy",
+    "save_pde",
+    "load_pde",
+]
+
+MAGIC = b"REPRO-ARTIFACT"
+FORMAT_VERSION = 1
+
+KIND_HIERARCHY = "routing_hierarchy"
+KIND_PDE = "pde_result"
+
+#: Pickle protocol pinned for reproducible payload bytes across interpreters.
+_PICKLE_PROTOCOL = 4
+
+
+class ArtifactError(RuntimeError):
+    """Raised for malformed, corrupt or mismatching artifact files."""
+
+
+@dataclass
+class ArtifactInfo:
+    """Parsed artifact header (everything except the payload)."""
+
+    kind: str
+    format_version: int
+    state_version: int
+    payload_bytes: int
+    payload_sha256: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    path: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "format_version": self.format_version,
+            "state_version": self.state_version,
+            "payload_bytes": self.payload_bytes,
+            "payload_sha256": self.payload_sha256,
+            "metadata": dict(self.metadata),
+            "path": self.path,
+        }
+
+
+# ----------------------------------------------------------------------
+# generic read / write
+# ----------------------------------------------------------------------
+def write_artifact(path: str, kind: str, state: Dict[str, Any],
+                   metadata: Optional[Dict[str, Any]] = None,
+                   state_version: int = 1) -> ArtifactInfo:
+    """Write ``state`` (a builtin-only snapshot) as a versioned artifact.
+
+    Returns the :class:`ArtifactInfo` that was written.  The write goes
+    through a temporary file in the same directory followed by an atomic
+    rename, so readers never observe a half-written artifact.
+    """
+    payload = pickle.dumps(state, protocol=_PICKLE_PROTOCOL)
+    info = ArtifactInfo(
+        kind=kind,
+        format_version=FORMAT_VERSION,
+        state_version=state_version,
+        payload_bytes=len(payload),
+        payload_sha256=hashlib.sha256(payload).hexdigest(),
+        metadata=dict(metadata or {}),
+        path=path,
+    )
+    header = {
+        "kind": info.kind,
+        "state_version": info.state_version,
+        "payload_bytes": info.payload_bytes,
+        "payload_sha256": info.payload_sha256,
+        "metadata": info.metadata,
+    }
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as fh:
+            fh.write(MAGIC + b" v%d\n" % FORMAT_VERSION)
+            fh.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+            fh.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return info
+
+
+def _read_header(fh: io.BufferedReader, path: str) -> ArtifactInfo:
+    magic_line = fh.readline()
+    expected = MAGIC + b" v%d\n" % FORMAT_VERSION
+    if not magic_line.startswith(MAGIC):
+        raise ArtifactError(f"{path}: not a repro artifact (bad magic)")
+    if magic_line != expected:
+        raise ArtifactError(
+            f"{path}: unsupported artifact format {magic_line!r} "
+            f"(this build reads {expected!r})")
+    header_line = fh.readline()
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path}: corrupt artifact header: {exc}") from exc
+    try:
+        return ArtifactInfo(
+            kind=header["kind"],
+            format_version=FORMAT_VERSION,
+            state_version=header["state_version"],
+            payload_bytes=header["payload_bytes"],
+            payload_sha256=header["payload_sha256"],
+            metadata=dict(header.get("metadata", {})),
+            path=path,
+        )
+    except KeyError as exc:
+        raise ArtifactError(f"{path}: artifact header is missing {exc}") from exc
+
+
+def artifact_info(path: str) -> ArtifactInfo:
+    """Read only the header of an artifact (cheap; payload is not touched)."""
+    with open(path, "rb") as fh:
+        return _read_header(fh, path)
+
+
+def read_artifact(path: str, expected_kind: Optional[str] = None
+                  ) -> Tuple[Dict[str, Any], ArtifactInfo]:
+    """Read an artifact, verifying integrity; returns ``(state, info)``.
+
+    Raises :class:`ArtifactError` on bad magic, unsupported version, kind
+    mismatch, truncation, or checksum failure.
+    """
+    with open(path, "rb") as fh:
+        info = _read_header(fh, path)
+        if expected_kind is not None and info.kind != expected_kind:
+            raise ArtifactError(
+                f"{path}: artifact holds a {info.kind!r}, expected "
+                f"{expected_kind!r}")
+        payload = fh.read()
+    if len(payload) != info.payload_bytes:
+        raise ArtifactError(
+            f"{path}: truncated payload ({len(payload)} bytes, header "
+            f"says {info.payload_bytes})")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != info.payload_sha256:
+        raise ArtifactError(f"{path}: payload checksum mismatch "
+                            f"({digest} != {info.payload_sha256})")
+    try:
+        state = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of exception types
+        raise ArtifactError(f"{path}: payload failed to deserialise: {exc}") from exc
+    return state, info
+
+
+# ----------------------------------------------------------------------
+# typed entry points
+# ----------------------------------------------------------------------
+def save_hierarchy(hierarchy: CompactRoutingHierarchy, path: str,
+                   metadata: Optional[Dict[str, Any]] = None) -> ArtifactInfo:
+    """Persist a built compact-routing hierarchy.
+
+    Build parameters (k, epsilon, mode, l0, seed, engine, ...) are merged
+    into the header metadata so :func:`artifact_info` answers "what is this
+    file?" without deserialising the payload.
+    """
+    merged = {"n": hierarchy.graph.num_nodes, "m": hierarchy.graph.num_edges}
+    merged.update(hierarchy.build_params)
+    merged.update(metadata or {})
+    return write_artifact(path, KIND_HIERARCHY, hierarchy.export_state(),
+                          metadata=merged,
+                          state_version=hierarchy.STATE_VERSION)
+
+
+def load_hierarchy(path: str) -> Tuple[CompactRoutingHierarchy, ArtifactInfo]:
+    """Load a hierarchy artifact; returns ``(hierarchy, info)``."""
+    state, info = read_artifact(path, expected_kind=KIND_HIERARCHY)
+    try:
+        hierarchy = CompactRoutingHierarchy.from_state(state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"{path}: invalid hierarchy state: {exc}") from exc
+    return hierarchy, info
+
+
+def save_pde(pde: PDEResult, path: str,
+             metadata: Optional[Dict[str, Any]] = None) -> ArtifactInfo:
+    """Persist a PDE result (estimates, lists, next hops, accounting)."""
+    merged = {"sources": len(pde.sources), "h": pde.h, "sigma": pde.sigma,
+              "epsilon": pde.epsilon}
+    merged.update(metadata or {})
+    return write_artifact(path, KIND_PDE, pde.export_state(), metadata=merged)
+
+
+def load_pde(path: str) -> Tuple[PDEResult, ArtifactInfo]:
+    """Load a PDE artifact; returns ``(pde, info)``."""
+    state, info = read_artifact(path, expected_kind=KIND_PDE)
+    try:
+        pde = PDEResult.from_state(state)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"{path}: invalid PDE state: {exc}") from exc
+    return pde, info

@@ -1,0 +1,174 @@
+"""Result caching and serving statistics for the routing service.
+
+The compact-routing hierarchy answers any single query in ``O(k)`` table
+lookups plus (for routes) a tree walk, but a service facing real traffic
+sees the *same* queries over and over — workload skew is the whole reason
+compact routing tables are viable at scale.  This module provides the two
+pieces the :class:`~repro.serving.service.RoutingService` layers on top of
+the hierarchy:
+
+* :class:`LRUCache` — a bounded least-recently-used result cache (capacity
+  0 disables caching entirely, which the benchmarks use as the cold
+  baseline);
+* :class:`ServingStats` — the counters a service operator watches: query
+  volumes, cache hit/miss split, hot-pair hits, build/load latencies.
+
+Both are deliberately dependency-free (``collections.OrderedDict`` only).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+__all__ = ["LRUCache", "ServingStats"]
+
+
+class LRUCache:
+    """A least-recently-used cache with a fixed capacity.
+
+    ``capacity == 0`` disables the cache: every :meth:`get` misses and
+    :meth:`put` is a no-op.  Hit/miss counters are kept on the cache itself
+    so multiple caches (route results, distance estimates) can be aggregated
+    by :class:`ServingStats`.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching recency or hit/miss counters."""
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or ``default``."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; use :meth:`reset` for those)."""
+        self._entries.clear()
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        self.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"LRUCache(capacity={self.capacity}, size={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+@dataclass
+class ServingStats:
+    """Operational counters for one :class:`~repro.serving.service.RoutingService`.
+
+    Attributes
+    ----------
+    queries:
+        Total queries answered (single and batched, all kinds).
+    route_queries / distance_queries:
+        Per-kind split of ``queries``.
+    batches / batched_queries:
+        Number of batch calls and how many queries arrived through them.
+    cache_hits / cache_misses:
+        LRU result-cache outcomes (hot-pair hits are counted separately).
+    hot_hits:
+        Queries answered from the precomputed hot-pair store.
+    build_seconds / load_seconds:
+        Wall-clock cost of constructing the hierarchy or loading it from an
+        artifact (whichever path produced this service).
+    artifact_bytes:
+        Payload size of the artifact backing this service, if any.
+    extra:
+        Free-form provenance (graph size, build params, artifact path).
+    """
+
+    queries: int = 0
+    route_queries: int = 0
+    distance_queries: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    hot_hits: int = 0
+    build_seconds: Optional[float] = None
+    load_seconds: Optional[float] = None
+    artifact_bytes: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        record = {
+            "queries": self.queries,
+            "route_queries": self.route_queries,
+            "distance_queries": self.distance_queries,
+            "batches": self.batches,
+            "batched_queries": self.batched_queries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "hot_hits": self.hot_hits,
+            "build_seconds": self.build_seconds,
+            "load_seconds": self.load_seconds,
+            "artifact_bytes": self.artifact_bytes,
+        }
+        record.update(self.extra)
+        return record
+
+    def describe(self) -> str:
+        """Multi-line operator-facing summary (printed by ``repro-serve``)."""
+        lines = [
+            f"queries            : {self.queries} "
+            f"(route {self.route_queries}, distance {self.distance_queries})",
+            f"batches            : {self.batches} "
+            f"({self.batched_queries} queries batched)",
+            f"cache              : {self.cache_hits} hits / "
+            f"{self.cache_misses} misses ({self.cache_hit_rate:.1%} hit rate)",
+            f"hot-pair hits      : {self.hot_hits}",
+        ]
+        if self.build_seconds is not None:
+            lines.append(f"hierarchy build    : {self.build_seconds:.3f}s")
+        if self.load_seconds is not None:
+            lines.append(f"artifact load      : {self.load_seconds:.3f}s")
+        if self.artifact_bytes is not None:
+            lines.append(f"artifact payload   : {self.artifact_bytes} bytes")
+        for key, value in self.extra.items():
+            lines.append(f"{key:<19}: {value}")
+        return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""The routing service facade: build-or-load, query, batch, cache.
+
+This is the deployment story for Corollary 4.14: the hierarchy's expensive
+preprocessing runs once (or is loaded from a persisted artifact), after
+which :class:`RoutingService` answers ``route`` / ``distance_estimate`` /
+full-path queries — one at a time or batched — through an LRU result cache
+with optional hot-pair precomputation.  Everything the service does is
+observable through its :class:`~repro.serving.cache.ServingStats`.
+
+Layering (top to bottom)::
+
+    RoutingService          query API, result caches, stats
+      CompactRoutingHierarchy   tables/labels, pivot-row cache (batch hook)
+        artifacts               persistence (build once, serve anywhere)
+
+Batched queries amortize label lookups: the hierarchy resolves each distinct
+target's per-level pivot row once per batch (see
+:meth:`~repro.routing.tz_hierarchy.CompactRoutingHierarchy.pivot_row`), and
+the service computes each *distinct* pair once, fanning the result out to
+every duplicate in the batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..graphs.weighted_graph import WeightedGraph
+from ..routing.compact import build_compact_routing
+from ..routing.tables import RouteTrace
+from ..routing.tz_hierarchy import CompactRoutingHierarchy
+from .artifacts import (
+    ArtifactError,
+    ArtifactInfo,
+    artifact_info,
+    load_hierarchy,
+    save_hierarchy,
+)
+from .cache import LRUCache, ServingStats
+
+__all__ = ["RoutingService"]
+
+_Pair = Tuple[Hashable, Hashable]
+
+#: Sentinel distinguishing "not cached" from legitimately cached falsy values.
+_MISS = object()
+
+
+class RoutingService:
+    """Serve routing queries from a built or loaded compact-routing hierarchy.
+
+    Parameters
+    ----------
+    hierarchy:
+        The underlying compact-routing hierarchy.
+    cache_size:
+        Capacity of *each* result cache (routes and distances are cached
+        separately since route traces are much heavier).  ``0`` disables
+        result caching — the benchmarks use this as the cold baseline.
+    stats:
+        Optional pre-populated stats object (used by the factory
+        constructors to carry build/load timings into the service).
+    """
+
+    def __init__(self, hierarchy: CompactRoutingHierarchy,
+                 cache_size: int = 4096,
+                 stats: Optional[ServingStats] = None) -> None:
+        self.hierarchy = hierarchy
+        self.stats = stats if stats is not None else ServingStats()
+        self.route_cache = LRUCache(cache_size)
+        self.distance_cache = LRUCache(cache_size)
+        self._hot_routes: Dict[_Pair, RouteTrace] = {}
+        self._hot_distances: Dict[_Pair, float] = {}
+        self.stats.extra.setdefault("n", hierarchy.graph.num_nodes)
+        self.stats.extra.setdefault("k", hierarchy.k)
+        self.stats.extra.setdefault("mode", hierarchy.mode)
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+    @classmethod
+    def build(cls, graph: WeightedGraph, k: int = 3, epsilon: float = 0.25,
+              seed: int = 0, mode: str = "auto", engine: str = "batched",
+              cache_size: int = 4096, **build_kwargs) -> "RoutingService":
+        """Build a hierarchy from scratch and wrap it in a service."""
+        stats = ServingStats()
+        start = time.perf_counter()
+        hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon, seed=seed,
+                                          mode=mode, engine=engine, **build_kwargs)
+        stats.build_seconds = time.perf_counter() - start
+        return cls(hierarchy, cache_size=cache_size, stats=stats)
+
+    @classmethod
+    def load(cls, path: str, cache_size: int = 4096) -> "RoutingService":
+        """Load a persisted hierarchy artifact and serve from it."""
+        stats = ServingStats()
+        start = time.perf_counter()
+        hierarchy, info = load_hierarchy(path)
+        stats.load_seconds = time.perf_counter() - start
+        stats.artifact_bytes = info.payload_bytes
+        stats.extra["artifact_path"] = path
+        return cls(hierarchy, cache_size=cache_size, stats=stats)
+
+    @classmethod
+    def build_or_load(cls, path: str, graph: Optional[WeightedGraph] = None,
+                      k: int = 3, epsilon: float = 0.25, seed: int = 0,
+                      mode: str = "auto", engine: str = "batched",
+                      cache_size: int = 4096, save: bool = True,
+                      **build_kwargs) -> "RoutingService":
+        """Load the artifact at ``path`` if it exists, else build (and save).
+
+        This is the serving workflow: the first process to reference an
+        artifact pays the preprocessing cost, every later one just loads.
+        ``graph`` is only required on the build path.  When a graph (a build
+        intent) *is* provided and the existing artifact was built with
+        different parameters, the mismatch raises
+        :class:`~repro.serving.artifacts.ArtifactError` instead of silently
+        serving stale answers; without a graph the artifact is loaded as-is.
+        """
+        if os.path.exists(path):
+            if graph is not None:
+                requested = {"k": k, "epsilon": epsilon, "seed": seed,
+                             "n": graph.num_nodes, "m": graph.num_edges}
+                if mode != "auto":
+                    requested["mode"] = mode
+                header = artifact_info(path).metadata
+                stale = {key: (header.get(key), value)
+                         for key, value in requested.items()
+                         if key in header and header[key] != value}
+                if stale:
+                    raise ArtifactError(
+                        f"artifact {path!r} was built with different "
+                        f"parameters than requested: "
+                        + ", ".join(f"{key}={have!r} (requested {want!r})"
+                                    for key, (have, want) in sorted(stale.items()))
+                        + "; delete the artifact to rebuild")
+            return cls.load(path, cache_size=cache_size)
+        if graph is None:
+            raise ValueError(f"artifact {path!r} does not exist and no graph "
+                             "was provided to build from")
+        service = cls.build(graph, k=k, epsilon=epsilon, seed=seed, mode=mode,
+                            engine=engine, cache_size=cache_size, **build_kwargs)
+        if save:
+            info = service.save(path)
+            service.stats.artifact_bytes = info.payload_bytes
+            service.stats.extra["artifact_path"] = path
+        return service
+
+    def save(self, path: str, metadata: Optional[Dict[str, object]] = None
+             ) -> ArtifactInfo:
+        """Persist the underlying hierarchy as a versioned artifact."""
+        return save_hierarchy(self.hierarchy, path, metadata=metadata)
+
+    # ==================================================================
+    # single queries
+    # ==================================================================
+    def _validate_node(self, node: Hashable) -> None:
+        if not self.hierarchy.graph.has_node(node):
+            raise ValueError(f"unknown node {node!r}")
+
+    def distance_estimate(self, source: Hashable, target: Hashable) -> float:
+        """Distance estimate for one pair (cached)."""
+        self._validate_node(source)
+        self._validate_node(target)
+        self.stats.queries += 1
+        self.stats.distance_queries += 1
+        key = (source, target)
+        hot = self._hot_distances.get(key, _MISS)
+        if hot is not _MISS:
+            self.stats.hot_hits += 1
+            return hot
+        cached = self.distance_cache.get(key, _MISS)
+        if cached is not _MISS:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        estimate = self.hierarchy.distance(source, target)
+        self.distance_cache.put(key, estimate)
+        return estimate
+
+    def route(self, source: Hashable, target: Hashable) -> RouteTrace:
+        """Route one pair, returning the full :class:`RouteTrace` (cached)."""
+        self._validate_node(source)
+        self._validate_node(target)
+        self.stats.queries += 1
+        self.stats.route_queries += 1
+        return self._route_cached((source, target))
+
+    def full_path(self, source: Hashable, target: Hashable) -> List[Hashable]:
+        """The routed node sequence from ``source`` to ``target``."""
+        return self.route(source, target).path
+
+    def _route_cached(self, key: _Pair) -> RouteTrace:
+        hot = self._hot_routes.get(key, _MISS)
+        if hot is not _MISS:
+            self.stats.hot_hits += 1
+            return hot
+        cached = self.route_cache.get(key, _MISS)
+        if cached is not _MISS:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        trace = self.hierarchy.route(*key)
+        self.route_cache.put(key, trace)
+        return trace
+
+    # ==================================================================
+    # batched queries
+    # ==================================================================
+    def distance_batch(self, pairs: Sequence[_Pair]) -> List[float]:
+        """Distance estimates for a batch of pairs.
+
+        Each distinct pair is computed at most once; distinct targets
+        resolve their pivot rows once via the hierarchy's batch hook.
+        """
+        pairs = list(pairs)
+        for s, t in pairs:
+            self._validate_node(s)
+            self._validate_node(t)
+        self.stats.queries += len(pairs)
+        self.stats.distance_queries += len(pairs)
+        self.stats.batches += 1
+        self.stats.batched_queries += len(pairs)
+
+        resolved: Dict[_Pair, float] = {}
+        misses: List[_Pair] = []
+        pending = set()
+        for key in pairs:
+            if key in resolved or key in pending:
+                continue
+            hot = self._hot_distances.get(key, _MISS)
+            if hot is not _MISS:
+                self.stats.hot_hits += 1
+                resolved[key] = hot
+                continue
+            cached = self.distance_cache.get(key, _MISS)
+            if cached is not _MISS:
+                self.stats.cache_hits += 1
+                resolved[key] = cached
+            else:
+                self.stats.cache_misses += 1
+                pending.add(key)
+                misses.append(key)
+        if misses:
+            for key, estimate in zip(misses,
+                                     self.hierarchy.distance_batch(misses)):
+                resolved[key] = estimate
+                self.distance_cache.put(key, estimate)
+        return [resolved[key] for key in pairs]
+
+    def route_batch(self, pairs: Sequence[_Pair]) -> List[RouteTrace]:
+        """Route a batch of pairs; duplicates are served from one computation."""
+        pairs = list(pairs)
+        for s, t in pairs:
+            self._validate_node(s)
+            self._validate_node(t)
+        self.stats.queries += len(pairs)
+        self.stats.route_queries += len(pairs)
+        self.stats.batches += 1
+        self.stats.batched_queries += len(pairs)
+
+        resolved: Dict[_Pair, RouteTrace] = {}
+        results: List[RouteTrace] = []
+        for key in pairs:
+            trace = resolved.get(key)
+            if trace is None:
+                trace = self._route_cached(key)
+                resolved[key] = trace
+            results.append(trace)
+        return results
+
+    # ==================================================================
+    # cache management
+    # ==================================================================
+    def precompute_hot_pairs(self, pairs: Iterable[_Pair],
+                             kind: str = "route") -> int:
+        """Pin results for known-hot pairs outside the LRU eviction domain.
+
+        Returns the number of pairs precomputed.  ``kind`` is ``"route"``,
+        ``"distance"`` or ``"both"``.  Precomputation bypasses the stats
+        counters — it is provisioning work, not query traffic.
+        """
+        if kind not in ("route", "distance", "both"):
+            raise ValueError(f"kind must be route/distance/both, got {kind!r}")
+        count = 0
+        for source, target in pairs:
+            self._validate_node(source)
+            self._validate_node(target)
+            key = (source, target)
+            if kind in ("route", "both"):
+                self._hot_routes[key] = self.hierarchy.route(source, target)
+            if kind in ("distance", "both"):
+                self._hot_distances[key] = self.hierarchy.distance(source, target)
+            count += 1
+        self.stats.extra["hot_pairs"] = max(len(self._hot_routes),
+                                            len(self._hot_distances))
+        return count
+
+    def clear_cache(self, include_hot: bool = False,
+                    include_hierarchy: bool = False) -> None:
+        """Empty the result caches (and optionally the hot store and the
+        hierarchy's internal query-time caches — used by cold benchmarks)."""
+        self.route_cache.clear()
+        self.distance_cache.clear()
+        if include_hot:
+            self._hot_routes.clear()
+            self._hot_distances.clear()
+        if include_hierarchy:
+            self.hierarchy.clear_runtime_caches()
+
+    # ==================================================================
+    # introspection
+    # ==================================================================
+    @property
+    def num_nodes(self) -> int:
+        return self.hierarchy.graph.num_nodes
+
+    def describe(self) -> str:
+        return self.stats.describe()
+
+    def __repr__(self) -> str:
+        return (f"RoutingService(n={self.num_nodes}, k={self.hierarchy.k}, "
+                f"mode={self.hierarchy.mode!r}, "
+                f"cache={self.route_cache.capacity})")

@@ -1,0 +1,179 @@
+"""Reproducible query-workload generators for serving benchmarks.
+
+A routing service is only as interesting as the traffic it faces.  Real
+query streams are not uniform: a few endpoints are very hot (Zipf's law) and
+many queries are local (users talk to nearby services).  This module
+generates ``(source, target)`` query streams with those shapes, all
+deterministic given a seed, so benchmarks and tests exercise the cache and
+batching layers under realistic skew:
+
+* :func:`uniform_workload` — every ordered pair equally likely (the
+  cache-hostile baseline);
+* :func:`zipf_workload` — endpoint popularity follows a Zipf distribution
+  with exponent ``skew``; the same few pairs dominate the stream;
+* :func:`locality_workload` — sources are uniform but targets are drawn
+  from the source's hop-neighbourhood with probability ``bias``.
+
+Only the Python standard library is used (``random.Random.choices`` with
+explicit Zipf weights — no numpy/scipy dependency).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graphs.distances import bfs_hop_distances
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "QueryWorkload",
+    "uniform_workload",
+    "zipf_workload",
+    "locality_workload",
+    "WORKLOAD_NAMES",
+    "make_workload",
+]
+
+
+@dataclass
+class QueryWorkload:
+    """A named stream of ``(source, target)`` queries plus its parameters."""
+
+    name: str
+    pairs: List[Tuple[Hashable, Hashable]]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    def distinct_pairs(self) -> int:
+        return len(set(self.pairs))
+
+    def skew_summary(self) -> Dict[str, float]:
+        """How repetitive the stream is (drives expected cache hit rates)."""
+        total = len(self.pairs)
+        distinct = self.distinct_pairs()
+        counts: Dict[Tuple[Hashable, Hashable], int] = {}
+        for pair in self.pairs:
+            counts[pair] = counts.get(pair, 0) + 1
+        top = max(counts.values(), default=0)
+        return {
+            "queries": total,
+            "distinct_pairs": distinct,
+            "repeat_rate": 1.0 - distinct / total if total else 0.0,
+            "hottest_pair_share": top / total if total else 0.0,
+        }
+
+
+def _other_than(node: Hashable, nodes: Sequence[Hashable],
+                rng: random.Random) -> Hashable:
+    """A uniform node different from ``node`` (assumes ``len(nodes) >= 2``)."""
+    while True:
+        candidate = nodes[rng.randrange(len(nodes))]
+        if candidate != node:
+            return candidate
+
+
+def uniform_workload(nodes: Sequence[Hashable], num_queries: int,
+                     seed: int = 0) -> QueryWorkload:
+    """``num_queries`` ordered pairs drawn uniformly (source != target)."""
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise ValueError("uniform_workload needs at least 2 nodes")
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(num_queries):
+        s = nodes[rng.randrange(len(nodes))]
+        pairs.append((s, _other_than(s, nodes, rng)))
+    return QueryWorkload(name="uniform", pairs=pairs,
+                         params={"seed": seed, "nodes": len(nodes)})
+
+
+def zipf_workload(nodes: Sequence[Hashable], num_queries: int,
+                  skew: float = 1.2, seed: int = 0) -> QueryWorkload:
+    """Endpoint popularity follows ``P(rank r) ∝ 1 / r^skew``.
+
+    Sources and targets get *independent* popularity rankings (a hot content
+    server is not necessarily a hot client), both derived from the seed, so
+    the hottest (source, target) pairs repeat many times — the regime where
+    a result cache and hot-pair precomputation pay off.
+    """
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise ValueError("zipf_workload needs at least 2 nodes")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = random.Random(seed)
+    source_ranking = list(nodes)
+    rng.shuffle(source_ranking)
+    target_ranking = list(nodes)
+    rng.shuffle(target_ranking)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(nodes))]
+    sources = rng.choices(source_ranking, weights=weights, k=num_queries)
+    targets = rng.choices(target_ranking, weights=weights, k=num_queries)
+    pairs = []
+    for s, t in zip(sources, targets):
+        if s == t:
+            t = _other_than(s, nodes, rng)
+        pairs.append((s, t))
+    return QueryWorkload(name="zipf", pairs=pairs,
+                         params={"seed": seed, "skew": skew, "nodes": len(nodes)})
+
+
+def locality_workload(graph: WeightedGraph, num_queries: int,
+                      hop_radius: int = 2, bias: float = 0.8,
+                      seed: int = 0) -> QueryWorkload:
+    """Sources uniform; targets near the source with probability ``bias``.
+
+    "Near" means within ``hop_radius`` hops (BFS balls are computed lazily
+    and cached per source).  With probability ``1 - bias`` — or when the
+    ball contains no other node — the target is uniform instead.
+    """
+    nodes = list(graph.nodes())
+    if len(nodes) < 2:
+        raise ValueError("locality_workload needs at least 2 nodes")
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError("bias must be in [0, 1]")
+    if hop_radius < 1:
+        raise ValueError("hop_radius must be >= 1")
+    rng = random.Random(seed)
+    balls: Dict[Hashable, List[Hashable]] = {}
+    pairs = []
+    for _ in range(num_queries):
+        s = nodes[rng.randrange(len(nodes))]
+        t: Optional[Hashable] = None
+        if rng.random() < bias:
+            ball = balls.get(s)
+            if ball is None:
+                hop = bfs_hop_distances(graph, s)
+                ball = [v for v, d in hop.items() if 0 < d <= hop_radius]
+                balls[s] = ball
+            if ball:
+                t = ball[rng.randrange(len(ball))]
+        if t is None:
+            t = _other_than(s, nodes, rng)
+        pairs.append((s, t))
+    return QueryWorkload(name="locality", pairs=pairs,
+                         params={"seed": seed, "hop_radius": hop_radius,
+                                 "bias": bias, "nodes": len(nodes)})
+
+
+WORKLOAD_NAMES = ("uniform", "zipf", "locality")
+
+
+def make_workload(name: str, graph: WeightedGraph, num_queries: int,
+                  seed: int = 0, **params) -> QueryWorkload:
+    """Dispatch by shape name (the registry behind ``repro-serve --workload``)."""
+    if name == "uniform":
+        return uniform_workload(graph.nodes(), num_queries, seed=seed, **params)
+    if name == "zipf":
+        return zipf_workload(graph.nodes(), num_queries, seed=seed, **params)
+    if name == "locality":
+        return locality_workload(graph, num_queries, seed=seed, **params)
+    raise ValueError(f"unknown workload {name!r}; "
+                     f"available: {', '.join(WORKLOAD_NAMES)}")

@@ -1,0 +1,79 @@
+"""Boundary behaviour of the Corollary 4.14 truncation-level choice."""
+
+import math
+
+import pytest
+
+from repro import graphs
+from repro.routing import build_compact_routing, choose_truncation_level
+
+
+class TestClampRange:
+    """l0 must always land in ``[floor(k/2) + 1, k - 1]`` (Theorem 4.13)."""
+
+    @pytest.mark.parametrize("k", range(3, 9))
+    @pytest.mark.parametrize("diameter", [1, 2, 10, 10 ** 3, 10 ** 9])
+    def test_within_clamp_range(self, k, diameter):
+        n = 1000
+        l0 = choose_truncation_level(n, k, diameter)
+        assert math.floor(k / 2) + 1 <= l0 <= k - 1
+
+    @pytest.mark.parametrize("k", range(3, 9))
+    def test_tiny_diameter_hits_lower_clamp(self, k):
+        # D = 1 gives raw ~ k/2 + small, which clamps to floor(k/2) + 1.
+        assert choose_truncation_level(10 ** 6, k, 1) == math.floor(k / 2) + 1
+
+    @pytest.mark.parametrize("k", range(3, 9))
+    def test_huge_diameter_hits_upper_clamp(self, k):
+        # log D / log n >> 1 pushes raw above k - 1.
+        assert choose_truncation_level(100, k, 10 ** 12) == k - 1
+
+    def test_matches_corollary_formula_between_clamps(self):
+        n, k, diameter = 10 ** 4, 6, 10 ** 2
+        raw = k * (math.log(diameter) / math.log(n) + 1.0) / 2.0
+        assert choose_truncation_level(n, k, diameter) == int(round(raw))
+
+
+class TestDegenerateInputs:
+    def test_k2_always_one(self):
+        # For k = 2 the clamp interval [2, 1] is empty; the function pins
+        # l0 to the only level (1) regardless of n and D.
+        for diameter in (1, 5, 10 ** 6):
+            assert choose_truncation_level(1000, 2, diameter) == 1
+
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_tiny_n_falls_back(self, n):
+        assert choose_truncation_level(n, 4, 10) == 3  # max(1, k - 1)
+
+    def test_k1_falls_back_to_one(self):
+        assert choose_truncation_level(100, 1, 10) == 1
+
+    def test_diameter_below_two_is_clamped_in_log(self):
+        # log(max(2, D)) guards D in {0, 1}; both behave like D = 2.
+        assert (choose_truncation_level(1000, 5, 0)
+                == choose_truncation_level(1000, 5, 2))
+
+
+class TestAutoModeUsesChoice:
+    @pytest.fixture(scope="class")
+    def er_graph(self):
+        return graphs.erdos_renyi_graph(24, 0.18, graphs.uniform_weights(1, 30),
+                                        seed=41)
+
+    def test_k2_auto_uses_budget_mode(self, er_graph):
+        hierarchy = build_compact_routing(er_graph, k=2, seed=1)
+        assert hierarchy.mode == "budget"
+        assert hierarchy.l0 is None
+        assert hierarchy.build_params["requested_mode"] == "auto"
+
+    def test_k3_auto_uses_truncated_with_chosen_l0(self, er_graph):
+        hierarchy = build_compact_routing(er_graph, k=3, seed=1)
+        assert hierarchy.mode == "truncated"
+        diameter = hierarchy.build_params["auto_hop_diameter"]
+        assert hierarchy.l0 == choose_truncation_level(
+            er_graph.num_nodes, 3, diameter)
+
+    def test_explicit_l0_wins_over_auto_choice(self, er_graph):
+        hierarchy = build_compact_routing(er_graph, k=4, l0=3, seed=1)
+        assert hierarchy.mode == "truncated"
+        assert hierarchy.l0 == 3

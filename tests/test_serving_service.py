@@ -1,0 +1,264 @@
+"""RoutingService: caching, batching, build-or-load, CLI, stretch round-trip."""
+
+import pytest
+
+from repro import graphs
+from repro.routing import build_compact_routing, evaluate_routing, sample_pairs
+from repro.serving import LRUCache, RoutingService, ServingStats, zipf_workload
+from repro.serving.cli import main as serve_main, parse_graph_spec
+
+
+@pytest.fixture(scope="module")
+def service_graph():
+    return graphs.erdos_renyi_graph(30, 0.15, graphs.uniform_weights(1, 50),
+                                    seed=17)
+
+
+@pytest.fixture(scope="module")
+def built_service(service_graph):
+    return RoutingService.build(service_graph, k=3, seed=4)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" becomes LRU
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_counters_and_reset(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.get("absent") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.reset()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+
+class TestSingleQueries:
+    def test_matches_hierarchy_directly(self, service_graph, built_service):
+        hierarchy = built_service.hierarchy
+        pairs = sample_pairs(service_graph.nodes(), 60)
+        for u, v in pairs:
+            assert built_service.distance_estimate(u, v) == hierarchy.distance(u, v)
+            svc_route = built_service.route(u, v)
+            direct = hierarchy.route(u, v)
+            assert svc_route.path == direct.path
+            assert svc_route.weight == direct.weight
+
+    def test_full_path_endpoints(self, service_graph, built_service):
+        u, v = service_graph.nodes()[0], service_graph.nodes()[-1]
+        path = built_service.full_path(u, v)
+        assert path[0] == u and path[-1] == v
+
+    def test_unknown_node_rejected(self, built_service):
+        with pytest.raises(ValueError, match="unknown node"):
+            built_service.route("nope", 0)
+        with pytest.raises(ValueError, match="unknown node"):
+            built_service.distance_estimate(0, "nope")
+
+    def test_repeat_query_hits_cache(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=1)
+        u, v = service_graph.nodes()[1], service_graph.nodes()[5]
+        first = service.route(u, v)
+        again = service.route(u, v)
+        assert again is first          # cached object, not a recomputation
+        assert service.stats.cache_hits == 1
+        assert service.stats.cache_misses == 1
+
+    def test_cache_disabled_still_correct(self, service_graph, built_service):
+        uncached = RoutingService(built_service.hierarchy, cache_size=0)
+        u, v = service_graph.nodes()[2], service_graph.nodes()[9]
+        assert uncached.route(u, v).path == built_service.route(u, v).path
+        assert uncached.stats.cache_hits == 0
+
+
+class TestBatchedQueries:
+    def test_batch_matches_single(self, service_graph, built_service):
+        pairs = sample_pairs(service_graph.nodes(), 80)
+        batched_routes = built_service.route_batch(pairs)
+        batched_dists = built_service.distance_batch(pairs)
+        for (u, v), trace, est in zip(pairs, batched_routes, batched_dists):
+            assert trace.path == built_service.hierarchy.route(u, v).path
+            assert est == built_service.hierarchy.distance(u, v)
+
+    def test_duplicates_computed_once(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=2)
+        u, v = service_graph.nodes()[0], service_graph.nodes()[3]
+        results = service.route_batch([(u, v)] * 10)
+        assert len(results) == 10
+        assert all(r is results[0] for r in results)
+        assert service.stats.cache_misses == 1
+        assert service.stats.batched_queries == 10
+
+    def test_distance_duplicates_computed_once(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=2)
+        u, v = service_graph.nodes()[0], service_graph.nodes()[3]
+        estimates = service.distance_batch([(u, v)] * 10)
+        assert len(estimates) == 10 and len(set(estimates)) == 1
+        assert service.stats.cache_misses == 1
+
+    def test_stats_accounting(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=3)
+        pairs = sample_pairs(service_graph.nodes(), 20)
+        service.route_batch(pairs)
+        service.distance_batch(pairs)
+        assert service.stats.queries == 40
+        assert service.stats.route_queries == 20
+        assert service.stats.distance_queries == 20
+        assert service.stats.batches == 2
+
+
+class TestHotPairs:
+    def test_hot_pairs_bypass_lru(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=5,
+                                       cache_size=0)
+        u, v = service_graph.nodes()[0], service_graph.nodes()[7]
+        assert service.precompute_hot_pairs([(u, v)], kind="both") == 1
+        trace = service.route(u, v)
+        est = service.distance_estimate(u, v)
+        assert service.stats.hot_hits == 2
+        assert trace.path[0] == u and trace.path[-1] == v
+        assert est == service.hierarchy.distance(u, v)
+
+    def test_bad_kind_rejected(self, built_service):
+        with pytest.raises(ValueError, match="kind"):
+            built_service.precompute_hot_pairs([], kind="everything")
+
+    def test_hot_pair_count_tracks_larger_store(self, service_graph):
+        service = RoutingService.build(service_graph, k=2, seed=6)
+        nodes = service_graph.nodes()
+        service.precompute_hot_pairs([(nodes[0], nodes[1])], kind="route")
+        service.precompute_hot_pairs([(nodes[i], nodes[i + 1])
+                                      for i in range(3)], kind="distance")
+        assert service.stats.extra["hot_pairs"] == 3
+
+
+class TestBuildOrLoad:
+    def test_builds_then_loads(self, service_graph, tmp_path):
+        path = str(tmp_path / "service.artifact")
+        first = RoutingService.build_or_load(path, graph=service_graph,
+                                             k=3, seed=4)
+        assert first.stats.build_seconds is not None
+        assert first.stats.artifact_bytes > 0
+
+        second = RoutingService.build_or_load(path)
+        assert second.stats.load_seconds is not None
+        assert second.stats.build_seconds is None
+
+        pairs = sample_pairs(service_graph.nodes(), 50)
+        assert ([t.path for t in first.route_batch(pairs)]
+                == [t.path for t in second.route_batch(pairs)])
+        assert first.distance_batch(pairs) == second.distance_batch(pairs)
+
+    def test_missing_artifact_without_graph_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no graph"):
+            RoutingService.build_or_load(str(tmp_path / "absent.artifact"))
+
+    def test_stale_artifact_params_rejected(self, service_graph, tmp_path):
+        from repro.serving import ArtifactError
+
+        path = str(tmp_path / "stale.artifact")
+        RoutingService.build_or_load(path, graph=service_graph, k=2, seed=4)
+        # Same parameters: loads fine.
+        RoutingService.build_or_load(path, graph=service_graph, k=2, seed=4)
+        # Different k with a build intent: refuse to serve stale answers.
+        with pytest.raises(ArtifactError, match="different parameters"):
+            RoutingService.build_or_load(path, graph=service_graph, k=3, seed=4)
+        # Pure load intent (no graph) accepts whatever is persisted.
+        RoutingService.build_or_load(path)
+
+
+class TestStretchRoundTrip:
+    @pytest.mark.parametrize("make_graph,k", [
+        (lambda: graphs.erdos_renyi_graph(
+            26, 0.18, graphs.uniform_weights(1, 60), seed=23), 3),
+        (lambda: graphs.random_geometric_graph(24, 0.4, None, seed=31), 2),
+    ])
+    def test_served_stretch_no_worse_than_fresh_build(self, make_graph, k,
+                                                      tmp_path):
+        """Satellite criterion: routes served from a reloaded artifact have
+        stretch bounded by what the freshly built hierarchy measured."""
+        graph = make_graph()
+        hierarchy = build_compact_routing(graph, k=k, seed=13)
+        pairs = sample_pairs(graph.nodes())
+        fresh_report = evaluate_routing(hierarchy, graph, pairs=pairs)
+        assert fresh_report.delivery_rate == 1.0
+        assert fresh_report.max_stretch <= hierarchy.theoretical_stretch_bound()
+
+        path = str(tmp_path / "stretch.artifact")
+        RoutingService(hierarchy).save(path)
+        served = RoutingService.load(path)
+        served_report = evaluate_routing(served, graph, pairs=pairs)
+        assert served_report.delivery_rate == 1.0
+        assert served_report.max_stretch <= fresh_report.max_stretch + 1e-9
+
+
+class TestCli:
+    def test_parse_graph_spec(self):
+        graph = parse_graph_spec("er:n=30,p=0.2,seed=4,weights=uniform:1:9")
+        assert graph.num_nodes == 30
+        assert graph.max_weight() <= 9
+        grid = parse_graph_spec("grid:rows=3,cols=4")
+        assert grid.num_nodes == 12
+
+    @pytest.mark.parametrize("bad_spec", [
+        "mystery:n=10",            # unknown family
+        "er:n=10",                 # missing p
+        "er:n=10,p=0.5,extra=1",   # unused key
+        "er:n,p=0.5",              # malformed item
+    ])
+    def test_bad_graph_specs_rejected(self, bad_spec):
+        with pytest.raises(ValueError):
+            parse_graph_spec(bad_spec)
+
+    def test_main_builds_artifact_and_serves(self, tmp_path, capsys):
+        artifact = str(tmp_path / "cli.artifact")
+        argv = ["--graph", "er:n=25,p=0.2,seed=2,weights=uniform:1:20",
+                "--artifact", artifact, "--k", "2",
+                "--workload", "zipf", "--queries", "200", "--batch-size", "25"]
+        assert serve_main(argv) == 0
+        assert "q/s" in capsys.readouterr().out
+        # Second invocation loads the artifact instead of rebuilding.
+        assert serve_main(argv + ["--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"load_seconds"' in out and '"queries": 200' in out
+
+
+class TestServingStats:
+    def test_as_dict_and_describe(self):
+        stats = ServingStats(queries=10, cache_hits=6, cache_misses=4,
+                             build_seconds=1.5)
+        record = stats.as_dict()
+        assert record["cache_hit_rate"] == 0.6
+        text = stats.describe()
+        assert "hit rate" in text and "1.500s" in text
+
+    def test_serving_a_zipf_stream_hits_cache(self, service_graph,
+                                              built_service):
+        service = RoutingService(built_service.hierarchy, cache_size=4096)
+        workload = zipf_workload(service_graph.nodes(), 400, seed=8)
+        service.route_batch(workload.pairs)
+        service.route_batch(workload.pairs)
+        # Within a batch duplicates dedup without touching the cache, so the
+        # first pass misses once per distinct pair and the second pass hits
+        # once per distinct pair.
+        distinct = workload.distinct_pairs()
+        assert service.stats.cache_misses == distinct
+        assert service.stats.cache_hits == distinct
+        assert service.stats.cache_hit_rate == 0.5

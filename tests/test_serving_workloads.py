@@ -1,0 +1,113 @@
+"""Workload generators: determinism, validity, and the intended skew shapes."""
+
+import pytest
+
+from repro import graphs
+from repro.graphs.distances import bfs_hop_distances
+from repro.serving import (
+    QueryWorkload,
+    WORKLOAD_NAMES,
+    locality_workload,
+    make_workload,
+    uniform_workload,
+    zipf_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def workload_graph():
+    return graphs.erdos_renyi_graph(40, 0.12, graphs.uniform_weights(1, 30),
+                                    seed=19)
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic_given_seed(self, workload_graph, name):
+        a = make_workload(name, workload_graph, 200, seed=5)
+        b = make_workload(name, workload_graph, 200, seed=5)
+        c = make_workload(name, workload_graph, 200, seed=6)
+        assert a.pairs == b.pairs
+        assert a.pairs != c.pairs
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_pairs_are_valid(self, workload_graph, name):
+        workload = make_workload(name, workload_graph, 300, seed=1)
+        assert len(workload) == 300
+        nodes = set(workload_graph.nodes())
+        for s, t in workload:
+            assert s in nodes and t in nodes
+            assert s != t
+
+    def test_unknown_name_rejected(self, workload_graph):
+        with pytest.raises(ValueError, match="unknown workload"):
+            make_workload("bursty", workload_graph, 10)
+
+    def test_too_few_nodes_rejected(self):
+        tiny = graphs.path_graph(1)
+        with pytest.raises(ValueError):
+            uniform_workload(tiny.nodes(), 5)
+
+    def test_skew_summary(self, workload_graph):
+        workload = make_workload("zipf", workload_graph, 500, seed=2)
+        summary = workload.skew_summary()
+        assert summary["queries"] == 500
+        assert 0 < summary["distinct_pairs"] <= 500
+        assert summary["repeat_rate"] == 1.0 - summary["distinct_pairs"] / 500
+        assert 0 < summary["hottest_pair_share"] <= 1.0
+
+
+class TestShapes:
+    def test_zipf_is_more_repetitive_than_uniform(self, workload_graph):
+        nodes = workload_graph.nodes()
+        uniform = uniform_workload(nodes, 1000, seed=3)
+        zipf = zipf_workload(nodes, 1000, skew=1.2, seed=3)
+        assert zipf.distinct_pairs() < uniform.distinct_pairs()
+        assert (zipf.skew_summary()["hottest_pair_share"]
+                > uniform.skew_summary()["hottest_pair_share"])
+
+    def test_higher_skew_concentrates_more(self, workload_graph):
+        nodes = workload_graph.nodes()
+        mild = zipf_workload(nodes, 1000, skew=0.8, seed=4)
+        strong = zipf_workload(nodes, 1000, skew=2.0, seed=4)
+        assert strong.distinct_pairs() < mild.distinct_pairs()
+
+    def test_zipf_invalid_skew_rejected(self, workload_graph):
+        with pytest.raises(ValueError, match="skew"):
+            zipf_workload(workload_graph.nodes(), 10, skew=0.0)
+
+    def test_locality_full_bias_stays_in_ball(self, workload_graph):
+        radius = 2
+        workload = locality_workload(workload_graph, 300, hop_radius=radius,
+                                     bias=1.0, seed=5)
+        balls = {}
+        for s, t in workload:
+            if s not in balls:
+                balls[s] = bfs_hop_distances(workload_graph, s)
+            assert balls[s][t] <= radius
+
+    def test_locality_zero_bias_is_uniform_style(self, workload_graph):
+        workload = locality_workload(workload_graph, 300, bias=0.0, seed=5)
+        # With bias 0 no BFS ball is ever consulted; targets roam globally.
+        hop = {}
+        far = 0
+        for s, t in workload:
+            if s not in hop:
+                hop[s] = bfs_hop_distances(workload_graph, s)
+            if hop[s][t] > 2:
+                far += 1
+        assert far > 0
+
+    def test_locality_parameter_validation(self, workload_graph):
+        with pytest.raises(ValueError, match="bias"):
+            locality_workload(workload_graph, 10, bias=1.5)
+        with pytest.raises(ValueError, match="hop_radius"):
+            locality_workload(workload_graph, 10, hop_radius=0)
+
+
+class TestQueryWorkloadContainer:
+    def test_len_iter_and_params(self):
+        workload = QueryWorkload(name="x", pairs=[(1, 2), (2, 1), (1, 2)],
+                                 params={"seed": 0})
+        assert len(workload) == 3
+        assert list(workload) == [(1, 2), (2, 1), (1, 2)]
+        assert workload.distinct_pairs() == 2
