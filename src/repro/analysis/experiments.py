@@ -34,7 +34,7 @@ from ..routing.skeleton import (
 from ..routing.stretch import evaluate_distance_estimates, sample_pairs
 from ..routing.tz_exact import ExactThorupZwickOracle
 from ..routing.tz_hierarchy import CompactRoutingHierarchy
-from ..serving import RoutingService, make_workload
+from ..serving import RoutingService, ShardedRoutingService, make_workload
 from . import complexity
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "run_epsilon_sweep",
     "run_tz_comparison",
     "run_serving_experiment",
+    "run_sharded_experiment",
 ]
 
 
@@ -378,3 +379,85 @@ def run_serving_experiment(graph: WeightedGraph, k: int = 3,
     record["warm_speedup"] = (record["warm_qps"] / record["cold_qps"]
                               if record["cold_qps"] > 0 else float("inf"))
     return record
+
+
+# ----------------------------------------------------------------------
+# E10 — sharded serving: one stream scattered across worker processes
+# ----------------------------------------------------------------------
+def run_sharded_experiment(graph: WeightedGraph, k: int = 3,
+                           workload: str = "uniform", num_queries: int = 400,
+                           epsilon: float = 0.25, seed: int = 0,
+                           worker_counts: Sequence[int] = (1, 2),
+                           partitioner: str = "round_robin",
+                           cache_size: int = 4096, batch_size: int = 128,
+                           engine: str = "batched",
+                           artifact_path: Optional[str] = None) -> Dict:
+    """Scale the same query stream across worker-process counts.
+
+    Builds the artifact once (in a temporary directory unless
+    ``artifact_path`` points somewhere durable), answers the stream with a
+    single-process reference service, then replays it through a
+    :class:`~repro.serving.sharded.ShardedRoutingService` at each worker
+    count, reporting per-count throughput and merged cache hit rates.  Each
+    scaling entry records ``identical_to_single_process`` — whether the
+    sharded answers were list-for-list identical to the reference — so a
+    consumer must check that flag before trusting the throughput numbers
+    (the shard tests assert it holds; the experiment reports rather than
+    raises so a regression still yields an inspectable record).
+    """
+    import os
+    import tempfile
+    import time
+
+    tmp_dir: Optional[tempfile.TemporaryDirectory] = None
+    if artifact_path is None:
+        tmp_dir = tempfile.TemporaryDirectory(prefix="repro-shard-exp-")
+        artifact_path = os.path.join(tmp_dir.name, "hierarchy.artifact")
+    try:
+        parent = RoutingService.build_or_load(
+            artifact_path, graph=graph, k=k, epsilon=epsilon, seed=seed,
+            engine=engine, cache_size=cache_size)
+        stream = make_workload(workload, graph, num_queries, seed=seed)
+        chunks = [stream.pairs[lo:lo + batch_size]
+                  for lo in range(0, len(stream.pairs), batch_size)]
+        reference = [trace for chunk in chunks
+                     for trace in parent.route_batch(chunk)]
+
+        record: Dict = {
+            "n": graph.num_nodes,
+            "k": k,
+            "workload": workload,
+            "queries": len(stream),
+            "distinct_pairs": stream.distinct_pairs(),
+            "partitioner": partitioner,
+            "batch_size": batch_size,
+            "cache_size": cache_size,
+            "build_seconds": parent.stats.build_seconds,
+            "scaling": [],
+        }
+        for workers in worker_counts:
+            with ShardedRoutingService(
+                    artifact_path, num_workers=workers,
+                    partitioner=partitioner, cache_size=cache_size,
+                    graph=graph) as sharded:
+                start = time.perf_counter()
+                answers = [trace for chunk in chunks
+                           for trace in sharded.route_batch(chunk)]
+                elapsed = time.perf_counter() - start
+                merged = sharded.merged_stats()
+            identical = (
+                [t.path for t in answers] == [t.path for t in reference]
+                and [t.weight for t in answers] == [t.weight for t in reference])
+            record["scaling"].append({
+                "workers": workers,
+                "qps": len(stream) / elapsed if elapsed > 0 else float("inf"),
+                "cache_hit_rate": merged.cache_hit_rate,
+                "identical_to_single_process": identical,
+            })
+        base = record["scaling"][0]["qps"]
+        for entry in record["scaling"]:
+            entry["speedup"] = entry["qps"] / base if base > 0 else float("inf")
+        return record
+    finally:
+        if tmp_dir is not None:
+            tmp_dir.cleanup()

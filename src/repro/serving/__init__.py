@@ -8,10 +8,13 @@ bridge from the paper's preprocessing theorems to a query-serving system:
 * :mod:`repro.serving.service`   — the :class:`RoutingService` facade:
   build-or-load, single and batched ``route`` / ``distance_estimate`` /
   full-path queries;
+* :mod:`repro.serving.sharded`   — the :class:`ShardedRoutingService`
+  front-end: one query stream scattered across N worker processes, each
+  serving its partition from the same artifact;
 * :mod:`repro.serving.cache`     — LRU result caching, hot-pair
   precomputation and the :class:`ServingStats` counters;
 * :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality
-  query-stream generators for benchmarks;
+  query-stream generators plus the deterministic shard partitioner;
 * :mod:`repro.serving.cli`       — the ``repro-serve`` console entry point.
 """
 
@@ -27,12 +30,15 @@ from .artifacts import (
     write_artifact,
 )
 from .cache import LRUCache, ServingStats
-from .service import RoutingService
+from .service import RoutingService, answer_batch, execute_query_shard
+from .sharded import ShardError, ShardedRoutingService
 from .workloads import (
+    PARTITION_STRATEGIES,
     QueryWorkload,
     WORKLOAD_NAMES,
     locality_workload,
     make_workload,
+    partition_pairs,
     uniform_workload,
     zipf_workload,
 )
@@ -50,10 +56,16 @@ __all__ = [
     "LRUCache",
     "ServingStats",
     "RoutingService",
+    "answer_batch",
+    "execute_query_shard",
+    "ShardedRoutingService",
+    "ShardError",
     "QueryWorkload",
     "WORKLOAD_NAMES",
     "uniform_workload",
     "zipf_workload",
     "locality_workload",
     "make_workload",
+    "PARTITION_STRATEGIES",
+    "partition_pairs",
 ]

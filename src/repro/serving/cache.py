@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Iterable, Optional
 
 __all__ = ["LRUCache", "ServingStats"]
 
@@ -69,6 +69,18 @@ class LRUCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present, without touching recency or counters.
+
+        Returns whether an entry was removed.  Used when a result migrates to
+        a store outside the eviction domain (hot-pair pinning) and keeping the
+        LRU copy would double-store it.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; use :meth:`reset` for those)."""
@@ -135,7 +147,12 @@ class ServingStats:
         return self.cache_hits / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
-        record = {
+        """Flat record of the core counters, with :attr:`extra` namespaced.
+
+        Extras live under the ``"extra"`` sub-dict so a free-form key such as
+        ``"queries"`` can never shadow a core counter in exported records.
+        """
+        return {
             "queries": self.queries,
             "route_queries": self.route_queries,
             "distance_queries": self.distance_queries,
@@ -148,9 +165,55 @@ class ServingStats:
             "build_seconds": self.build_seconds,
             "load_seconds": self.load_seconds,
             "artifact_bytes": self.artifact_bytes,
+            "extra": dict(self.extra),
         }
-        record.update(self.extra)
-        return record
+
+    @classmethod
+    def merge(cls, stats: Iterable["ServingStats"]) -> "ServingStats":
+        """Aggregate several stats objects (one per shard worker) into one.
+
+        Counter attributes sum.  ``build_seconds`` / ``load_seconds`` sum over
+        the contributors that recorded them (total wall-clock paid across
+        processes); ``artifact_bytes`` takes the max, since co-located workers
+        serve the same artifact.  An ``extra`` key survives only when every
+        contributor that set it agrees on the value (per-worker keys such as
+        ``worker_id`` drop out); ``extra["merged_from"]`` records how many
+        stats objects were merged.
+        """
+        stats = list(stats)
+        merged = cls()
+        seconds = {"build_seconds": [], "load_seconds": []}
+        payload_bytes = []
+        extra_values: Dict[str, list] = {}
+        for item in stats:
+            merged.queries += item.queries
+            merged.route_queries += item.route_queries
+            merged.distance_queries += item.distance_queries
+            merged.batches += item.batches
+            merged.batched_queries += item.batched_queries
+            merged.cache_hits += item.cache_hits
+            merged.cache_misses += item.cache_misses
+            merged.hot_hits += item.hot_hits
+            for key in seconds:
+                value = getattr(item, key)
+                if value is not None:
+                    seconds[key].append(value)
+            if item.artifact_bytes is not None:
+                payload_bytes.append(item.artifact_bytes)
+            for key, value in item.extra.items():
+                extra_values.setdefault(key, []).append(value)
+        for key, values in seconds.items():
+            setattr(merged, key, sum(values) if values else None)
+        merged.artifact_bytes = max(payload_bytes) if payload_bytes else None
+        for key, values in extra_values.items():
+            if all(value == values[0] for value in values):
+                merged.extra[key] = values[0]
+        merged.extra["merged_from"] = len(stats)
+        return merged
+
+    def combine(self, other: "ServingStats") -> "ServingStats":
+        """A new stats object aggregating ``self`` and ``other`` (see :meth:`merge`)."""
+        return type(self).merge([self, other])
 
     def describe(self) -> str:
         """Multi-line operator-facing summary (printed by ``repro-serve``)."""

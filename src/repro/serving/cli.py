@@ -8,6 +8,10 @@ The console entry point wired in ``setup.py``.  Typical session::
 builds (or loads, if the artifact already exists) a compact-routing
 hierarchy, replays the requested query workload against the service in
 batches, and prints throughput plus the :class:`ServingStats` counters.
+With ``--workers N`` (N > 1, requires ``--artifact``) the stream is served
+through a :class:`~repro.serving.sharded.ShardedRoutingService` instead:
+N worker processes each load the artifact and answer their partition of
+every batch, and the printed stats are the merged per-worker counters.
 
 Graph specs are ``name:key=value,key=value`` with an optional
 ``weights=...`` key (``unit``, ``uniform:LO:HI``, ``mixed``, ``heavy``)::
@@ -27,8 +31,9 @@ from typing import Dict, Optional
 
 from .. import graphs
 from ..graphs.weighted_graph import WeightedGraph
-from .service import RoutingService
-from .workloads import WORKLOAD_NAMES, make_workload
+from .service import RoutingService, answer_batch
+from .sharded import ShardedRoutingService
+from .workloads import PARTITION_STRATEGIES, WORKLOAD_NAMES, make_workload
 
 __all__ = ["parse_graph_spec", "main"]
 
@@ -115,13 +120,27 @@ def main(argv=None) -> int:
     parser.add_argument("--engine", default="batched")
     parser.add_argument("--workload", default="zipf", choices=list(WORKLOAD_NAMES))
     parser.add_argument("--queries", type=int, default=1000)
-    parser.add_argument("--skew", type=float, default=1.2,
-                        help="Zipf exponent (zipf workload only)")
+    parser.add_argument("--skew", type=float, default=None,
+                        help="Zipf exponent (zipf workload only; default 1.2)")
+    parser.add_argument("--hop-radius", type=int, default=None,
+                        help="locality ball radius in hops "
+                             "(locality workload only; default 2)")
+    parser.add_argument("--bias", type=float, default=None,
+                        help="probability a target is drawn from the source's "
+                             "ball (locality workload only; default 0.8)")
     parser.add_argument("--batch-size", type=int, default=64)
-    parser.add_argument("--cache-size", type=int, default=4096)
+    parser.add_argument("--cache-size", type=int, default=4096,
+                        help="LRU result-cache capacity (per worker when "
+                             "sharded)")
     parser.add_argument("--kind", default="route", choices=["route", "distance"])
     parser.add_argument("--hot", type=int, default=0,
                         help="precompute the N most frequent workload pairs")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes; >1 serves through a sharded "
+                             "front-end (requires --artifact)")
+    parser.add_argument("--partitioner", default="round_robin",
+                        choices=list(PARTITION_STRATEGIES),
+                        help="shard partition strategy (--workers > 1 only)")
     parser.add_argument("--json", action="store_true",
                         help="emit the result record as JSON on stdout")
     args = parser.parse_args(argv)
@@ -129,19 +148,56 @@ def main(argv=None) -> int:
     if args.graph is None and args.artifact is None:
         parser.error("provide --graph, --artifact, or both")
 
+    # Workload parameters are validated here instead of silently ignored:
+    # a flag that does not apply to the chosen shape is an error.
+    workload_params: Dict[str, object] = {}
+    if args.skew is not None:
+        if args.workload != "zipf":
+            parser.error(f"--skew applies to the zipf workload only "
+                         f"(got --workload {args.workload})")
+        workload_params["skew"] = args.skew
+    if args.hop_radius is not None:
+        if args.workload != "locality":
+            parser.error(f"--hop-radius applies to the locality workload only "
+                         f"(got --workload {args.workload})")
+        workload_params["hop_radius"] = args.hop_radius
+    if args.bias is not None:
+        if args.workload != "locality":
+            parser.error(f"--bias applies to the locality workload only "
+                         f"(got --workload {args.workload})")
+        workload_params["bias"] = args.bias
+
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    sharded = args.workers > 1
+    if sharded and args.artifact is None:
+        parser.error("--workers > 1 requires --artifact "
+                     "(workers load the hierarchy by path)")
+    if sharded and args.hot > 0:
+        parser.error("--hot applies to single-process serving only "
+                     "(shard workers own their caches)")
+
     graph = parse_graph_spec(args.graph) if args.graph else None
-    if args.artifact:
+    if sharded:
+        service = ShardedRoutingService.build_or_load(
+            args.artifact, graph=graph, k=args.k, epsilon=args.epsilon,
+            seed=args.seed, mode=args.mode, engine=args.engine,
+            num_workers=args.workers, partitioner=args.partitioner,
+            cache_size=args.cache_size)
+        workload_graph = service.graph
+    elif args.artifact:
         service = RoutingService.build_or_load(
             args.artifact, graph=graph, k=args.k, epsilon=args.epsilon,
             seed=args.seed, mode=args.mode, engine=args.engine,
             cache_size=args.cache_size)
+        workload_graph = service.hierarchy.graph
     else:
         service = RoutingService.build(
             graph, k=args.k, epsilon=args.epsilon, seed=args.seed,
             mode=args.mode, engine=args.engine, cache_size=args.cache_size)
+        workload_graph = service.hierarchy.graph
 
-    workload_params = {"skew": args.skew} if args.workload == "zipf" else {}
-    workload = make_workload(args.workload, service.hierarchy.graph,
+    workload = make_workload(args.workload, workload_graph,
                              args.queries, seed=args.seed, **workload_params)
 
     if args.hot > 0:
@@ -151,12 +207,14 @@ def main(argv=None) -> int:
         hottest = sorted(counts, key=lambda p: (-counts[p], repr(p)))[:args.hot]
         service.precompute_hot_pairs(hottest, kind=args.kind)
 
-    query = (service.route_batch if args.kind == "route"
-             else service.distance_batch)
+    if sharded:
+        # Spawn + warm the workers outside the timed window, so the reported
+        # throughput is serving cost, not one-time process start-up.
+        service.start()
     start = time.perf_counter()
     delivered = 0
     for chunk in _chunks(workload.pairs, max(1, args.batch_size)):
-        results = query(chunk)
+        results = answer_batch(service, args.kind, chunk)
         if args.kind == "route":
             delivered += sum(1 for trace in results if trace.delivered)
         else:
@@ -164,6 +222,9 @@ def main(argv=None) -> int:
     elapsed = time.perf_counter() - start
     qps = len(workload) / elapsed if elapsed > 0 else float("inf")
 
+    stats = service.merged_stats() if sharded else service.stats
+    if sharded:
+        service.close()
     record = {
         "workload": workload.name,
         "kind": args.kind,
@@ -172,16 +233,18 @@ def main(argv=None) -> int:
         "seconds": round(elapsed, 4),
         "queries_per_second": round(qps, 1),
         **workload.skew_summary(),
-        **service.stats.as_dict(),
+        **stats.as_dict(),
     }
     if args.json:
         json.dump(record, sys.stdout, indent=2, default=str)
         print()
     else:
         print(f"served {len(workload)} {args.kind} queries "
-              f"({workload.name} workload) in {elapsed:.3f}s "
-              f"-> {qps:,.0f} q/s, {delivered} delivered")
-        print(service.describe())
+              f"({workload.name} workload"
+              + (f", {args.workers} workers" if sharded else "")
+              + f") in {elapsed:.3f}s -> {qps:,.0f} q/s, "
+              f"{delivered} delivered")
+        print(stats.describe())
     # Routes must always deliver (the hierarchy has an exact-path fallback);
     # distance estimates may legitimately be infinite for pairs the scheme's
     # bunches never cover, so they do not affect the exit code.

@@ -39,12 +39,15 @@ from .artifacts import (
 )
 from .cache import LRUCache, ServingStats
 
-__all__ = ["RoutingService"]
+__all__ = ["RoutingService", "answer_batch", "execute_query_shard"]
 
 _Pair = Tuple[Hashable, Hashable]
 
 #: Sentinel distinguishing "not cached" from legitimately cached falsy values.
 _MISS = object()
+
+#: Sentinel for "key absent from an artifact header" in freshness checks.
+_UNSET = object()
 
 
 class RoutingService:
@@ -117,17 +120,33 @@ class RoutingService:
         different parameters, the mismatch raises
         :class:`~repro.serving.artifacts.ArtifactError` instead of silently
         serving stale answers; without a graph the artifact is loaded as-is.
+
+        Every requested parameter must be *present* in the artifact header and
+        equal: a key the header never persisted (an artifact predating the
+        parameter, or saved by some other writer) cannot be verified, so it is
+        treated as a mismatch rather than silently served as fresh.
         """
         if os.path.exists(path):
             if graph is not None:
                 requested = {"k": k, "epsilon": epsilon, "seed": seed,
-                             "n": graph.num_nodes, "m": graph.num_edges}
-                if mode != "auto":
-                    requested["mode"] = mode
+                             "n": graph.num_nodes, "m": graph.num_edges,
+                             "engine": engine, "mode": mode}
                 header = artifact_info(path).metadata
-                stale = {key: (header.get(key), value)
-                         for key, value in requested.items()
-                         if key in header and header[key] != value}
+                stale = {}
+                for key, want in requested.items():
+                    if key == "mode":
+                        # "auto" resolves to a concrete mode at build time;
+                        # compare request against what was *requested* when
+                        # the artifact was built, falling back to the
+                        # resolved mode for explicitly-built artifacts.
+                        have = header.get("requested_mode",
+                                          header.get("mode", _UNSET))
+                    else:
+                        have = header.get(key, _UNSET)
+                    if have is _UNSET:
+                        stale[key] = ("<absent from artifact header>", want)
+                    elif have != want:
+                        stale[key] = (have, want)
                 if stale:
                     raise ArtifactError(
                         f"artifact {path!r} was built with different "
@@ -280,6 +299,11 @@ class RoutingService:
         Returns the number of pairs precomputed.  ``kind`` is ``"route"``,
         ``"distance"`` or ``"both"``.  Precomputation bypasses the stats
         counters — it is provisioning work, not query traffic.
+
+        Pinning a pair evicts any copy of it from the corresponding LRU
+        result cache: the hot store is checked first on every query, so an
+        LRU copy would be dead weight — double storage that the LRU's
+        eviction and :meth:`clear_cache` bookkeeping no longer govern.
         """
         if kind not in ("route", "distance", "both"):
             raise ValueError(f"kind must be route/distance/both, got {kind!r}")
@@ -290,11 +314,13 @@ class RoutingService:
             key = (source, target)
             if kind in ("route", "both"):
                 self._hot_routes[key] = self.hierarchy.route(source, target)
+                self.route_cache.discard(key)
             if kind in ("distance", "both"):
                 self._hot_distances[key] = self.hierarchy.distance(source, target)
+                self.distance_cache.discard(key)
             count += 1
-        self.stats.extra["hot_pairs"] = max(len(self._hot_routes),
-                                            len(self._hot_distances))
+        self.stats.extra["hot_pairs"] = {"route": len(self._hot_routes),
+                                         "distance": len(self._hot_distances)}
         return count
 
     def clear_cache(self, include_hot: bool = False,
@@ -323,3 +349,36 @@ class RoutingService:
         return (f"RoutingService(n={self.num_nodes}, k={self.hierarchy.k}, "
                 f"mode={self.hierarchy.mode!r}, "
                 f"cache={self.route_cache.capacity})")
+
+
+# ======================================================================
+# module-level query execution (picklable: usable from worker processes)
+# ======================================================================
+def answer_batch(service: RoutingService, kind: str,
+                 pairs: Sequence[_Pair]) -> List:
+    """Dispatch one batch to the service by query kind.
+
+    The shared kind registry for the CLI, the sharded front-end's workers
+    and :func:`execute_query_shard`.
+    """
+    if kind == "route":
+        return service.route_batch(pairs)
+    if kind == "distance":
+        return service.distance_batch(pairs)
+    raise ValueError(f"kind must be route or distance, got {kind!r}")
+
+
+def execute_query_shard(artifact_path: str, pairs: Sequence[_Pair],
+                        kind: str = "route", cache_size: int = 4096
+                        ) -> Tuple[List, ServingStats]:
+    """One-shot shard execution: load the artifact, answer ``pairs``.
+
+    A module-level function (hence picklable) so pool-style multiprocessing
+    — ``Pool.starmap(execute_query_shard, ...)`` — can fan a partitioned
+    stream out to worker processes without any shared state beyond the
+    artifact file.  Returns ``(results, stats)``; results are in the order
+    of ``pairs``.  The persistent-worker equivalent lives in
+    :mod:`repro.serving.sharded`.
+    """
+    service = RoutingService.load(artifact_path, cache_size=cache_size)
+    return answer_batch(service, kind, list(pairs)), service.stats

@@ -1,0 +1,469 @@
+"""Multi-process sharded serving: fan one query stream across worker processes.
+
+:class:`~repro.serving.service.RoutingService` is bound to a single Python
+process, so the GIL caps its route throughput no matter how good the cache
+hit rate is.  The artifact layer already makes a built hierarchy shareable
+across processes — versioned, checksummed, query-identical on reload — which
+makes the multi-process step cheap: build once in the parent, ``save``, and
+let every worker ``load`` the same artifact and answer its slice of the
+stream with a local :class:`RoutingService`.
+
+:class:`ShardedRoutingService` keeps one hard invariant: its answers are
+list-for-list identical to a single-process :class:`RoutingService` on the
+same workload.  Sharding changes *where* a query is answered, never *what*
+the answer is.  Partitioning is deterministic
+(:func:`~repro.serving.workloads.partition_pairs`): ``round_robin`` balances
+load exactly, ``hash_pair`` sends every occurrence of a pair to the same
+shard so hot pairs warm exactly one shard's cache.
+
+Sharding buys two things:
+
+* **CPU parallelism** — N workers route on N cores (processes, not threads,
+  so the GIL is out of the picture);
+* **aggregate cache capacity** — N workers with per-worker LRU capacity C
+  hold N·C results; a stream whose distinct-pair set thrashes one bounded
+  cache can fit entirely in the sharded caches
+  (``benchmarks/bench_shard_scaling.py`` measures exactly this regime).
+
+Worker lifecycle: spawn → warm (load the artifact, signal ready) → serve
+query batches (order-preserving scatter/gather) → drain and shut down, each
+worker returning its final :class:`~repro.serving.cache.ServingStats`, which
+:meth:`ServingStats.merge` folds into one aggregate.  Workers are daemonic;
+an unexpected worker exception fail-stops the whole front-end (all workers
+are shut down, the caller gets a :class:`ShardError`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..graphs.weighted_graph import WeightedGraph
+from .cache import ServingStats
+from .service import RoutingService, answer_batch
+from .workloads import PARTITION_STRATEGIES, partition_pairs
+
+__all__ = ["ShardedRoutingService", "ShardError"]
+
+_Pair = Tuple[Hashable, Hashable]
+
+
+class ShardError(RuntimeError):
+    """A shard worker failed to warm up, answer, or reply in time.
+
+    ``worker_traceback`` carries the remote traceback text when the failure
+    originated from an exception inside a worker (empty otherwise).
+    """
+
+    def __init__(self, message: str, worker_traceback: str = "") -> None:
+        if worker_traceback:
+            message = (f"{message}\n--- worker traceback ---\n"
+                       f"{worker_traceback.rstrip()}")
+        super().__init__(message)
+        self.worker_traceback = worker_traceback
+
+
+def _shard_worker(worker_id: int, artifact_path: str, cache_size: int,
+                  task_queue, result_queue) -> None:
+    """Worker main loop (module-level so it stays picklable under spawn).
+
+    Protocol (all messages are tuples; the first element is the tag):
+
+    * in  ``("query", request_id, kind, [(index, pair), ...])``
+      out ``("ok", worker_id, request_id, [(index, result), ...])`` or
+      ``("error", worker_id, request_id, summary, traceback_text)``
+    * in  ``("stats",)``    → out ``("stats", worker_id, ServingStats)``
+    * in  ``("shutdown",)`` → out ``("bye", worker_id, ServingStats)``, exit
+
+    Warm-up emits ``("ready", worker_id, load_seconds)`` on success or
+    ``("failed", worker_id, summary)`` if the artifact cannot be loaded.
+    """
+    try:
+        service = RoutingService.load(artifact_path, cache_size=cache_size)
+    except BaseException as exc:
+        result_queue.put(("failed", worker_id,
+                          f"{type(exc).__name__}: {exc}"))
+        return
+    service.stats.extra["worker_id"] = worker_id
+    result_queue.put(("ready", worker_id, service.stats.load_seconds))
+    while True:
+        message = task_queue.get()
+        tag = message[0]
+        if tag == "shutdown":
+            result_queue.put(("bye", worker_id, service.stats))
+            return
+        if tag == "stats":
+            result_queue.put(("stats", worker_id, service.stats))
+            continue
+        if tag != "query":
+            result_queue.put(("error", worker_id, None,
+                              f"unknown command {tag!r}", ""))
+            continue
+        _, request_id, kind, indexed_pairs = message
+        try:
+            values = answer_batch(service, kind,
+                                  [pair for _, pair in indexed_pairs])
+        except Exception as exc:
+            result_queue.put(("error", worker_id, request_id,
+                              f"{type(exc).__name__}: {exc}",
+                              traceback.format_exc()))
+            continue
+        result_queue.put(("ok", worker_id, request_id,
+                          [(index, value) for (index, _), value
+                           in zip(indexed_pairs, values)]))
+
+
+class _WorkerHandle:
+    """Parent-side record of one worker: its process and private task queue."""
+
+    __slots__ = ("worker_id", "process", "task_queue")
+
+    def __init__(self, worker_id, process, task_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+
+
+class ShardedRoutingService:
+    """Serve batched queries by scattering them across N worker processes.
+
+    Parameters
+    ----------
+    artifact_path:
+        Persisted hierarchy every worker loads (must already exist; use
+        :meth:`build_or_load` to create it from a graph first).
+    num_workers:
+        Worker process count (>= 1).
+    partitioner:
+        ``"round_robin"`` or ``"hash_pair"`` — see
+        :func:`~repro.serving.workloads.partition_pairs`.
+    cache_size:
+        Per-worker LRU result-cache capacity (each worker caches only its
+        own partition, so aggregate capacity is ``num_workers * cache_size``).
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default).
+    graph:
+        Optional graph handle kept for workload generation; queries are
+        *not* validated against it in the parent — an invalid node raises in
+        the owning worker and surfaces as :class:`ShardError`.
+    stats:
+        Front-end counters (scatter batches, query volumes).  Per-worker
+        serving stats live in the workers; see :meth:`merged_stats`.
+    """
+
+    def __init__(self, artifact_path: str, num_workers: int = 2,
+                 partitioner: str = "round_robin", cache_size: int = 4096,
+                 start_method: Optional[str] = None,
+                 warm_timeout: float = 120.0, reply_timeout: float = 300.0,
+                 graph: Optional[WeightedGraph] = None,
+                 stats: Optional[ServingStats] = None) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if partitioner not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"unknown partition strategy {partitioner!r}; "
+                f"available: {', '.join(PARTITION_STRATEGIES)}")
+        if not os.path.exists(artifact_path):
+            raise FileNotFoundError(
+                f"artifact {artifact_path!r} does not exist; build it first "
+                f"(e.g. via ShardedRoutingService.build_or_load)")
+        self.artifact_path = artifact_path
+        self.num_workers = num_workers
+        self.partitioner = partitioner
+        self.cache_size = cache_size
+        self.graph = graph
+        self.stats = stats if stats is not None else ServingStats()
+        self.stats.extra.setdefault("workers", num_workers)
+        self.stats.extra.setdefault("partitioner", partitioner)
+        self.stats.extra.setdefault("artifact_path", artifact_path)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._warm_timeout = warm_timeout
+        self._reply_timeout = reply_timeout
+        self._workers: List[_WorkerHandle] = []
+        self._result_queue = None
+        self._request_counter = 0
+        self._started = False
+        self._closed = False
+        self._final_worker_stats: List[ServingStats] = []
+        self._undrained_workers: List[int] = []
+
+    # ==================================================================
+    # construction
+    # ==================================================================
+    @classmethod
+    def build_or_load(cls, path: str, graph: Optional[WeightedGraph] = None,
+                      k: int = 3, epsilon: float = 0.25, seed: int = 0,
+                      mode: str = "auto", engine: str = "batched",
+                      num_workers: int = 2, partitioner: str = "round_robin",
+                      cache_size: int = 4096,
+                      start_method: Optional[str] = None,
+                      **build_kwargs) -> "ShardedRoutingService":
+        """Build-once in the parent, save, shard workers over the artifact.
+
+        The parent pays the build (or a load plus the freshness check against
+        the requested parameters — the exact contract of
+        :meth:`RoutingService.build_or_load`); workers only ever load by
+        path.  The parent's hierarchy is dropped immediately — only the graph
+        handle is kept for workload generation — so resident memory is the
+        workers', not 1 + N copies.
+        """
+        parent = RoutingService.build_or_load(
+            path, graph=graph, k=k, epsilon=epsilon, seed=seed, mode=mode,
+            engine=engine, cache_size=0, save=True, **build_kwargs)
+        stats = ServingStats(build_seconds=parent.stats.build_seconds,
+                             load_seconds=parent.stats.load_seconds,
+                             artifact_bytes=parent.stats.artifact_bytes,
+                             extra=dict(parent.stats.extra))
+        return cls(path, num_workers=num_workers, partitioner=partitioner,
+                   cache_size=cache_size, start_method=start_method,
+                   graph=parent.hierarchy.graph, stats=stats)
+
+    # ==================================================================
+    # worker lifecycle
+    # ==================================================================
+    def start(self) -> "ShardedRoutingService":
+        """Spawn the workers and block until every one has warmed up."""
+        if self._closed:
+            raise ShardError("sharded service is closed")
+        if self._started:
+            return self
+        self._result_queue = self._ctx.Queue()
+        for worker_id in range(self.num_workers):
+            task_queue = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_shard_worker,
+                args=(worker_id, self.artifact_path, self.cache_size,
+                      task_queue, self._result_queue),
+                daemon=True, name=f"repro-shard-{worker_id}")
+            process.start()
+            self._workers.append(_WorkerHandle(worker_id, process, task_queue))
+        ready = 0
+        load_seconds: List[float] = []
+        deadline = time.monotonic() + self._warm_timeout
+        while ready < self.num_workers:
+            try:
+                message = self._result_queue.get(
+                    timeout=max(0.01, deadline - time.monotonic()))
+            except queue_module.Empty:
+                self._abort()
+                raise ShardError(
+                    f"only {ready}/{self.num_workers} workers warmed up "
+                    f"within {self._warm_timeout}s")
+            if message[0] == "failed":
+                self._abort()
+                raise ShardError(
+                    f"worker {message[1]} failed to load "
+                    f"{self.artifact_path!r}: {message[2]}")
+            if message[0] == "ready":
+                ready += 1
+                if message[2] is not None:
+                    load_seconds.append(message[2])
+        if load_seconds:
+            self.stats.extra["worker_load_seconds_max"] = max(load_seconds)
+        self._started = True
+        return self
+
+    def close(self, drain: bool = True,
+              timeout: float = 30.0) -> List[ServingStats]:
+        """Shut the workers down; returns their final stats when drained.
+
+        With ``drain=True`` each live worker finishes its queued work, sends
+        a final stats snapshot, and exits; stragglers past ``timeout`` are
+        terminated.  ``drain=False`` terminates immediately (the fail-stop
+        path).  Idempotent; after closing, queries raise :class:`ShardError`.
+        """
+        if self._closed:
+            return list(self._final_worker_stats)
+        self._closed = True
+        if not self._started:
+            return []
+        final_stats: List[ServingStats] = []
+        if drain:
+            expecting = set()
+            for handle in self._workers:
+                if handle.process.is_alive():
+                    try:
+                        handle.task_queue.put(("shutdown",))
+                        expecting.add(handle.worker_id)
+                    except (OSError, ValueError):
+                        pass
+            deadline = time.monotonic() + timeout
+            while expecting and time.monotonic() < deadline:
+                try:
+                    message = self._result_queue.get(timeout=0.05)
+                except queue_module.Empty:
+                    continue
+                # Late "ok"/"stats" replies from interrupted requests are
+                # skipped; only the final per-worker snapshot is kept.
+                if message[0] == "bye":
+                    final_stats.append(message[2])
+                    expecting.discard(message[1])
+            # Stragglers past the deadline get terminated below and their
+            # final snapshots are lost; record who, so merged_stats can say
+            # its totals are incomplete instead of silently under-counting.
+            self._undrained_workers = sorted(expecting)
+        if not drain:
+            # Fail-stop path: nobody was asked to exit, so don't wait for it.
+            for handle in self._workers:
+                if handle.process.is_alive():
+                    handle.process.terminate()
+        for handle in self._workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        self._final_worker_stats = final_stats
+        for handle in self._workers:
+            handle.task_queue.close()
+        if self._result_queue is not None:
+            self._result_queue.close()
+        return list(final_stats)
+
+    def _abort(self) -> None:
+        """Fail-stop: kill every worker without draining."""
+        self.close(drain=False)
+
+    def __enter__(self) -> "ShardedRoutingService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def __del__(self) -> None:
+        try:
+            if self._started and not self._closed:
+                self.close(drain=False)
+        except BaseException:
+            pass
+
+    @property
+    def is_running(self) -> bool:
+        return (self._started and not self._closed
+                and all(h.process.is_alive() for h in self._workers))
+
+    # ==================================================================
+    # queries (order-preserving scatter/gather)
+    # ==================================================================
+    def route_batch(self, pairs: Sequence[_Pair]) -> List:
+        """Route a batch; answers come back in input order."""
+        return self._query_batch("route", pairs)
+
+    def distance_batch(self, pairs: Sequence[_Pair]) -> List[float]:
+        """Distance estimates for a batch; answers in input order."""
+        return self._query_batch("distance", pairs)
+
+    def _query_batch(self, kind: str, pairs: Sequence[_Pair]) -> List:
+        if self._closed:
+            raise ShardError("sharded service is closed")
+        if not self._started:
+            self.start()
+        pairs = list(pairs)
+        self.stats.queries += len(pairs)
+        if kind == "route":
+            self.stats.route_queries += len(pairs)
+        else:
+            self.stats.distance_queries += len(pairs)
+        self.stats.batches += 1
+        self.stats.batched_queries += len(pairs)
+        if not pairs:
+            return []
+        shards = partition_pairs(pairs, self.num_workers,
+                                 strategy=self.partitioner)
+        self._request_counter += 1
+        request_id = self._request_counter
+        pending = set()
+        for handle, shard in zip(self._workers, shards):
+            if shard:
+                handle.task_queue.put(("query", request_id, kind, shard))
+                pending.add(handle.worker_id)
+        results: List = [None] * len(pairs)
+        while pending:
+            message = self._collect()
+            tag = message[0]
+            if tag == "error":
+                summary, worker_traceback = message[3], message[4]
+                self._abort()
+                raise ShardError(
+                    f"worker {message[1]} failed answering {kind} batch: "
+                    f"{summary}", worker_traceback=worker_traceback)
+            if tag == "ok" and message[2] == request_id:
+                for index, value in message[3]:
+                    results[index] = value
+                pending.discard(message[1])
+        return results
+
+    def _collect(self):
+        # Poll in short slices so a worker that died without replying (OOM
+        # kill, segfault) is noticed immediately, not after reply_timeout.
+        deadline = time.monotonic() + self._reply_timeout
+        while True:
+            try:
+                return self._result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                pass
+            dead = [h.worker_id for h in self._workers
+                    if not h.process.is_alive()]
+            if dead:
+                # Grace read: the worker may have replied just before dying
+                # and the message may still be in flight through the pipe.
+                try:
+                    return self._result_queue.get(timeout=0.5)
+                except queue_module.Empty:
+                    self._abort()
+                    raise ShardError(
+                        f"worker(s) {dead} died without replying")
+            if time.monotonic() >= deadline:
+                self._abort()
+                raise ShardError(
+                    f"no worker reply within {self._reply_timeout}s")
+
+    # ==================================================================
+    # stats
+    # ==================================================================
+    def worker_stats(self) -> List[ServingStats]:
+        """Per-worker stats snapshots (final snapshots once closed)."""
+        if self._closed or not self._started:
+            return list(self._final_worker_stats)
+        for handle in self._workers:
+            handle.task_queue.put(("stats",))
+        snapshots = {}
+        while len(snapshots) < len(self._workers):
+            message = self._collect()
+            if message[0] == "stats":
+                snapshots[message[1]] = message[2]
+        return [snapshots[h.worker_id] for h in self._workers]
+
+    def merged_stats(self) -> ServingStats:
+        """One aggregate :class:`ServingStats` over all workers.
+
+        Counters are the sums of the per-worker counters
+        (:meth:`ServingStats.merge`); ``build_seconds`` is the parent's (the
+        workers only ever load), and the front-end provenance (worker count,
+        partitioner, artifact path) is folded into ``extra``.
+        """
+        merged = ServingStats.merge(self.worker_stats())
+        if merged.build_seconds is None:
+            merged.build_seconds = self.stats.build_seconds
+        if merged.artifact_bytes is None:
+            merged.artifact_bytes = self.stats.artifact_bytes
+        merged.extra["workers"] = self.num_workers
+        merged.extra["partitioner"] = self.partitioner
+        merged.extra["artifact_path"] = self.artifact_path
+        merged.extra["scatter_batches"] = self.stats.batches
+        if self._undrained_workers:
+            merged.extra["undrained_workers"] = list(self._undrained_workers)
+        return merged
+
+    def describe(self) -> str:
+        return self.merged_stats().describe()
+
+    def __repr__(self) -> str:
+        state = ("running" if self.is_running
+                 else "closed" if self._closed else "cold")
+        return (f"ShardedRoutingService(workers={self.num_workers}, "
+                f"partitioner={self.partitioner!r}, "
+                f"artifact={self.artifact_path!r}, {state})")

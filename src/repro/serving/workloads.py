@@ -21,6 +21,7 @@ explicit Zipf weights — no numpy/scipy dependency).
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,8 @@ __all__ = [
     "locality_workload",
     "WORKLOAD_NAMES",
     "make_workload",
+    "PARTITION_STRATEGIES",
+    "partition_pairs",
 ]
 
 
@@ -118,8 +121,12 @@ def zipf_workload(nodes: Sequence[Hashable], num_queries: int,
     targets = rng.choices(target_ranking, weights=weights, k=num_queries)
     pairs = []
     for s, t in zip(sources, targets):
-        if s == t:
-            t = _other_than(s, nodes, rng)
+        # Collisions concentrate on the hottest ranks, so the replacement must
+        # keep the Zipf shape: redraw from the target weights (conditioned on
+        # t != s), never uniformly — a uniform fallback would dilute the skew
+        # exactly where the stream is supposed to be most repetitive.
+        while t == s:
+            t = rng.choices(target_ranking, weights=weights, k=1)[0]
         pairs.append((s, t))
     return QueryWorkload(name="zipf", pairs=pairs,
                          params={"seed": seed, "skew": skew, "nodes": len(nodes)})
@@ -164,6 +171,45 @@ def locality_workload(graph: WeightedGraph, num_queries: int,
 
 
 WORKLOAD_NAMES = ("uniform", "zipf", "locality")
+
+PARTITION_STRATEGIES = ("round_robin", "hash_pair")
+
+
+def _stable_pair_hash(pair: Tuple[Hashable, Hashable]) -> int:
+    """Deterministic across processes and runs (``hash()`` is salted)."""
+    return zlib.crc32(repr(pair).encode("utf-8"))
+
+
+def partition_pairs(pairs: Sequence[Tuple[Hashable, Hashable]],
+                    num_shards: int, strategy: str = "round_robin",
+                    ) -> List[List[Tuple[int, Tuple[Hashable, Hashable]]]]:
+    """Deterministically split a query stream across ``num_shards`` shards.
+
+    Returns ``num_shards`` lists of ``(original_index, pair)``; within each
+    shard the original stream order is preserved, and the indices let the
+    caller reassemble answers in input order after a scatter/gather.
+
+    * ``"round_robin"`` — query ``i`` goes to shard ``i % num_shards``;
+      balances load exactly regardless of content.
+    * ``"hash_pair"`` — shard by a stable hash of the pair, so *every*
+      occurrence of a hot pair lands on the same shard and warms exactly one
+      shard's result cache instead of smearing its repeats across all of
+      them.  Requires node ids with a deterministic ``repr`` (ints, strings).
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    shards: List[List[Tuple[int, Tuple[Hashable, Hashable]]]] = \
+        [[] for _ in range(num_shards)]
+    if strategy == "round_robin":
+        for index, pair in enumerate(pairs):
+            shards[index % num_shards].append((index, pair))
+    elif strategy == "hash_pair":
+        for index, pair in enumerate(pairs):
+            shards[_stable_pair_hash(pair) % num_shards].append((index, pair))
+    else:
+        raise ValueError(f"unknown partition strategy {strategy!r}; "
+                         f"available: {', '.join(PARTITION_STRATEGIES)}")
+    return shards
 
 
 def make_workload(name: str, graph: WeightedGraph, num_queries: int,

@@ -140,13 +140,30 @@ class TestHotPairs:
         with pytest.raises(ValueError, match="kind"):
             built_service.precompute_hot_pairs([], kind="everything")
 
-    def test_hot_pair_count_tracks_larger_store(self, service_graph):
+    def test_hot_pair_count_reported_per_kind(self, service_graph):
         service = RoutingService.build(service_graph, k=2, seed=6)
         nodes = service_graph.nodes()
         service.precompute_hot_pairs([(nodes[0], nodes[1])], kind="route")
         service.precompute_hot_pairs([(nodes[i], nodes[i + 1])
                                       for i in range(3)], kind="distance")
-        assert service.stats.extra["hot_pairs"] == 3
+        assert service.stats.extra["hot_pairs"] == {"route": 1, "distance": 3}
+
+    def test_pinning_evicts_lru_copies(self, service_graph):
+        """Regression: a pair queried before being pinned used to stay in the
+        LRU caches too — double storage outside clear_cache bookkeeping."""
+        service = RoutingService.build(service_graph, k=2, seed=7)
+        u, v = service_graph.nodes()[0], service_graph.nodes()[4]
+        service.route(u, v)
+        service.distance_estimate(u, v)
+        assert (u, v) in service.route_cache
+        assert (u, v) in service.distance_cache
+        service.precompute_hot_pairs([(u, v)], kind="both")
+        assert (u, v) not in service.route_cache
+        assert (u, v) not in service.distance_cache
+        # The pinned copy (not a stale LRU one) answers, as a hot hit.
+        before = service.stats.hot_hits
+        assert service.route(u, v).path == service.hierarchy.route(u, v).path
+        assert service.stats.hot_hits == before + 1
 
 
 class TestBuildOrLoad:
@@ -182,6 +199,45 @@ class TestBuildOrLoad:
             RoutingService.build_or_load(path, graph=service_graph, k=3, seed=4)
         # Pure load intent (no graph) accepts whatever is persisted.
         RoutingService.build_or_load(path)
+
+    def test_header_missing_requested_key_is_stale(self, service_graph,
+                                                   tmp_path):
+        """Regression: a requested parameter *absent* from the header (an
+        artifact predating it) used to be silently skipped by the freshness
+        check, so a mismatched artifact could be served as fresh."""
+        from repro.routing import build_compact_routing
+        from repro.serving import ArtifactError
+        from repro.serving.artifacts import KIND_HIERARCHY, write_artifact
+
+        hierarchy = build_compact_routing(service_graph, k=2, seed=4)
+        path = str(tmp_path / "pre-engine.artifact")
+        metadata = {"n": service_graph.num_nodes,
+                    "m": service_graph.num_edges}
+        metadata.update(hierarchy.build_params)
+        del metadata["engine"]        # simulate an artifact predating "engine"
+        write_artifact(path, KIND_HIERARCHY, hierarchy.export_state(),
+                       metadata=metadata,
+                       state_version=hierarchy.STATE_VERSION)
+        with pytest.raises(ArtifactError, match="engine"):
+            RoutingService.build_or_load(path, graph=service_graph, k=2,
+                                         seed=4)
+        # Without a build intent the artifact still loads as-is.
+        RoutingService.build_or_load(path)
+
+    def test_mode_mismatch_with_auto_request_is_stale(self, service_graph,
+                                                      tmp_path):
+        """An explicitly-built artifact is not served for an auto request
+        (auto may choose a different truncation level) and vice versa."""
+        from repro.serving import ArtifactError
+
+        path = str(tmp_path / "explicit-mode.artifact")
+        RoutingService.build_or_load(path, graph=service_graph, k=3, seed=4,
+                                     mode="budget")
+        RoutingService.build_or_load(path, graph=service_graph, k=3, seed=4,
+                                     mode="budget")   # same request: fine
+        with pytest.raises(ArtifactError, match="mode"):
+            RoutingService.build_or_load(path, graph=service_graph, k=3,
+                                         seed=4, mode="auto")
 
 
 class TestStretchRoundTrip:
@@ -239,6 +295,54 @@ class TestCli:
         out = capsys.readouterr().out
         assert '"load_seconds"' in out and '"queries": 200' in out
 
+    @pytest.mark.parametrize("bad_argv", [
+        ["--workload", "uniform", "--skew", "1.5"],
+        ["--workload", "locality", "--skew", "1.5"],
+        ["--workload", "zipf", "--hop-radius", "2"],
+        ["--workload", "uniform", "--bias", "0.5"],
+    ])
+    def test_inapplicable_workload_flags_rejected(self, tmp_path, bad_argv):
+        """Regression: --skew used to be silently ignored off-zipf, and
+        locality had no way to set hop_radius/bias at all."""
+        argv = ["--graph", "grid:rows=4,cols=5", "--k", "2",
+                "--queries", "50"] + bad_argv
+        with pytest.raises(SystemExit):
+            serve_main(argv)
+
+    def test_locality_flags_are_forwarded(self, capsys):
+        import json as json_module
+
+        from repro.serving import locality_workload
+
+        argv = ["--graph", "grid:rows=5,cols=6,seed=3", "--k", "2",
+                "--seed", "3", "--workload", "locality", "--queries", "150",
+                "--hop-radius", "1", "--bias", "1.0", "--json"]
+        assert serve_main(argv) == 0
+        record = json_module.loads(capsys.readouterr().out)
+        expected = locality_workload(parse_graph_spec("grid:rows=5,cols=6,seed=3"),
+                                     150, hop_radius=1, bias=1.0, seed=3)
+        assert record["distinct_pairs"] == expected.distinct_pairs()
+        assert (record["hottest_pair_share"]
+                == expected.skew_summary()["hottest_pair_share"])
+
+    def test_workers_flag_serves_sharded(self, tmp_path, capsys):
+        artifact = str(tmp_path / "sharded-cli.artifact")
+        argv = ["--graph", "er:n=25,p=0.2,seed=2,weights=uniform:1:20",
+                "--artifact", artifact, "--k", "2", "--workload", "zipf",
+                "--queries", "120", "--batch-size", "30",
+                "--workers", "2", "--partitioner", "hash_pair", "--json"]
+        assert serve_main(argv) == 0
+        import json as json_module
+        record = json_module.loads(capsys.readouterr().out)
+        assert record["queries"] == 120
+        assert record["delivered"] == 120
+        assert record["extra"]["workers"] == 2
+        assert record["extra"]["partitioner"] == "hash_pair"
+
+    def test_workers_require_artifact(self):
+        with pytest.raises(SystemExit):
+            serve_main(["--graph", "grid:rows=4,cols=4", "--workers", "2"])
+
 
 class TestServingStats:
     def test_as_dict_and_describe(self):
@@ -248,6 +352,17 @@ class TestServingStats:
         assert record["cache_hit_rate"] == 0.6
         text = stats.describe()
         assert "hit rate" in text and "1.500s" in text
+
+    def test_extras_cannot_shadow_core_counters(self):
+        """Regression: an extra key like "queries" used to overwrite the
+        real counter in the exported record; extras are namespaced now."""
+        stats = ServingStats(queries=10, cache_hits=6, cache_misses=4)
+        stats.extra["queries"] = "shadow-attempt"
+        stats.extra["artifact_path"] = "/tmp/x.artifact"
+        record = stats.as_dict()
+        assert record["queries"] == 10
+        assert record["extra"]["queries"] == "shadow-attempt"
+        assert record["extra"]["artifact_path"] == "/tmp/x.artifact"
 
     def test_serving_a_zipf_stream_hits_cache(self, service_graph,
                                               built_service):

@@ -75,6 +75,36 @@ class TestShapes:
         with pytest.raises(ValueError, match="skew"):
             zipf_workload(workload_graph.nodes(), 10, skew=0.0)
 
+    def test_zipf_collision_fallback_keeps_skew(self):
+        """Regression: when a drawn pair collided (s == t) the replacement
+        target used to be drawn *uniformly*, diluting the Zipf shape exactly
+        on the hottest ranks where collisions concentrate.  The replacement
+        must follow the Zipf weights conditioned on ``t != s``."""
+        import random
+        from collections import Counter
+
+        nodes = list(range(3))
+        skew = 3.0          # weights 1 : 1/8 : 1/27 -> collisions dominate
+
+        def rankings(seed):
+            rng = random.Random(seed)
+            source_ranking = list(nodes)
+            rng.shuffle(source_ranking)
+            target_ranking = list(nodes)
+            rng.shuffle(target_ranking)
+            return source_ranking, target_ranking
+
+        # A seed whose rankings share the hottest node, so most draws collide
+        # on it and the fallback path carries most of the probability mass.
+        seed = next(s for s in range(100)
+                    if rankings(s)[0][0] == rankings(s)[1][0])
+        _, target_ranking = rankings(seed)
+        workload = zipf_workload(nodes, 6000, skew=skew, seed=seed)
+        counts = Counter(t for _, t in workload.pairs)
+        # Zipf-conditioned replacement keeps rank2 ~ (1/8)/(1/27) = 3.4x
+        # rank3; the old uniform fallback pushed this ratio towards 1.
+        assert counts[target_ranking[1]] / counts[target_ranking[2]] > 2.0
+
     def test_locality_full_bias_stays_in_ball(self, workload_graph):
         radius = 2
         workload = locality_workload(workload_graph, 300, hop_radius=radius,
