@@ -19,6 +19,11 @@ route-query throughput in three configurations over the same query stream:
 * ``warm_batch``   — result cache enabled and pre-warmed with one pass
   (the steady state of a long-running service).
 
+All three configurations are opened through the serving API v2 — a
+``ServingConfig`` per configuration, ``open_service`` per backend — over one
+shared artifact, so the benchmark exercises exactly the surface production
+callers use.
+
 Run as a script to produce the JSON artifact consumed by CI:
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
@@ -29,16 +34,24 @@ headline claim (warm batched >= 2x cold single on the Zipf workload).
 """
 
 import argparse
+import dataclasses
 import json
+import os
+import tempfile
 import time
 
 import pytest
 
 from repro import graphs
-from repro.routing.compact import build_compact_routing
-from repro.serving import RoutingService, make_workload
+from repro.serving import (
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
+    make_workload,
+    open_service,
+)
 
-WORKLOAD_SHAPES = ("uniform", "zipf", "locality")
+WORKLOAD_SHAPES = ("uniform", "zipf", "locality", "bursty")
 
 
 def make_serving_graph(n: int, seed: int = 0):
@@ -64,57 +77,70 @@ def _timed_batched(service, pairs, batch_size: int) -> float:
 def run_serving_benchmark(n: int, seed: int = 0, k: int = 3,
                           epsilon: float = 0.25, num_queries: int = 2000,
                           batch_size: int = 64, cache_size: int = 65536) -> dict:
-    """Build one hierarchy, measure all shapes/configurations against it."""
+    """Build one artifact, measure all shapes/configurations against it.
+
+    Each configuration opens its own backend from the shared artifact, so
+    every run starts with cold runtime caches by construction (a fresh load
+    holds no query-time state).
+    """
     graph = make_serving_graph(n, seed=seed)
-    start = time.perf_counter()
-    hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon, seed=seed)
-    build_seconds = time.perf_counter() - start
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        artifact = os.path.join(tmp, "hierarchy.artifact")
+        base = ServingConfig(
+            artifact_path=artifact,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed),
+            cache=CacheConfig(capacity=0),
+            batch_size=batch_size)
+        builder = open_service(base, graph=graph)
+        build_seconds = builder.query_stats().build_seconds
 
-    record = {
-        "n": n,
-        "m": graph.num_edges,
-        "k": k,
-        "epsilon": epsilon,
-        "mode": hierarchy.mode,
-        "num_queries": num_queries,
-        "batch_size": batch_size,
-        "build_seconds": round(build_seconds, 4),
-        "workloads": {},
-    }
-
-    for shape in WORKLOAD_SHAPES:
-        workload = make_workload(shape, graph, num_queries, seed=seed)
-        pairs = workload.pairs
-
-        # Cold single-query baseline: no result cache, cold runtime caches.
-        hierarchy.clear_runtime_caches()
-        cold = RoutingService(hierarchy, cache_size=0)
-        cold_single_seconds = _timed_single(cold, pairs)
-
-        # Cold batched: still no result cache; batching/dedup only.
-        hierarchy.clear_runtime_caches()
-        cold_batched = RoutingService(hierarchy, cache_size=0)
-        cold_batch_seconds = _timed_batched(cold_batched, pairs, batch_size)
-
-        # Warm batched: result cache enabled and pre-warmed with one pass.
-        warm = RoutingService(hierarchy, cache_size=cache_size)
-        _timed_batched(warm, pairs, batch_size)  # warming pass (unmeasured)
-        warm_batch_seconds = _timed_batched(warm, pairs, batch_size)
-
-        qps = lambda seconds: (num_queries / seconds if seconds > 0
-                               else float("inf"))
-        shape_record = {
-            **workload.skew_summary(),
-            "cold_single_qps": round(qps(cold_single_seconds), 1),
-            "cold_batch_qps": round(qps(cold_batch_seconds), 1),
-            "warm_batch_qps": round(qps(warm_batch_seconds), 1),
-            "batch_speedup": round(cold_single_seconds /
-                                   max(cold_batch_seconds, 1e-9), 2),
-            "warm_speedup": round(cold_single_seconds /
-                                  max(warm_batch_seconds, 1e-9), 2),
-            "cache_hit_rate": round(warm.stats.cache_hit_rate, 4),
+        record = {
+            "n": n,
+            "m": graph.num_edges,
+            "k": k,
+            "epsilon": epsilon,
+            "mode": builder.hierarchy.mode,
+            "num_queries": num_queries,
+            "batch_size": batch_size,
+            "build_seconds": round(build_seconds, 4),
+            "workloads": {},
         }
-        record["workloads"][shape] = shape_record
+        builder.close()
+
+        for shape in WORKLOAD_SHAPES:
+            workload = make_workload(shape, graph, num_queries, seed=seed)
+            pairs = workload.pairs
+
+            # Cold single-query baseline: no result cache, fresh backend.
+            with open_service(base) as cold:
+                cold_single_seconds = _timed_single(cold, pairs)
+
+            # Cold batched: still no result cache; batching/dedup only.
+            with open_service(base) as cold_batched:
+                cold_batch_seconds = _timed_batched(cold_batched, pairs,
+                                                    batch_size)
+
+            # Warm batched: result cache enabled, pre-warmed with one pass.
+            warm_config = dataclasses.replace(
+                base, cache=CacheConfig(capacity=cache_size))
+            with open_service(warm_config) as warm:
+                _timed_batched(warm, pairs, batch_size)  # warming (unmeasured)
+                warm_batch_seconds = _timed_batched(warm, pairs, batch_size)
+
+            qps = lambda seconds: (num_queries / seconds if seconds > 0
+                                   else float("inf"))
+            shape_record = {
+                **workload.skew_summary(),
+                "cold_single_qps": round(qps(cold_single_seconds), 1),
+                "cold_batch_qps": round(qps(cold_batch_seconds), 1),
+                "warm_batch_qps": round(qps(warm_batch_seconds), 1),
+                "batch_speedup": round(cold_single_seconds /
+                                       max(cold_batch_seconds, 1e-9), 2),
+                "warm_speedup": round(cold_single_seconds /
+                                      max(warm_batch_seconds, 1e-9), 2),
+                "cache_hit_rate": round(warm.query_stats().cache_hit_rate, 4),
+            }
+            record["workloads"][shape] = shape_record
     return record
 
 

@@ -31,6 +31,7 @@ sharded answers are list-for-list identical to single-process serving.
 """
 
 import argparse
+import dataclasses
 import json
 import os
 import tempfile
@@ -40,9 +41,12 @@ import pytest
 
 from repro import graphs
 from repro.serving import (
-    RoutingService,
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
     ServingStats,
     ShardedRoutingService,
+    open_service,
     uniform_workload,
 )
 
@@ -80,10 +84,15 @@ def run_shard_scaling(n: int, worker_counts=(1, 2, 4), seed: int = 0,
 
     with tempfile.TemporaryDirectory(prefix="repro-shard-bench-") as tmp:
         artifact = os.path.join(tmp, "hierarchy.artifact")
+        base = ServingConfig(
+            artifact_path=artifact,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed),
+            cache=CacheConfig(capacity=per_worker_cache),
+            batch_size=batch_size)
         start = time.perf_counter()
-        parent = RoutingService.build_or_load(artifact, graph=graph, k=k,
-                                              epsilon=epsilon, seed=seed,
-                                              cache_size=0)
+        parent = open_service(
+            dataclasses.replace(base, cache=CacheConfig(capacity=0)),
+            graph=graph)
         build_seconds = time.perf_counter() - start
         reference = None
         if check_identity:
@@ -104,8 +113,12 @@ def run_shard_scaling(n: int, worker_counts=(1, 2, 4), seed: int = 0,
             "scaling": [],
         }
         for workers in worker_counts:
+            # workers == 1 must stay on the sharded path (the IPC overhead
+            # belongs in the scaling curve), so the loop opens the sharded
+            # front-end directly rather than letting open_service pick the
+            # local backend for a single worker.
             with ShardedRoutingService(artifact, num_workers=workers,
-                                       cache_size=per_worker_cache,
+                                       cache_config=base.cache,
                                        graph=graph) as sharded:
                 cold_seconds = _timed_pass(sharded, chunks)   # warming pass
                 warm_mark = ServingStats.merge(sharded.worker_stats())

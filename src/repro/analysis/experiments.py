@@ -34,7 +34,15 @@ from ..routing.skeleton import (
 from ..routing.stretch import evaluate_distance_estimates, sample_pairs
 from ..routing.tz_exact import ExactThorupZwickOracle
 from ..routing.tz_hierarchy import CompactRoutingHierarchy
-from ..serving import RoutingService, ShardedRoutingService, make_workload
+from ..serving import (
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
+    ShardedRoutingService,
+    WorkloadConfig,
+    make_workload,
+    open_service,
+)
 from . import complexity
 
 __all__ = [
@@ -348,13 +356,20 @@ def run_serving_experiment(graph: WeightedGraph, k: int = 3,
     The serving unit of work is a *query stream*, not a single construction:
     the record contrasts the first (cold-cache) pass over the workload with
     a second (warm) pass, which is the steady state a long-running service
-    converges to on a skewed stream.
+    converges to on a skewed stream.  Serves through the v2 surface: one
+    :class:`~repro.serving.config.ServingConfig` describes the session and
+    :func:`~repro.serving.backend.open_service` opens the backend.
     """
     import time
 
-    service = RoutingService.build(graph, k=k, epsilon=epsilon, seed=seed,
-                                   engine=engine, cache_size=cache_size)
-    stream = make_workload(workload, graph, num_queries, seed=seed)
+    config = ServingConfig(
+        build=BuildConfig(k=k, epsilon=epsilon, seed=seed, engine=engine),
+        cache=CacheConfig(capacity=cache_size),
+        workload=WorkloadConfig(name=workload, num_queries=num_queries),
+        batch_size=batch_size)
+    service = open_service(config, graph=graph)
+    stream = make_workload(workload, graph, num_queries,
+                           seed=config.workload_seed())
 
     def timed_pass() -> float:
         start = time.perf_counter()
@@ -378,6 +393,7 @@ def run_serving_experiment(graph: WeightedGraph, k: int = 3,
     }
     record["warm_speedup"] = (record["warm_qps"] / record["cold_qps"]
                               if record["cold_qps"] > 0 else float("inf"))
+    service.close()
     return record
 
 
@@ -414,9 +430,13 @@ def run_sharded_experiment(graph: WeightedGraph, k: int = 3,
         tmp_dir = tempfile.TemporaryDirectory(prefix="repro-shard-exp-")
         artifact_path = os.path.join(tmp_dir.name, "hierarchy.artifact")
     try:
-        parent = RoutingService.build_or_load(
-            artifact_path, graph=graph, k=k, epsilon=epsilon, seed=seed,
-            engine=engine, cache_size=cache_size)
+        base_config = ServingConfig(
+            artifact_path=artifact_path,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed, engine=engine),
+            cache=CacheConfig(capacity=cache_size),
+            workload=WorkloadConfig(name=workload, num_queries=num_queries),
+            batch_size=batch_size, partitioner=partitioner)
+        parent = open_service(base_config, graph=graph)
         stream = make_workload(workload, graph, num_queries, seed=seed)
         chunks = [stream.pairs[lo:lo + batch_size]
                   for lo in range(0, len(stream.pairs), batch_size)]
@@ -436,9 +456,14 @@ def run_sharded_experiment(graph: WeightedGraph, k: int = 3,
             "scaling": [],
         }
         for workers in worker_counts:
+            # The scaling loop deliberately pins the sharded front-end even
+            # at one worker (the IPC overhead belongs in the curve), so it
+            # constructs ShardedRoutingService directly instead of letting
+            # open_service pick the local backend for workers == 1.
             with ShardedRoutingService(
                     artifact_path, num_workers=workers,
-                    partitioner=partitioner, cache_size=cache_size,
+                    partitioner=partitioner,
+                    cache_config=base_config.cache,
                     graph=graph) as sharded:
                 start = time.perf_counter()
                 answers = [trace for chunk in chunks

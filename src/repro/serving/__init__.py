@@ -1,20 +1,35 @@
 """Serving subsystem: persisted artifacts, cached query serving, workloads.
 
 This package turns built routing structures into a servable product — the
-bridge from the paper's preprocessing theorems to a query-serving system:
+bridge from the paper's preprocessing theorems to a query-serving system.
+The public surface (API v2) is one typed, policy-pluggable contract:
 
+* :mod:`repro.serving.backend`   — the :class:`QueryBackend` protocol and
+  the :func:`open_service` factory that returns a local or sharded backend
+  from one :class:`ServingConfig`;
+* :mod:`repro.serving.config`    — the frozen config family
+  (:class:`BuildConfig`, :class:`CacheConfig`, :class:`WorkloadConfig`,
+  :class:`ServingConfig`) with lossless ``to_dict``/``from_dict``
+  round-trips and artifact-header provenance;
+* :mod:`repro.serving.registry`  — string-keyed registries for
+  partitioners, cache policies, hot-set policies and workloads
+  (``register_*`` to extend, names resolve everywhere configs are used);
 * :mod:`repro.serving.artifacts` — versioned save/load of built hierarchies
   and PDE results with integrity checking and lossless round-trips;
-* :mod:`repro.serving.service`   — the :class:`RoutingService` facade:
-  build-or-load, single and batched ``route`` / ``distance_estimate`` /
-  full-path queries;
+* :mod:`repro.serving.service`   — the :class:`RoutingService` local
+  backend: build-or-load, single and batched ``route`` /
+  ``distance_estimate`` / full-path queries;
 * :mod:`repro.serving.sharded`   — the :class:`ShardedRoutingService`
-  front-end: one query stream scattered across N worker processes, each
+  backend: one query stream scattered across N worker processes, each
   serving its partition from the same artifact;
-* :mod:`repro.serving.cache`     — LRU result caching, hot-pair
-  precomputation and the :class:`ServingStats` counters;
-* :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality
-  query-stream generators plus the deterministic shard partitioner;
+* :mod:`repro.serving.cache`     — LRU result caching and the
+  :class:`ServingStats` counters;
+* :mod:`repro.serving.policies`  — hot-set policies (explicit
+  precomputation and online promotion from LRU hit counts);
+* :mod:`repro.serving.partitioners` — shard partitioners (round-robin,
+  stable-hash, and hit-rate-adaptive);
+* :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality /
+  bursty query-stream generators;
 * :mod:`repro.serving.cli`       — the ``repro-serve`` console entry point.
 """
 
@@ -30,20 +45,54 @@ from .artifacts import (
     write_artifact,
 )
 from .cache import LRUCache, ServingStats
-from .service import RoutingService, answer_batch, execute_query_shard
+from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
+from .registry import (
+    CACHE_POLICIES,
+    HOT_SET_POLICIES,
+    PARTITIONERS,
+    WORKLOADS,
+    Registry,
+    get_cache_policy,
+    get_hot_set_policy,
+    get_partitioner,
+    get_workload,
+    register_cache_policy,
+    register_hot_set_policy,
+    register_partitioner,
+    register_workload,
+)
+from .policies import ExplicitHotSet, HotSetPolicy, OnlineHotSet
+from .service import (
+    RoutingService,
+    answer_batch,
+    build_or_load_service,
+    execute_query_shard,
+)
 from .sharded import ShardError, ShardedRoutingService
+from .partitioners import (
+    AdaptivePartitioner,
+    HashPairPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    make_partitioner,
+)
+from .backend import QueryBackend, open_service
+from .specs import parse_graph_spec
 from .workloads import (
     PARTITION_STRATEGIES,
     QueryWorkload,
     WORKLOAD_NAMES,
+    bursty_workload,
     locality_workload,
     make_workload,
     partition_pairs,
     uniform_workload,
+    workload_names,
     zipf_workload,
 )
 
 __all__ = [
+    # artifacts
     "ArtifactError",
     "ArtifactInfo",
     "artifact_info",
@@ -53,18 +102,54 @@ __all__ = [
     "load_hierarchy",
     "save_pde",
     "load_pde",
+    # API v2: protocol, factory, configs
+    "QueryBackend",
+    "open_service",
+    "BuildConfig",
+    "CacheConfig",
+    "WorkloadConfig",
+    "ServingConfig",
+    "parse_graph_spec",
+    # registries
+    "Registry",
+    "PARTITIONERS",
+    "CACHE_POLICIES",
+    "HOT_SET_POLICIES",
+    "WORKLOADS",
+    "register_partitioner",
+    "register_cache_policy",
+    "register_hot_set_policy",
+    "register_workload",
+    "get_partitioner",
+    "get_cache_policy",
+    "get_hot_set_policy",
+    "get_workload",
+    # policies and partitioners
+    "HotSetPolicy",
+    "ExplicitHotSet",
+    "OnlineHotSet",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPairPartitioner",
+    "AdaptivePartitioner",
+    "make_partitioner",
+    # backends
     "LRUCache",
     "ServingStats",
     "RoutingService",
+    "build_or_load_service",
     "answer_batch",
     "execute_query_shard",
     "ShardedRoutingService",
     "ShardError",
+    # workloads
     "QueryWorkload",
     "WORKLOAD_NAMES",
+    "workload_names",
     "uniform_workload",
     "zipf_workload",
     "locality_workload",
+    "bursty_workload",
     "make_workload",
     "PARTITION_STRATEGIES",
     "partition_pairs",

@@ -22,7 +22,30 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Optional
 
+from .registry import register_cache_policy
+
 __all__ = ["LRUCache", "ServingStats"]
+
+
+def _sum_additive(values):
+    """Sum additive extras: scalars, or dicts of scalars per sub-key.
+
+    Returns ``None`` when the values are not uniformly summable (the caller
+    falls back to the agreement rule).
+    """
+    if all(isinstance(value, (int, float))
+           and not isinstance(value, bool) for value in values):
+        return sum(values)
+    if all(isinstance(value, dict) for value in values):
+        combined: Dict[Any, Any] = {}
+        for value in values:
+            for sub_key, count in value.items():
+                if not isinstance(count, (int, float)) \
+                        or isinstance(count, bool):
+                    return None
+                combined[sub_key] = combined.get(sub_key, 0) + count
+        return combined
+    return None
 
 
 class LRUCache:
@@ -103,6 +126,12 @@ class LRUCache:
                 f"hits={self.hits}, misses={self.misses})")
 
 
+# The default result-cache policy.  Alternative policies register a factory
+# with the same (capacity) signature and the LRUCache method contract
+# (get/put/discard/clear/reset, __len__/__contains__, hit/miss counters).
+register_cache_policy("lru", LRUCache)
+
+
 @dataclass
 class ServingStats:
     """Operational counters for one :class:`~repro.serving.service.RoutingService`.
@@ -127,6 +156,12 @@ class ServingStats:
     extra:
         Free-form provenance (graph size, build params, artifact path).
     """
+
+    #: ``extra`` keys that are per-worker additive counters: :meth:`merge`
+    #: sums them (scalars, or dict-of-scalars per sub-key) instead of
+    #: dropping them when workers disagree — an operator watching a sharded
+    #: service still sees, e.g., the total online hot-set promotions.
+    ADDITIVE_EXTRAS = ("hot_promotions", "hot_pairs")
 
     queries: int = 0
     route_queries: int = 0
@@ -175,10 +210,11 @@ class ServingStats:
         Counter attributes sum.  ``build_seconds`` / ``load_seconds`` sum over
         the contributors that recorded them (total wall-clock paid across
         processes); ``artifact_bytes`` takes the max, since co-located workers
-        serve the same artifact.  An ``extra`` key survives only when every
-        contributor that set it agrees on the value (per-worker keys such as
-        ``worker_id`` drop out); ``extra["merged_from"]`` records how many
-        stats objects were merged.
+        serve the same artifact.  ``extra`` keys listed in
+        :data:`ADDITIVE_EXTRAS` are summed; any other key survives only when
+        every contributor that set it agrees on the value (per-worker keys
+        such as ``worker_id`` drop out); ``extra["merged_from"]`` records how
+        many stats objects were merged.
         """
         stats = list(stats)
         merged = cls()
@@ -206,6 +242,11 @@ class ServingStats:
             setattr(merged, key, sum(values) if values else None)
         merged.artifact_bytes = max(payload_bytes) if payload_bytes else None
         for key, values in extra_values.items():
+            if key in cls.ADDITIVE_EXTRAS:
+                summed = _sum_additive(values)
+                if summed is not None:
+                    merged.extra[key] = summed
+                    continue
             if all(value == values[0] for value in values):
                 merged.extra[key] = values[0]
         merged.extra["merged_from"] = len(stats)

@@ -5,20 +5,17 @@ The console entry point wired in ``setup.py``.  Typical session::
     repro-serve --graph er:n=300,p=0.03,seed=1 --artifact /tmp/er300.artifact \\
                 --k 3 --workload zipf --queries 2000 --batch-size 64
 
-builds (or loads, if the artifact already exists) a compact-routing
-hierarchy, replays the requested query workload against the service in
-batches, and prints throughput plus the :class:`ServingStats` counters.
-With ``--workers N`` (N > 1, requires ``--artifact``) the stream is served
-through a :class:`~repro.serving.sharded.ShardedRoutingService` instead:
-N worker processes each load the artifact and answer their partition of
-every batch, and the printed stats are the merged per-worker counters.
+Every flag maps onto a field of the serving API v2 config family (see
+:data:`FLAG_CONFIG_FIELDS`); the CLI is a thin shell around
+``open_service(ServingConfig(...))``: it parses flags into a
+:class:`~repro.serving.config.ServingConfig`, opens the backend the config
+describes (local for ``--workers 1``, sharded above that), replays the
+requested query workload in batches, and prints throughput plus the
+:class:`~repro.serving.cache.ServingStats` counters.
 
 Graph specs are ``name:key=value,key=value`` with an optional
-``weights=...`` key (``unit``, ``uniform:LO:HI``, ``mixed``, ``heavy``)::
-
-    er:n=200,p=0.05,seed=3,weights=uniform:1:100
-    grid:rows=10,cols=12          ba:n=150,m=2
-    geometric:n=120,radius=0.18   tree:n=100        path:n=64
+``weights=...`` key (``unit``, ``uniform:LO:HI``, ``mixed``, ``heavy``) —
+see :mod:`repro.serving.specs`.
 """
 
 from __future__ import annotations
@@ -29,82 +26,70 @@ import sys
 import time
 from typing import Dict, Optional
 
-from .. import graphs
-from ..graphs.weighted_graph import WeightedGraph
-from .service import RoutingService, answer_batch
+from .backend import open_service
+from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
+from .policies import ExplicitHotSet
+from .registry import CACHE_POLICIES, HOT_SET_POLICIES, PARTITIONERS, WORKLOADS
+from .service import answer_batch
 from .sharded import ShardedRoutingService
-from .workloads import PARTITION_STRATEGIES, WORKLOAD_NAMES, make_workload
+from .specs import parse_graph_spec
+from .workloads import make_workload
 
-__all__ = ["parse_graph_spec", "main"]
+__all__ = ["parse_graph_spec", "FLAG_CONFIG_FIELDS", "build_parser",
+           "config_from_args", "main"]
 
+#: Which config field each ``repro-serve`` flag (by argparse dest) maps to.
+#: Paths are dotted from :class:`ServingConfig`; ``workload.params.<key>``
+#: lands in the workload's free-form params dict.  ``None`` marks flags
+#: that deliberately configure no declarative field: ``--json`` is
+#: presentation-only, and ``--hot`` *derives* an explicit hot set from the
+#: generated workload at runtime (the pairs cannot be known before the
+#: graph and stream exist), installing it on the opened backend instead of
+#: baking pair lists into the config.  The CLI-parity test asserts this
+#: mapping is total over the parser and that every named field exists.
+FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
+    "graph": "graph_spec",
+    "artifact": "artifact_path",
+    "k": "build.k",
+    "epsilon": "build.epsilon",
+    "mode": "build.mode",
+    "seed": "build.seed",
+    "engine": "build.engine",
+    "workload": "workload.name",
+    "queries": "workload.num_queries",
+    "skew": "workload.params.skew",
+    "hop_radius": "workload.params.hop_radius",
+    "bias": "workload.params.bias",
+    "burst_rate": "workload.params.burst_rate",
+    "burst_length": "workload.params.burst_length",
+    "burst_intensity": "workload.params.burst_intensity",
+    "drift_period": "workload.params.drift_period",
+    "batch_size": "batch_size",
+    "kind": "kind",
+    "cache_size": "cache.capacity",
+    "cache_policy": "cache.policy",
+    "hot": None,        # derives cache.hot_pairs from the workload at runtime
+    "hot_set": "cache.hot_set",
+    "hot_threshold": "cache.hot_threshold",
+    "hot_capacity": "cache.hot_capacity",
+    "workers": "workers",
+    "partitioner": "partitioner",
+    "json": None,       # output format, not serving behaviour
+}
 
-def _parse_weights(spec: Optional[str]):
-    if spec is None or spec == "unit":
-        return graphs.unit_weights()
-    if spec.startswith("uniform"):
-        parts = spec.split(":")
-        low = int(parts[1]) if len(parts) > 1 else 1
-        high = int(parts[2]) if len(parts) > 2 else 100
-        return graphs.uniform_weights(low, high)
-    if spec == "mixed":
-        return graphs.mixed_scale_weights()
-    if spec == "heavy":
-        return graphs.heavy_tailed_weights()
-    raise ValueError(f"unknown weight spec {spec!r}")
-
-
-def parse_graph_spec(spec: str) -> WeightedGraph:
-    """Build a graph from a ``name:key=value,...`` spec string."""
-    name, _, arg_text = spec.partition(":")
-    params: Dict[str, str] = {}
-    if arg_text:
-        for item in arg_text.split(","):
-            key, eq, value = item.partition("=")
-            if not eq:
-                raise ValueError(f"malformed graph spec item {item!r} in {spec!r}")
-            params[key.strip()] = value.strip()
-
-    weights = _parse_weights(params.pop("weights", None)) \
-        if "weights" in params else None
-    seed = int(params.pop("seed", 0))
-
-    def want(key: str, cast, default=None):
-        if key in params:
-            return cast(params.pop(key))
-        if default is None:
-            raise ValueError(f"graph spec {spec!r} is missing {key!r}")
-        return default
-
-    if name == "er":
-        graph = graphs.erdos_renyi_graph(want("n", int), want("p", float),
-                                         weights, seed=seed)
-    elif name == "grid":
-        graph = graphs.grid_graph(want("rows", int), want("cols", int),
-                                  weights, seed=seed)
-    elif name == "ba":
-        graph = graphs.barabasi_albert_graph(want("n", int), want("m", int, 2),
-                                             weights, seed=seed)
-    elif name == "geometric":
-        graph = graphs.random_geometric_graph(want("n", int),
-                                              want("radius", float),
-                                              weights, seed=seed)
-    elif name == "tree":
-        graph = graphs.random_tree(want("n", int), weights, seed=seed)
-    elif name == "path":
-        graph = graphs.path_graph(want("n", int), weights, seed=seed)
-    else:
-        raise ValueError(f"unknown graph family {name!r} in spec {spec!r}")
-    if params:
-        raise ValueError(f"unused graph spec keys {sorted(params)} in {spec!r}")
-    return graph
+#: Workload shapes each shape-specific flag applies to (anything else errors).
+_WORKLOAD_FLAG_SHAPES = {
+    "skew": ("zipf", "bursty"),
+    "hop_radius": ("locality",),
+    "bias": ("locality",),
+    "burst_rate": ("bursty",),
+    "burst_length": ("bursty",),
+    "burst_intensity": ("bursty",),
+    "drift_period": ("bursty",),
+}
 
 
-def _chunks(items, size):
-    for start in range(0, len(items), size):
-        yield items[start:start + size]
-
-
-def main(argv=None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Build or load a compact-routing artifact and run a "
@@ -118,116 +103,172 @@ def main(argv=None) -> int:
                         choices=["auto", "budget", "spd", "truncated"])
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--engine", default="batched")
-    parser.add_argument("--workload", default="zipf", choices=list(WORKLOAD_NAMES))
+    parser.add_argument("--workload", default="zipf",
+                        choices=list(WORKLOADS.names()))
     parser.add_argument("--queries", type=int, default=1000)
     parser.add_argument("--skew", type=float, default=None,
-                        help="Zipf exponent (zipf workload only; default 1.2)")
+                        help="Zipf exponent (zipf/bursty workloads only; "
+                             "default 1.2)")
     parser.add_argument("--hop-radius", type=int, default=None,
                         help="locality ball radius in hops "
                              "(locality workload only; default 2)")
     parser.add_argument("--bias", type=float, default=None,
                         help="probability a target is drawn from the source's "
                              "ball (locality workload only; default 0.8)")
+    parser.add_argument("--burst-rate", type=float, default=None,
+                        help="probability a query starts a burst "
+                             "(bursty workload only; default 0.02)")
+    parser.add_argument("--burst-length", type=int, default=None,
+                        help="queries per burst phase "
+                             "(bursty workload only; default 40)")
+    parser.add_argument("--burst-intensity", type=float, default=None,
+                        help="probability an in-burst query repeats the "
+                             "burst pair (bursty workload only; default 0.8)")
+    parser.add_argument("--drift-period", type=int, default=None,
+                        help="queries per full rotation of the popularity "
+                             "ranking (bursty workload only; default 500)")
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--cache-size", type=int, default=4096,
-                        help="LRU result-cache capacity (per worker when "
+                        help="result-cache capacity (per worker when "
                              "sharded)")
+    parser.add_argument("--cache-policy", default="lru",
+                        choices=list(CACHE_POLICIES.names()),
+                        help="result-cache policy (from the cache-policy "
+                             "registry)")
     parser.add_argument("--kind", default="route", choices=["route", "distance"])
     parser.add_argument("--hot", type=int, default=0,
-                        help="precompute the N most frequent workload pairs")
+                        help="pin the N most frequent workload pairs up "
+                             "front (explicit hot set; single-process only)")
+    parser.add_argument("--hot-set", default="none",
+                        choices=[name for name in HOT_SET_POLICIES.names()
+                                 if name != "explicit"],
+                        help="hot-set policy; 'online' promotes pairs whose "
+                             "LRU hit counts cross --hot-threshold "
+                             "(explicit pinning is spelled --hot N)")
+    parser.add_argument("--hot-threshold", type=int, default=8,
+                        help="LRU hit count that promotes a pair "
+                             "(--hot-set online)")
+    parser.add_argument("--hot-capacity", type=int, default=256,
+                        help="max online promotions per query kind "
+                             "(--hot-set online)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes; >1 serves through a sharded "
                              "front-end (requires --artifact)")
     parser.add_argument("--partitioner", default="round_robin",
-                        choices=list(PARTITION_STRATEGIES),
+                        choices=list(PARTITIONERS.names()),
                         help="shard partition strategy (--workers > 1 only)")
     parser.add_argument("--json", action="store_true",
                         help="emit the result record as JSON on stdout")
-    args = parser.parse_args(argv)
+    return parser
 
+
+def config_from_args(args: argparse.Namespace,
+                     parser: argparse.ArgumentParser) -> ServingConfig:
+    """Validate flags and assemble the :class:`ServingConfig` they describe."""
     if args.graph is None and args.artifact is None:
         parser.error("provide --graph, --artifact, or both")
 
     # Workload parameters are validated here instead of silently ignored:
     # a flag that does not apply to the chosen shape is an error.
     workload_params: Dict[str, object] = {}
-    if args.skew is not None:
-        if args.workload != "zipf":
-            parser.error(f"--skew applies to the zipf workload only "
-                         f"(got --workload {args.workload})")
-        workload_params["skew"] = args.skew
-    if args.hop_radius is not None:
-        if args.workload != "locality":
-            parser.error(f"--hop-radius applies to the locality workload only "
-                         f"(got --workload {args.workload})")
-        workload_params["hop_radius"] = args.hop_radius
-    if args.bias is not None:
-        if args.workload != "locality":
-            parser.error(f"--bias applies to the locality workload only "
-                         f"(got --workload {args.workload})")
-        workload_params["bias"] = args.bias
+    for dest, shapes in _WORKLOAD_FLAG_SHAPES.items():
+        value = getattr(args, dest)
+        if value is None:
+            continue
+        if args.workload not in shapes:
+            flag = "--" + dest.replace("_", "-")
+            parser.error(
+                f"{flag} applies to the {'/'.join(shapes)} workload"
+                f"{'s' if len(shapes) > 1 else ''} only "
+                f"(got --workload {args.workload})")
+        workload_params[dest] = value
 
     if args.workers < 1:
         parser.error("--workers must be >= 1")
-    sharded = args.workers > 1
-    if sharded and args.artifact is None:
+    if args.workers > 1 and args.artifact is None:
         parser.error("--workers > 1 requires --artifact "
                      "(workers load the hierarchy by path)")
-    if sharded and args.hot > 0:
+    if args.hot < 0:
+        parser.error("--hot must be >= 0")
+    if args.hot > 0 and args.workers > 1:
         parser.error("--hot applies to single-process serving only "
                      "(shard workers own their caches)")
+    if args.hot > 0 and args.hot_set != "none":
+        parser.error("--hot (explicit pinning) and --hot-set are mutually "
+                     "exclusive")
 
-    graph = parse_graph_spec(args.graph) if args.graph else None
-    if sharded:
-        service = ShardedRoutingService.build_or_load(
-            args.artifact, graph=graph, k=args.k, epsilon=args.epsilon,
-            seed=args.seed, mode=args.mode, engine=args.engine,
-            num_workers=args.workers, partitioner=args.partitioner,
-            cache_size=args.cache_size)
-        workload_graph = service.graph
-    elif args.artifact:
-        service = RoutingService.build_or_load(
-            args.artifact, graph=graph, k=args.k, epsilon=args.epsilon,
-            seed=args.seed, mode=args.mode, engine=args.engine,
-            cache_size=args.cache_size)
-        workload_graph = service.hierarchy.graph
-    else:
-        service = RoutingService.build(
-            graph, k=args.k, epsilon=args.epsilon, seed=args.seed,
-            mode=args.mode, engine=args.engine, cache_size=args.cache_size)
-        workload_graph = service.hierarchy.graph
+    try:
+        return ServingConfig(
+            artifact_path=args.artifact,
+            graph_spec=args.graph,
+            workers=args.workers,
+            partitioner=args.partitioner,
+            batch_size=args.batch_size,
+            kind=args.kind,
+            build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
+                              mode=args.mode, engine=args.engine),
+            cache=CacheConfig(policy=args.cache_policy,
+                              capacity=args.cache_size,
+                              hot_set=args.hot_set,
+                              hot_kind=args.kind,
+                              hot_threshold=args.hot_threshold,
+                              hot_capacity=args.hot_capacity),
+            workload=WorkloadConfig(name=args.workload,
+                                    num_queries=args.queries,
+                                    params=workload_params),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
-    workload = make_workload(args.workload, workload_graph,
-                             args.queries, seed=args.seed, **workload_params)
+
+def _chunks(items, size):
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = config_from_args(args, parser)
+
+    backend = open_service(config)
+    sharded = isinstance(backend, ShardedRoutingService)
+    workload_graph = backend.graph
+    workload = make_workload(config.workload.name, workload_graph,
+                             config.workload.num_queries,
+                             seed=config.workload_seed(),
+                             **config.workload.params)
 
     if args.hot > 0:
         counts: Dict[tuple, int] = {}
         for pair in workload.pairs:
             counts[pair] = counts.get(pair, 0) + 1
         hottest = sorted(counts, key=lambda p: (-counts[p], repr(p)))[:args.hot]
-        service.precompute_hot_pairs(hottest, kind=args.kind)
+        # --hot implies workers == 1 (validated above), so the backend is a
+        # local RoutingService and install_hot_set — a local-service extra
+        # beyond the QueryBackend protocol — is available.
+        backend.install_hot_set(ExplicitHotSet(pairs=hottest,
+                                               kind=config.kind))
 
-    if sharded:
-        # Spawn + warm the workers outside the timed window, so the reported
-        # throughput is serving cost, not one-time process start-up.
-        service.start()
-    start = time.perf_counter()
-    delivered = 0
-    for chunk in _chunks(workload.pairs, max(1, args.batch_size)):
-        results = answer_batch(service, args.kind, chunk)
-        if args.kind == "route":
-            delivered += sum(1 for trace in results if trace.delivered)
-        else:
-            delivered += sum(1 for est in results if est != float("inf"))
-    elapsed = time.perf_counter() - start
+    with backend:
+        # For sharded backends, entering the context spawns and warms the
+        # workers outside the timed window, so the reported throughput is
+        # serving cost, not one-time process start-up.
+        start = time.perf_counter()
+        delivered = 0
+        for chunk in _chunks(workload.pairs, config.batch_size):
+            results = answer_batch(backend, config.kind, chunk)
+            if config.kind == "route":
+                delivered += sum(1 for trace in results if trace.delivered)
+            else:
+                delivered += sum(1 for est in results if est != float("inf"))
+        elapsed = time.perf_counter() - start
+        stats = backend.query_stats()
     qps = len(workload) / elapsed if elapsed > 0 else float("inf")
 
-    stats = service.merged_stats() if sharded else service.stats
-    if sharded:
-        service.close()
     record = {
         "workload": workload.name,
-        "kind": args.kind,
+        "kind": config.kind,
         "queries": len(workload),
         "delivered": delivered,
         "seconds": round(elapsed, 4),
@@ -239,16 +280,16 @@ def main(argv=None) -> int:
         json.dump(record, sys.stdout, indent=2, default=str)
         print()
     else:
-        print(f"served {len(workload)} {args.kind} queries "
+        print(f"served {len(workload)} {config.kind} queries "
               f"({workload.name} workload"
-              + (f", {args.workers} workers" if sharded else "")
+              + (f", {config.workers} workers" if sharded else "")
               + f") in {elapsed:.3f}s -> {qps:,.0f} q/s, "
               f"{delivered} delivered")
         print(stats.describe())
     # Routes must always deliver (the hierarchy has an exact-path fallback);
     # distance estimates may legitimately be infinite for pairs the scheme's
     # bunches never cover, so they do not affect the exit code.
-    return 0 if args.kind == "distance" or delivered == len(workload) else 1
+    return 0 if config.kind == "distance" or delivered == len(workload) else 1
 
 
 if __name__ == "__main__":

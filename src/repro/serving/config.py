@@ -1,0 +1,264 @@
+"""The serving API v2 config family: typed, frozen, round-trippable.
+
+Pre-redesign, build/cache/partition/workload options were threaded through
+the serving layer as long positional-kwarg chains.  The v2 surface replaces
+those chains with a family of frozen dataclasses that one
+:func:`~repro.serving.backend.open_service` call consumes:
+
+* :class:`BuildConfig`    — how the compact-routing hierarchy is built
+  (``k``, ``epsilon``, ``seed``, ``mode``, ``engine``);
+* :class:`CacheConfig`    — the result-cache policy and the hot-set policy
+  layered on top of it;
+* :class:`WorkloadConfig` — which query stream to generate against the
+  service (used by the CLI and the experiment runners);
+* :class:`ServingConfig`  — the full serving session: artifact path, worker
+  count, partitioner, batch shape, plus one of each config above.
+
+Every config serialises losslessly: ``from_dict(to_dict(c)) == c`` holds for
+any config, ``to_dict`` emits only JSON-safe builtins (tuples become lists
+and are restored on the way back in), and ``from_dict`` *rejects unknown
+keys* instead of silently dropping a typo.  The artifact layer stores the
+originating ``ServingConfig.to_dict()`` in the artifact header (under the
+``serving_config`` metadata key) so a persisted hierarchy carries the full
+provenance of the session that created it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "BuildConfig",
+    "CacheConfig",
+    "WorkloadConfig",
+    "ServingConfig",
+]
+
+_Pair = Tuple[Hashable, Hashable]
+
+
+def _reject_unknown(cls, data: Dict[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} key(s) {unknown}; "
+            f"known keys: {sorted(known)}")
+
+
+def _require_mapping(cls, data: Any) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise ValueError(f"{cls.__name__}.from_dict expects a dict, "
+                         f"got {type(data).__name__}")
+    return data
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """How to build (or validate a persisted) compact-routing hierarchy.
+
+    These are exactly the parameters the artifact freshness check compares
+    against an existing artifact's header: requesting a build with a config
+    that differs from what an artifact was built with raises
+    :class:`~repro.serving.artifacts.ArtifactError` instead of silently
+    serving stale answers.
+    """
+
+    k: int = 3
+    epsilon: float = 0.25
+    seed: int = 0
+    mode: str = "auto"
+    engine: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BuildConfig":
+        data = _require_mapping(cls, data)
+        _reject_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Result caching and hot-set policy for one service (or shard worker).
+
+    ``policy`` names an entry in the cache-policy registry (``"lru"`` is
+    built in); ``capacity`` is the per-cache entry budget (``0`` disables
+    result caching).  ``hot_set`` names an entry in the hot-set policy
+    registry:
+
+    * ``"none"``     — no hot store beyond what is pinned manually;
+    * ``"explicit"`` — pin ``hot_pairs`` (kind ``hot_kind``) up front;
+    * ``"online"``   — promote a pair into the hot store once its LRU hit
+      count reaches ``hot_threshold``, up to ``hot_capacity`` promotions
+      per query kind.
+    """
+
+    policy: str = "lru"
+    capacity: int = 4096
+    hot_set: str = "none"
+    hot_kind: str = "route"
+    hot_pairs: Tuple[_Pair, ...] = ()
+    hot_threshold: int = 8
+    hot_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.hot_kind not in ("route", "distance", "both"):
+            raise ValueError(f"hot_kind must be route/distance/both, "
+                             f"got {self.hot_kind!r}")
+        if self.hot_threshold < 1:
+            raise ValueError(f"hot_threshold must be >= 1, "
+                             f"got {self.hot_threshold}")
+        if self.hot_capacity < 0:
+            raise ValueError(f"hot_capacity must be >= 0, "
+                             f"got {self.hot_capacity}")
+        # Normalise pair containers so config equality (and the from_dict
+        # round-trip, which travels through JSON lists) is structural.
+        object.__setattr__(self, "hot_pairs",
+                           tuple((s, t) for s, t in self.hot_pairs))
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        record["hot_pairs"] = [list(pair) for pair in self.hot_pairs]
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CacheConfig":
+        data = _require_mapping(cls, data)
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if "hot_pairs" in data:
+            data["hot_pairs"] = tuple(tuple(pair)
+                                      for pair in data["hot_pairs"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Which query stream to run against the service.
+
+    ``name`` is a workload-registry entry (``uniform`` / ``zipf`` /
+    ``locality`` / ``bursty`` built in); ``params`` holds the shape-specific
+    keyword arguments (``skew``, ``hop_radius``, ``burst_length``, ...).
+    ``seed = None`` means "inherit the build seed" — the CLI and the
+    experiment runners keep graph generation and traffic generation on one
+    seed unless told otherwise.
+    """
+
+    name: str = "zipf"
+    num_queries: int = 1000
+    seed: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise ValueError(f"num_queries must be >= 0, "
+                             f"got {self.num_queries}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "num_queries": self.num_queries,
+                "seed": self.seed, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadConfig":
+        data = _require_mapping(cls, data)
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if "params" in data:
+            data["params"] = dict(data["params"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """One serving session, end to end.
+
+    ``workers == 1`` serves locally (a :class:`RoutingService`);
+    ``workers > 1`` serves through the multi-process sharded front-end and
+    requires ``artifact_path`` (workers load the hierarchy by path).
+    ``graph_spec`` is an optional ``name:key=value,...`` generator spec (see
+    :func:`~repro.serving.specs.parse_graph_spec`) used when no in-memory
+    graph is passed to :func:`~repro.serving.backend.open_service`.
+    """
+
+    artifact_path: Optional[str] = None
+    graph_spec: Optional[str] = None
+    save_artifact: bool = True
+    workers: int = 1
+    partitioner: str = "round_robin"
+    partitioner_params: Dict[str, Any] = field(default_factory=dict)
+    batch_size: int = 64
+    kind: str = "route"
+    start_method: Optional[str] = None
+    warm_timeout: float = 120.0
+    reply_timeout: float = 300.0
+    build: BuildConfig = field(default_factory=BuildConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, "
+                             f"got {self.batch_size}")
+        if self.kind not in ("route", "distance"):
+            raise ValueError(f"kind must be route or distance, "
+                             f"got {self.kind!r}")
+        for name, value in (("build", self.build), ("cache", self.cache),
+                            ("workload", self.workload)):
+            expected = {"build": BuildConfig, "cache": CacheConfig,
+                        "workload": WorkloadConfig}[name]
+            if not isinstance(value, expected):
+                raise ValueError(f"{name} must be a {expected.__name__}, "
+                                 f"got {type(value).__name__}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "artifact_path": self.artifact_path,
+            "graph_spec": self.graph_spec,
+            "save_artifact": self.save_artifact,
+            "workers": self.workers,
+            "partitioner": self.partitioner,
+            "partitioner_params": dict(self.partitioner_params),
+            "batch_size": self.batch_size,
+            "kind": self.kind,
+            "start_method": self.start_method,
+            "warm_timeout": self.warm_timeout,
+            "reply_timeout": self.reply_timeout,
+            "build": self.build.to_dict(),
+            "cache": self.cache.to_dict(),
+            "workload": self.workload.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServingConfig":
+        data = _require_mapping(cls, data)
+        _reject_unknown(cls, data)
+        data = dict(data)
+        if "build" in data:
+            data["build"] = BuildConfig.from_dict(data["build"])
+        if "cache" in data:
+            data["cache"] = CacheConfig.from_dict(data["cache"])
+        if "workload" in data:
+            data["workload"] = WorkloadConfig.from_dict(data["workload"])
+        if "partitioner_params" in data:
+            data["partitioner_params"] = dict(data["partitioner_params"])
+        return cls(**data)
+
+    def workload_seed(self) -> int:
+        """The effective traffic seed (inherits the build seed when unset)."""
+        return (self.workload.seed if self.workload.seed is not None
+                else self.build.seed)

@@ -1,0 +1,159 @@
+"""Hot-set policies: who decides which pairs get pinned outside the LRU.
+
+A :class:`~repro.serving.service.RoutingService` keeps two result stores:
+the bounded LRU caches (eviction domain) and the *hot store* — pinned pairs
+that are answered first and never evicted.  Pre-redesign the only way into
+the hot store was an explicit pair list handed to
+``precompute_hot_pairs``.  Hot-set *policies* make that decision pluggable
+(registered under names in
+:data:`~repro.serving.registry.HOT_SET_POLICIES`):
+
+* ``"none"``     — the no-op policy (nothing is promoted automatically);
+* ``"explicit"`` — pin a configured pair list up front, the v1 behaviour
+  (:class:`ExplicitHotSet`);
+* ``"online"``   — watch the LRU hit counters and promote a pair once its
+  hit count reaches a threshold (:class:`OnlineHotSet`) — the ROADMAP's
+  "derive the hot set online from the LRU hit statistics".
+
+The service drives a policy through two hooks: :meth:`HotSetPolicy.install`
+once at attach time, and :meth:`HotSetPolicy.on_cache_hit` on every LRU
+result-cache hit (hot-store hits and misses are not interesting to a
+promotion policy: a hot hit is already promoted, and a miss says nothing
+about reuse).  The hit hook receives the cached value, so promotion pins it
+directly (:meth:`~repro.serving.service.RoutingService.pin_hot_result`) —
+no recomputation on what should be the cheapest query path — with the same
+bookkeeping as manual pinning: the LRU copy is evicted and the per-kind hot
+counts stay accounted.
+
+Custom policies register a factory taking the
+:class:`~repro.serving.config.CacheConfig` and returning a policy instance
+(or ``None`` for "no policy"), so new policies can carve their parameters
+out of the config without changing any call sites.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Sequence, Tuple
+
+from .config import CacheConfig
+from .registry import HOT_SET_POLICIES, register_hot_set_policy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .service import RoutingService
+
+__all__ = [
+    "HotSetPolicy",
+    "ExplicitHotSet",
+    "OnlineHotSet",
+    "make_hot_set_policy",
+]
+
+_Pair = Tuple[Hashable, Hashable]
+
+
+class HotSetPolicy:
+    """Base hot-set policy: both hooks are no-ops."""
+
+    name = "none"
+
+    def install(self, service: "RoutingService") -> None:
+        """Called once when the policy is attached to a service."""
+
+    def on_cache_hit(self, service: "RoutingService", key: _Pair,
+                     kind: str, value) -> None:
+        """Called after every LRU result-cache hit (``kind`` is ``"route"``
+        or ``"distance"``; ``value`` is the cached result that answered)."""
+
+    def describe(self) -> Dict[str, object]:
+        """Provenance extras folded into the service stats."""
+        return {"hot_set": self.name}
+
+
+class ExplicitHotSet(HotSetPolicy):
+    """Pin a known pair list at install time (the v1 flow, as a policy)."""
+
+    name = "explicit"
+
+    def __init__(self, pairs: Sequence[_Pair] = (),
+                 kind: str = "route") -> None:
+        self.pairs = [tuple(pair) for pair in pairs]
+        self.kind = kind
+
+    def install(self, service: "RoutingService") -> None:
+        if self.pairs:
+            service.precompute_hot_pairs(self.pairs, kind=self.kind)
+
+    def describe(self) -> Dict[str, object]:
+        return {"hot_set": self.name, "hot_set_pairs": len(self.pairs)}
+
+
+class OnlineHotSet(HotSetPolicy):
+    """Promote pairs whose LRU hit counts cross ``threshold``.
+
+    Every LRU hit increments a per-``(kind, pair)`` counter; at
+    ``threshold`` the cached value itself is pinned (it came from the same
+    hierarchy, so promotion changes *where* a repeat is answered, never
+    *what* the answer is — and costs no recomputation).  ``capacity``
+    bounds promotions per query kind, so a drifting workload cannot grow
+    the hot store without limit; once full, later candidates stay in the
+    LRU domain.
+
+    Counters only exist for pairs that repeat while cached, so the tracking
+    dict is bounded by the distinct-pair reuse set, and a promoted pair
+    stops counting entirely (its hits move to the hot store).
+    """
+
+    name = "online"
+
+    def __init__(self, threshold: int = 8, capacity: int = 256) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.threshold = threshold
+        self.capacity = capacity
+        self._hit_counts: Dict[Tuple[str, _Pair], int] = {}
+        self._promoted: Dict[str, int] = {"route": 0, "distance": 0}
+
+    @property
+    def promotions(self) -> int:
+        return sum(self._promoted.values())
+
+    def on_cache_hit(self, service: "RoutingService", key: _Pair,
+                     kind: str, value) -> None:
+        if self._promoted[kind] >= self.capacity:
+            return
+        counter_key = (kind, key)
+        count = self._hit_counts.get(counter_key, 0) + 1
+        if count < self.threshold:
+            self._hit_counts[counter_key] = count
+            return
+        self._hit_counts.pop(counter_key, None)
+        service.pin_hot_result(key, kind, value)
+        self._promoted[kind] += 1
+        service.stats.extra["hot_promotions"] = self.promotions
+
+    def describe(self) -> Dict[str, object]:
+        return {"hot_set": self.name,
+                "hot_set_threshold": self.threshold,
+                "hot_set_capacity": self.capacity}
+
+
+# ----------------------------------------------------------------------
+# registry entries + config-driven construction
+# ----------------------------------------------------------------------
+register_hot_set_policy("none", lambda cache_config: None)
+register_hot_set_policy(
+    "explicit",
+    lambda cache_config: ExplicitHotSet(pairs=cache_config.hot_pairs,
+                                        kind=cache_config.hot_kind))
+register_hot_set_policy(
+    "online",
+    lambda cache_config: OnlineHotSet(threshold=cache_config.hot_threshold,
+                                      capacity=cache_config.hot_capacity))
+
+
+def make_hot_set_policy(cache_config: CacheConfig
+                        ) -> Optional[HotSetPolicy]:
+    """Instantiate the hot-set policy a :class:`CacheConfig` names."""
+    return HOT_SET_POLICIES.get(cache_config.hot_set)(cache_config)

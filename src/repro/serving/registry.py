@@ -1,0 +1,155 @@
+"""String-keyed registries: the serving layer's named plug-points.
+
+The serving API v2 is policy-pluggable: partition strategies, result-cache
+implementations, hot-set promotion policies and workload generators are all
+looked up *by name* through one of the four registries below.  A config file
+(or a CLI flag) can therefore select any strategy — including one registered
+by downstream code — without the call sites knowing the concrete class:
+
+* :data:`PARTITIONERS`      — ``name -> factory(num_shards, **params)``
+  producing a :class:`~repro.serving.partitioners.Partitioner`;
+* :data:`CACHE_POLICIES`    — ``name -> factory(capacity)`` producing a
+  result cache (the :class:`~repro.serving.cache.LRUCache` contract);
+* :data:`HOT_SET_POLICIES`  — ``name -> factory(cache_config)`` producing a
+  hot-set policy (or ``None`` for the no-op policy);
+* :data:`WORKLOADS`         — ``name -> factory(graph, num_queries, seed,
+  **params)`` producing a :class:`~repro.serving.workloads.QueryWorkload`.
+
+Built-in strategies register themselves when their defining module is
+imported (importing :mod:`repro.serving` imports them all).  Downstream code
+extends a registry with the matching ``register_*`` function, either called
+directly or used as a decorator::
+
+    from repro.serving import register_workload
+
+    @register_workload("replay")
+    def replay_workload(graph, num_queries, seed=0, *, trace_path):
+        ...
+
+Names are case-sensitive; re-registering an existing name raises unless
+``replace=True`` is passed (guarding against accidental shadowing of a
+built-in).  Lookups of unknown names raise :class:`ValueError` listing what
+is available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Tuple
+
+__all__ = [
+    "Registry",
+    "PARTITIONERS",
+    "CACHE_POLICIES",
+    "HOT_SET_POLICIES",
+    "WORKLOADS",
+    "register_partitioner",
+    "register_cache_policy",
+    "register_hot_set_policy",
+    "register_workload",
+    "get_partitioner",
+    "get_cache_policy",
+    "get_hot_set_policy",
+    "get_workload",
+]
+
+
+class Registry:
+    """A named mapping from strategy names to factories.
+
+    ``kind`` is the human-readable noun used in error messages (e.g.
+    ``"partition strategy"``), so a failed lookup reads
+    ``unknown partition strategy 'modulo'; available: hash_pair, round_robin``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict = {}
+
+    def register(self, name: str, factory: Optional[Callable] = None, *,
+                 replace: bool = False) -> Callable:
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Returns the factory, so ``@registry.register("name")`` leaves the
+        decorated callable bound to its own name as usual.
+        """
+        if factory is None:
+            return lambda fn: self.register(name, fn, replace=replace)
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{self.kind} name must be a non-empty string, "
+                             f"got {name!r}")
+        if name in self._entries and not replace:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; pass "
+                f"replace=True to override it")
+        self._entries[name] = factory
+        return factory
+
+    def get(self, name: str) -> Callable:
+        """Look up a factory; unknown names raise with the available ones."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.names())}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={list(self.names())})"
+
+
+PARTITIONERS = Registry("partition strategy")
+CACHE_POLICIES = Registry("cache policy")
+HOT_SET_POLICIES = Registry("hot-set policy")
+WORKLOADS = Registry("workload")
+
+
+def register_partitioner(name: str, factory: Optional[Callable] = None, *,
+                         replace: bool = False) -> Callable:
+    """Register a partitioner factory ``(num_shards, **params) -> Partitioner``."""
+    return PARTITIONERS.register(name, factory, replace=replace)
+
+
+def register_cache_policy(name: str, factory: Optional[Callable] = None, *,
+                          replace: bool = False) -> Callable:
+    """Register a result-cache factory ``(capacity) -> cache``."""
+    return CACHE_POLICIES.register(name, factory, replace=replace)
+
+
+def register_hot_set_policy(name: str, factory: Optional[Callable] = None, *,
+                            replace: bool = False) -> Callable:
+    """Register a hot-set policy factory ``(cache_config) -> policy | None``."""
+    return HOT_SET_POLICIES.register(name, factory, replace=replace)
+
+
+def register_workload(name: str, factory: Optional[Callable] = None, *,
+                      replace: bool = False) -> Callable:
+    """Register a workload factory ``(graph, num_queries, seed=0, **params)``."""
+    return WORKLOADS.register(name, factory, replace=replace)
+
+
+def get_partitioner(name: str) -> Callable:
+    return PARTITIONERS.get(name)
+
+
+def get_cache_policy(name: str) -> Callable:
+    return CACHE_POLICIES.get(name)
+
+
+def get_hot_set_policy(name: str) -> Callable:
+    return HOT_SET_POLICIES.get(name)
+
+
+def get_workload(name: str) -> Callable:
+    return WORKLOADS.get(name)

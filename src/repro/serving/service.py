@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.weighted_graph import WeightedGraph
 from ..routing.compact import build_compact_routing
@@ -37,9 +38,13 @@ from .artifacts import (
     load_hierarchy,
     save_hierarchy,
 )
-from .cache import LRUCache, ServingStats
+from .cache import ServingStats
+from .config import BuildConfig, CacheConfig
+from .policies import HotSetPolicy, make_hot_set_policy
+from .registry import get_cache_policy
 
-__all__ = ["RoutingService", "answer_batch", "execute_query_shard"]
+__all__ = ["RoutingService", "build_or_load_service", "answer_batch",
+           "execute_query_shard"]
 
 _Pair = Tuple[Hashable, Hashable]
 
@@ -61,23 +66,39 @@ class RoutingService:
         Capacity of *each* result cache (routes and distances are cached
         separately since route traces are much heavier).  ``0`` disables
         result caching — the benchmarks use this as the cold baseline.
+        Ignored when ``cache_config`` is given.
     stats:
         Optional pre-populated stats object (used by the factory
         constructors to carry build/load timings into the service).
+    cache_config:
+        Full cache behaviour as a :class:`~repro.serving.config.CacheConfig`
+        — selects the result-cache policy from the cache-policy registry and
+        installs the configured hot-set policy.  When omitted, an LRU of
+        ``cache_size`` with no hot-set policy (the v1 behaviour).
     """
 
     def __init__(self, hierarchy: CompactRoutingHierarchy,
                  cache_size: int = 4096,
-                 stats: Optional[ServingStats] = None) -> None:
+                 stats: Optional[ServingStats] = None,
+                 cache_config: Optional[CacheConfig] = None) -> None:
+        if cache_config is None:
+            cache_config = CacheConfig(capacity=cache_size)
         self.hierarchy = hierarchy
+        self.cache_config = cache_config
         self.stats = stats if stats is not None else ServingStats()
-        self.route_cache = LRUCache(cache_size)
-        self.distance_cache = LRUCache(cache_size)
+        make_cache = get_cache_policy(cache_config.policy)
+        self.route_cache = make_cache(cache_config.capacity)
+        self.distance_cache = make_cache(cache_config.capacity)
         self._hot_routes: Dict[_Pair, RouteTrace] = {}
         self._hot_distances: Dict[_Pair, float] = {}
+        self._hot_policy: Optional[HotSetPolicy] = None
+        self._hot_policy_extras: Tuple[str, ...] = ()
         self.stats.extra.setdefault("n", hierarchy.graph.num_nodes)
         self.stats.extra.setdefault("k", hierarchy.k)
         self.stats.extra.setdefault("mode", hierarchy.mode)
+        policy = make_hot_set_policy(cache_config)
+        if policy is not None:
+            self.install_hot_set(policy)
 
     # ==================================================================
     # construction
@@ -85,17 +106,21 @@ class RoutingService:
     @classmethod
     def build(cls, graph: WeightedGraph, k: int = 3, epsilon: float = 0.25,
               seed: int = 0, mode: str = "auto", engine: str = "batched",
-              cache_size: int = 4096, **build_kwargs) -> "RoutingService":
+              cache_size: int = 4096,
+              cache_config: Optional[CacheConfig] = None,
+              **build_kwargs) -> "RoutingService":
         """Build a hierarchy from scratch and wrap it in a service."""
         stats = ServingStats()
         start = time.perf_counter()
         hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon, seed=seed,
                                           mode=mode, engine=engine, **build_kwargs)
         stats.build_seconds = time.perf_counter() - start
-        return cls(hierarchy, cache_size=cache_size, stats=stats)
+        return cls(hierarchy, cache_size=cache_size, stats=stats,
+                   cache_config=cache_config)
 
     @classmethod
-    def load(cls, path: str, cache_size: int = 4096) -> "RoutingService":
+    def load(cls, path: str, cache_size: int = 4096,
+             cache_config: Optional[CacheConfig] = None) -> "RoutingService":
         """Load a persisted hierarchy artifact and serve from it."""
         stats = ServingStats()
         start = time.perf_counter()
@@ -103,7 +128,8 @@ class RoutingService:
         stats.load_seconds = time.perf_counter() - start
         stats.artifact_bytes = info.payload_bytes
         stats.extra["artifact_path"] = path
-        return cls(hierarchy, cache_size=cache_size, stats=stats)
+        return cls(hierarchy, cache_size=cache_size, stats=stats,
+                   cache_config=cache_config)
 
     @classmethod
     def build_or_load(cls, path: str, graph: Optional[WeightedGraph] = None,
@@ -111,60 +137,23 @@ class RoutingService:
                       mode: str = "auto", engine: str = "batched",
                       cache_size: int = 4096, save: bool = True,
                       **build_kwargs) -> "RoutingService":
-        """Load the artifact at ``path`` if it exists, else build (and save).
+        """Deprecated kwargs shim over :func:`build_or_load_service`.
 
-        This is the serving workflow: the first process to reference an
-        artifact pays the preprocessing cost, every later one just loads.
-        ``graph`` is only required on the build path.  When a graph (a build
-        intent) *is* provided and the existing artifact was built with
-        different parameters, the mismatch raises
-        :class:`~repro.serving.artifacts.ArtifactError` instead of silently
-        serving stale answers; without a graph the artifact is loaded as-is.
-
-        Every requested parameter must be *present* in the artifact header and
-        equal: a key the header never persisted (an artifact predating the
-        parameter, or saved by some other writer) cannot be verified, so it is
-        treated as a mismatch rather than silently served as fresh.
+        Use ``open_service(ServingConfig(artifact_path=..., build=...,
+        cache=...))`` (or :func:`build_or_load_service` directly) instead;
+        this wrapper only repackages the kwargs chain into the typed configs
+        and will be removed after a deprecation period.
         """
-        if os.path.exists(path):
-            if graph is not None:
-                requested = {"k": k, "epsilon": epsilon, "seed": seed,
-                             "n": graph.num_nodes, "m": graph.num_edges,
-                             "engine": engine, "mode": mode}
-                header = artifact_info(path).metadata
-                stale = {}
-                for key, want in requested.items():
-                    if key == "mode":
-                        # "auto" resolves to a concrete mode at build time;
-                        # compare request against what was *requested* when
-                        # the artifact was built, falling back to the
-                        # resolved mode for explicitly-built artifacts.
-                        have = header.get("requested_mode",
-                                          header.get("mode", _UNSET))
-                    else:
-                        have = header.get(key, _UNSET)
-                    if have is _UNSET:
-                        stale[key] = ("<absent from artifact header>", want)
-                    elif have != want:
-                        stale[key] = (have, want)
-                if stale:
-                    raise ArtifactError(
-                        f"artifact {path!r} was built with different "
-                        f"parameters than requested: "
-                        + ", ".join(f"{key}={have!r} (requested {want!r})"
-                                    for key, (have, want) in sorted(stale.items()))
-                        + "; delete the artifact to rebuild")
-            return cls.load(path, cache_size=cache_size)
-        if graph is None:
-            raise ValueError(f"artifact {path!r} does not exist and no graph "
-                             "was provided to build from")
-        service = cls.build(graph, k=k, epsilon=epsilon, seed=seed, mode=mode,
-                            engine=engine, cache_size=cache_size, **build_kwargs)
-        if save:
-            info = service.save(path)
-            service.stats.artifact_bytes = info.payload_bytes
-            service.stats.extra["artifact_path"] = path
-        return service
+        warnings.warn(
+            "RoutingService.build_or_load(...) is deprecated; use "
+            "repro.serving.open_service(ServingConfig(artifact_path=...)) "
+            "or build_or_load_service(...)",
+            DeprecationWarning, stacklevel=2)
+        return build_or_load_service(
+            path, graph=graph,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed, mode=mode,
+                              engine=engine),
+            cache=CacheConfig(capacity=cache_size), save=save, **build_kwargs)
 
     def save(self, path: str, metadata: Optional[Dict[str, object]] = None
              ) -> ArtifactInfo:
@@ -192,6 +181,8 @@ class RoutingService:
         cached = self.distance_cache.get(key, _MISS)
         if cached is not _MISS:
             self.stats.cache_hits += 1
+            if self._hot_policy is not None:
+                self._hot_policy.on_cache_hit(self, key, "distance", cached)
             return cached
         self.stats.cache_misses += 1
         estimate = self.hierarchy.distance(source, target)
@@ -218,6 +209,8 @@ class RoutingService:
         cached = self.route_cache.get(key, _MISS)
         if cached is not _MISS:
             self.stats.cache_hits += 1
+            if self._hot_policy is not None:
+                self._hot_policy.on_cache_hit(self, key, "route", cached)
             return cached
         self.stats.cache_misses += 1
         trace = self.hierarchy.route(*key)
@@ -256,6 +249,9 @@ class RoutingService:
             cached = self.distance_cache.get(key, _MISS)
             if cached is not _MISS:
                 self.stats.cache_hits += 1
+                if self._hot_policy is not None:
+                    self._hot_policy.on_cache_hit(self, key, "distance",
+                                                  cached)
                 resolved[key] = cached
             else:
                 self.stats.cache_misses += 1
@@ -292,6 +288,26 @@ class RoutingService:
     # ==================================================================
     # cache management
     # ==================================================================
+    def install_hot_set(self, policy: Optional[HotSetPolicy]) -> None:
+        """Attach (or detach, with ``None``) a hot-set policy.
+
+        The policy's ``install`` hook runs immediately (an explicit policy
+        precomputes its pairs here) and its ``on_cache_hit`` hook is called
+        on every LRU result-cache hit from then on.  Installing a policy
+        replaces the previous one — including its provenance keys in
+        ``stats.extra``, so the reported stats always describe the policy
+        actually active; already-pinned pairs stay pinned.
+        """
+        for key in self._hot_policy_extras:
+            self.stats.extra.pop(key, None)
+        self._hot_policy_extras = ()
+        self._hot_policy = policy
+        if policy is not None:
+            policy.install(self)
+            extras = policy.describe()
+            self.stats.extra.update(extras)
+            self._hot_policy_extras = tuple(extras)
+
     def precompute_hot_pairs(self, pairs: Iterable[_Pair],
                              kind: str = "route") -> int:
         """Pin results for known-hot pairs outside the LRU eviction domain.
@@ -323,6 +339,27 @@ class RoutingService:
                                          "distance": len(self._hot_distances)}
         return count
 
+    def pin_hot_result(self, key: _Pair, kind: str, value) -> None:
+        """Pin an *already-computed* result into the hot store.
+
+        The zero-recompute sibling of :meth:`precompute_hot_pairs`: hot-set
+        policies promoting on a cache hit already hold the cached value
+        (computed by this very hierarchy), so pinning it directly skips the
+        redundant route/distance recomputation.  Same bookkeeping as
+        precomputation: the LRU copy is evicted and the per-kind hot counts
+        are updated.
+        """
+        if kind == "route":
+            self._hot_routes[key] = value
+            self.route_cache.discard(key)
+        elif kind == "distance":
+            self._hot_distances[key] = value
+            self.distance_cache.discard(key)
+        else:
+            raise ValueError(f"kind must be route or distance, got {kind!r}")
+        self.stats.extra["hot_pairs"] = {"route": len(self._hot_routes),
+                                         "distance": len(self._hot_distances)}
+
     def clear_cache(self, include_hot: bool = False,
                     include_hierarchy: bool = False) -> None:
         """Empty the result caches (and optionally the hot store and the
@@ -336,11 +373,36 @@ class RoutingService:
             self.hierarchy.clear_runtime_caches()
 
     # ==================================================================
+    # lifecycle (QueryBackend contract)
+    # ==================================================================
+    def close(self) -> None:
+        """Release the backend.  A local service holds no external
+        resources, so this is deliberately a no-op and the service stays
+        queryable (unlike the sharded backend, whose workers are gone after
+        close) — closing exists so one teardown path works for any
+        :class:`QueryBackend`.  Idempotent."""
+
+    def __enter__(self) -> "RoutingService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ==================================================================
     # introspection
     # ==================================================================
     @property
+    def graph(self) -> WeightedGraph:
+        """The graph the underlying hierarchy was built on."""
+        return self.hierarchy.graph
+
+    @property
     def num_nodes(self) -> int:
         return self.hierarchy.graph.num_nodes
+
+    def query_stats(self) -> ServingStats:
+        """This service's counters (the QueryBackend stats accessor)."""
+        return self.stats
 
     def describe(self) -> str:
         return self.stats.describe()
@@ -349,6 +411,80 @@ class RoutingService:
         return (f"RoutingService(n={self.num_nodes}, k={self.hierarchy.k}, "
                 f"mode={self.hierarchy.mode!r}, "
                 f"cache={self.route_cache.capacity})")
+
+
+# ======================================================================
+# config-driven build-or-load (the v2 primitive behind open_service)
+# ======================================================================
+def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
+                          build: Optional[BuildConfig] = None,
+                          cache: Optional[CacheConfig] = None,
+                          save: bool = True,
+                          metadata: Optional[Dict[str, Any]] = None,
+                          **build_kwargs) -> RoutingService:
+    """Load the artifact at ``path`` if it exists, else build (and save).
+
+    This is the serving workflow: the first process to reference an
+    artifact pays the preprocessing cost, every later one just loads.
+    ``graph`` is only required on the build path.  When a graph (a build
+    intent) *is* provided and the existing artifact was built with
+    parameters differing from ``build``, the mismatch raises
+    :class:`~repro.serving.artifacts.ArtifactError` instead of silently
+    serving stale answers; without a graph the artifact is loaded as-is.
+
+    Every requested parameter must be *present* in the artifact header and
+    equal: a key the header never persisted (an artifact predating the
+    parameter, or saved by some other writer) cannot be verified, so it is
+    treated as a mismatch rather than silently served as fresh.
+
+    ``metadata`` is merged into the artifact header on the build path —
+    :func:`~repro.serving.backend.open_service` records the originating
+    ``ServingConfig`` there as provenance.
+    """
+    build = build if build is not None else BuildConfig()
+    cache = cache if cache is not None else CacheConfig()
+    if os.path.exists(path):
+        if graph is not None:
+            requested = {"k": build.k, "epsilon": build.epsilon,
+                         "seed": build.seed,
+                         "n": graph.num_nodes, "m": graph.num_edges,
+                         "engine": build.engine, "mode": build.mode}
+            header = artifact_info(path).metadata
+            stale = {}
+            for key, want in requested.items():
+                if key == "mode":
+                    # "auto" resolves to a concrete mode at build time;
+                    # compare request against what was *requested* when
+                    # the artifact was built, falling back to the
+                    # resolved mode for explicitly-built artifacts.
+                    have = header.get("requested_mode",
+                                      header.get("mode", _UNSET))
+                else:
+                    have = header.get(key, _UNSET)
+                if have is _UNSET:
+                    stale[key] = ("<absent from artifact header>", want)
+                elif have != want:
+                    stale[key] = (have, want)
+            if stale:
+                raise ArtifactError(
+                    f"artifact {path!r} was built with different "
+                    f"parameters than requested: "
+                    + ", ".join(f"{key}={have!r} (requested {want!r})"
+                                for key, (have, want) in sorted(stale.items()))
+                    + "; delete the artifact to rebuild")
+        return RoutingService.load(path, cache_config=cache)
+    if graph is None:
+        raise ValueError(f"artifact {path!r} does not exist and no graph "
+                         "was provided to build from")
+    service = RoutingService.build(
+        graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
+        mode=build.mode, engine=build.engine, cache_config=cache,
+        **build_kwargs)
+    if save:
+        info = service.save(path, metadata=metadata)
+        service.stats.artifact_bytes = info.payload_bytes
+        service.stats.extra["artifact_path"] = path
+    return service
 
 
 # ======================================================================

@@ -40,12 +40,14 @@ import os
 import queue as queue_module
 import time
 import traceback
-from typing import Hashable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs.weighted_graph import WeightedGraph
 from .cache import ServingStats
-from .service import RoutingService, answer_batch
-from .workloads import PARTITION_STRATEGIES, partition_pairs
+from .config import BuildConfig, CacheConfig
+from .partitioners import make_partitioner
+from .service import RoutingService, answer_batch, build_or_load_service
 
 __all__ = ["ShardedRoutingService", "ShardError"]
 
@@ -67,9 +69,15 @@ class ShardError(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
-def _shard_worker(worker_id: int, artifact_path: str, cache_size: int,
+def _shard_worker(worker_id: int, artifact_path: str,
+                  cache_config: CacheConfig,
                   task_queue, result_queue) -> None:
     """Worker main loop (module-level so it stays picklable under spawn).
+
+    Each worker applies the :class:`CacheConfig` locally — cache policy,
+    capacity, and the (per-worker by construction) online hot-set policy;
+    explicit hot sets are rejected by the front-end, since every worker
+    would pin every pair while serving only its own partition.
 
     Protocol (all messages are tuples; the first element is the tag):
 
@@ -83,7 +91,8 @@ def _shard_worker(worker_id: int, artifact_path: str, cache_size: int,
     ``("failed", worker_id, summary)`` if the artifact cannot be loaded.
     """
     try:
-        service = RoutingService.load(artifact_path, cache_size=cache_size)
+        service = RoutingService.load(artifact_path,
+                                      cache_config=cache_config)
     except BaseException as exc:
         result_queue.put(("failed", worker_id,
                           f"{type(exc).__name__}: {exc}"))
@@ -139,11 +148,20 @@ class ShardedRoutingService:
     num_workers:
         Worker process count (>= 1).
     partitioner:
-        ``"round_robin"`` or ``"hash_pair"`` — see
-        :func:`~repro.serving.workloads.partition_pairs`.
+        A name from the partitioner registry (``round_robin`` /
+        ``hash_pair`` / ``adaptive`` built in — see
+        :mod:`repro.serving.partitioners`); ``partitioner_params`` are
+        forwarded to the partitioner factory.  A partitioner that declares
+        ``wants_feedback`` is handed fresh per-worker stats every
+        ``feedback_every`` batches so it can rebalance on observed hit
+        rates.
     cache_size:
         Per-worker LRU result-cache capacity (each worker caches only its
         own partition, so aggregate capacity is ``num_workers * cache_size``).
+        Ignored when ``cache_config`` is given.
+    cache_config:
+        Full per-worker cache behaviour (policy, capacity, hot-set policy)
+        as a :class:`~repro.serving.config.CacheConfig`.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
     graph:
@@ -157,24 +175,40 @@ class ShardedRoutingService:
 
     def __init__(self, artifact_path: str, num_workers: int = 2,
                  partitioner: str = "round_robin", cache_size: int = 4096,
+                 cache_config: Optional[CacheConfig] = None,
+                 partitioner_params: Optional[Dict[str, object]] = None,
                  start_method: Optional[str] = None,
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
                  stats: Optional[ServingStats] = None) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
-        if partitioner not in PARTITION_STRATEGIES:
-            raise ValueError(
-                f"unknown partition strategy {partitioner!r}; "
-                f"available: {', '.join(PARTITION_STRATEGIES)}")
+        # Resolving the partitioner up front also validates the name (the
+        # registry raises "unknown partition strategy ..." for typos).
+        self._partitioner = make_partitioner(partitioner, num_workers,
+                                             **(partitioner_params or {}))
         if not os.path.exists(artifact_path):
             raise FileNotFoundError(
                 f"artifact {artifact_path!r} does not exist; build it first "
-                f"(e.g. via ShardedRoutingService.build_or_load)")
+                f"(e.g. via repro.serving.open_service)")
+        if cache_config is None:
+            cache_config = CacheConfig(capacity=cache_size)
+        if cache_config.hot_set == "explicit":
+            # Workers apply the cache config independently, so an explicit
+            # pair list would be recomputed and pinned N times while each
+            # pair is only ever routed to one shard — reject it rather than
+            # silently multiply warm-up cost and memory by the worker count.
+            # Online promotion is per-worker by construction and stays
+            # allowed.
+            raise ValueError(
+                "explicit hot sets are not supported for sharded serving "
+                "(every worker would pin every pair); pin per worker via a "
+                "custom policy or use hot_set='online'")
         self.artifact_path = artifact_path
         self.num_workers = num_workers
         self.partitioner = partitioner
-        self.cache_size = cache_size
+        self.cache_config = cache_config
+        self.cache_size = cache_config.capacity
         self.graph = graph
         self.stats = stats if stats is not None else ServingStats()
         self.stats.extra.setdefault("workers", num_workers)
@@ -202,18 +236,24 @@ class ShardedRoutingService:
                       cache_size: int = 4096,
                       start_method: Optional[str] = None,
                       **build_kwargs) -> "ShardedRoutingService":
-        """Build-once in the parent, save, shard workers over the artifact.
+        """Deprecated kwargs shim; use ``open_service(ServingConfig(...))``.
 
-        The parent pays the build (or a load plus the freshness check against
-        the requested parameters — the exact contract of
-        :meth:`RoutingService.build_or_load`); workers only ever load by
-        path.  The parent's hierarchy is dropped immediately — only the graph
-        handle is kept for workload generation — so resident memory is the
-        workers', not 1 + N copies.
+        The v2 factory covers this exactly: ``open_service`` with
+        ``workers > 1`` builds (or freshness-checks) the artifact in the
+        parent and returns a sharded front-end over it.  This wrapper only
+        repackages the kwargs chain and will be removed after a deprecation
+        period.
         """
-        parent = RoutingService.build_or_load(
-            path, graph=graph, k=k, epsilon=epsilon, seed=seed, mode=mode,
-            engine=engine, cache_size=0, save=True, **build_kwargs)
+        warnings.warn(
+            "ShardedRoutingService.build_or_load(...) is deprecated; use "
+            "repro.serving.open_service(ServingConfig(artifact_path=..., "
+            "workers=N))",
+            DeprecationWarning, stacklevel=2)
+        parent = build_or_load_service(
+            path, graph=graph,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed, mode=mode,
+                              engine=engine),
+            cache=CacheConfig(capacity=0), save=True, **build_kwargs)
         stats = ServingStats(build_seconds=parent.stats.build_seconds,
                              load_seconds=parent.stats.load_seconds,
                              artifact_bytes=parent.stats.artifact_bytes,
@@ -236,7 +276,7 @@ class ShardedRoutingService:
             task_queue = self._ctx.Queue()
             process = self._ctx.Process(
                 target=_shard_worker,
-                args=(worker_id, self.artifact_path, self.cache_size,
+                args=(worker_id, self.artifact_path, self.cache_config,
                       task_queue, self._result_queue),
                 daemon=True, name=f"repro-shard-{worker_id}")
             process.start()
@@ -334,8 +374,17 @@ class ShardedRoutingService:
         self.close(drain=exc_type is None)
 
     def __del__(self) -> None:
+        # Implicit teardown of a still-running front-end is a bug in the
+        # caller (worker processes and their final stats are silently
+        # discarded), so say so instead of swallowing it — the same
+        # contract as an unclosed file or socket.
         try:
             if self._started and not self._closed:
+                warnings.warn(f"unclosed {self!r}: ShardedRoutingService "
+                              f"was garbage-collected while its workers "
+                              f"were still running; call close() or use it "
+                              f"as a context manager",
+                              ResourceWarning, source=self, stacklevel=2)
                 self.close(drain=False)
         except BaseException:
             pass
@@ -371,8 +420,7 @@ class ShardedRoutingService:
         self.stats.batched_queries += len(pairs)
         if not pairs:
             return []
-        shards = partition_pairs(pairs, self.num_workers,
-                                 strategy=self.partitioner)
+        shards = self._partitioner.partition(pairs)
         self._request_counter += 1
         request_id = self._request_counter
         pending = set()
@@ -394,6 +442,11 @@ class ShardedRoutingService:
                 for index, value in message[3]:
                     results[index] = value
                 pending.discard(message[1])
+        if (self._partitioner.wants_feedback
+                and self.stats.batches % self._partitioner.feedback_every == 0):
+            # Adaptive partitioners rebalance on observed per-worker hit
+            # rates; the stats round trip is only paid when asked for.
+            self._partitioner.observe(self.worker_stats())
         return results
 
     def _collect(self):
@@ -454,9 +507,14 @@ class ShardedRoutingService:
         merged.extra["partitioner"] = self.partitioner
         merged.extra["artifact_path"] = self.artifact_path
         merged.extra["scatter_batches"] = self.stats.batches
+        merged.extra.update(self._partitioner.describe())
         if self._undrained_workers:
             merged.extra["undrained_workers"] = list(self._undrained_workers)
         return merged
+
+    def query_stats(self) -> ServingStats:
+        """Aggregate stats over all workers (the QueryBackend accessor)."""
+        return self.merged_stats()
 
     def describe(self) -> str:
         return self.merged_stats().describe()

@@ -1,0 +1,83 @@
+"""Graph generator specs: the ``name:key=value,...`` mini-language.
+
+Shared by the ``repro-serve`` CLI (``--graph``) and by
+:func:`~repro.serving.backend.open_service` (``ServingConfig.graph_spec``),
+so a serving session is fully reproducible from its config alone::
+
+    er:n=200,p=0.05,seed=3,weights=uniform:1:100
+    grid:rows=10,cols=12          ba:n=150,m=2
+    geometric:n=120,radius=0.18   tree:n=100        path:n=64
+
+The optional ``weights=...`` key selects a weight distribution: ``unit``,
+``uniform:LO:HI``, ``mixed``, or ``heavy``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import graphs
+from ..graphs.weighted_graph import WeightedGraph
+
+__all__ = ["parse_graph_spec"]
+
+
+def _parse_weights(spec: Optional[str]):
+    if spec is None or spec == "unit":
+        return graphs.unit_weights()
+    if spec.startswith("uniform"):
+        parts = spec.split(":")
+        low = int(parts[1]) if len(parts) > 1 else 1
+        high = int(parts[2]) if len(parts) > 2 else 100
+        return graphs.uniform_weights(low, high)
+    if spec == "mixed":
+        return graphs.mixed_scale_weights()
+    if spec == "heavy":
+        return graphs.heavy_tailed_weights()
+    raise ValueError(f"unknown weight spec {spec!r}")
+
+
+def parse_graph_spec(spec: str) -> WeightedGraph:
+    """Build a graph from a ``name:key=value,...`` spec string."""
+    name, _, arg_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if arg_text:
+        for item in arg_text.split(","):
+            key, eq, value = item.partition("=")
+            if not eq:
+                raise ValueError(f"malformed graph spec item {item!r} in {spec!r}")
+            params[key.strip()] = value.strip()
+
+    weights = _parse_weights(params.pop("weights", None)) \
+        if "weights" in params else None
+    seed = int(params.pop("seed", 0))
+
+    def want(key: str, cast, default=None):
+        if key in params:
+            return cast(params.pop(key))
+        if default is None:
+            raise ValueError(f"graph spec {spec!r} is missing {key!r}")
+        return default
+
+    if name == "er":
+        graph = graphs.erdos_renyi_graph(want("n", int), want("p", float),
+                                         weights, seed=seed)
+    elif name == "grid":
+        graph = graphs.grid_graph(want("rows", int), want("cols", int),
+                                  weights, seed=seed)
+    elif name == "ba":
+        graph = graphs.barabasi_albert_graph(want("n", int), want("m", int, 2),
+                                             weights, seed=seed)
+    elif name == "geometric":
+        graph = graphs.random_geometric_graph(want("n", int),
+                                              want("radius", float),
+                                              weights, seed=seed)
+    elif name == "tree":
+        graph = graphs.random_tree(want("n", int), weights, seed=seed)
+    elif name == "path":
+        graph = graphs.path_graph(want("n", int), weights, seed=seed)
+    else:
+        raise ValueError(f"unknown graph family {name!r} in spec {spec!r}")
+    if params:
+        raise ValueError(f"unused graph spec keys {sorted(params)} in {spec!r}")
+    return graph

@@ -12,14 +12,26 @@ batching layers under realistic skew:
 * :func:`zipf_workload` — endpoint popularity follows a Zipf distribution
   with exponent ``skew``; the same few pairs dominate the stream;
 * :func:`locality_workload` — sources are uniform but targets are drawn
-  from the source's hop-neighbourhood with probability ``bias``.
+  from the source's hop-neighbourhood with probability ``bias``;
+* :func:`bursty_workload` — temporally correlated traffic: burst phases
+  (a pair suddenly dominates for a stretch of queries) and diurnal drift
+  (the popular endpoints rotate cyclically over the stream) on top of a
+  Zipf base skew — the stream cache-eviction policies must be compared on.
 
-Only the Python standard library is used (``random.Random.choices`` with
-explicit Zipf weights — no numpy/scipy dependency).
+Every generator is registered by name in the workload registry
+(:data:`~repro.serving.registry.WORKLOADS`); :func:`make_workload`
+dispatches through it, so ``repro-serve --workload <name>`` and
+:class:`~repro.serving.config.WorkloadConfig` pick up custom registered
+shapes automatically.
+
+Only the Python standard library is used (explicit Zipf weights sampled via
+``bisect`` over the cumulative distribution — no numpy/scipy dependency).
 """
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 import zlib
 from dataclasses import dataclass, field
@@ -27,13 +39,16 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs.distances import bfs_hop_distances
 from ..graphs.weighted_graph import WeightedGraph
+from .registry import WORKLOADS, get_workload, register_workload
 
 __all__ = [
     "QueryWorkload",
     "uniform_workload",
     "zipf_workload",
     "locality_workload",
+    "bursty_workload",
     "WORKLOAD_NAMES",
+    "workload_names",
     "make_workload",
     "PARTITION_STRATEGIES",
     "partition_pairs",
@@ -170,7 +185,126 @@ def locality_workload(graph: WeightedGraph, num_queries: int,
                                  "bias": bias, "nodes": len(nodes)})
 
 
-WORKLOAD_NAMES = ("uniform", "zipf", "locality")
+def _zipf_sampler(num_ranks: int, skew: float, rng: random.Random
+                  ) -> Callable[[], int]:
+    """An ``O(log n)``-per-draw sampler of Zipf ranks ``0..num_ranks-1``."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(num_ranks)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+
+    def draw() -> int:
+        return bisect.bisect_left(cumulative, rng.random() * total)
+
+    return draw
+
+
+def bursty_workload(nodes: Sequence[Hashable], num_queries: int,
+                    skew: float = 1.2, burst_rate: float = 0.02,
+                    burst_length: int = 40, burst_intensity: float = 0.8,
+                    drift_period: int = 500, seed: int = 0) -> QueryWorkload:
+    """Temporally correlated traffic: bursts and diurnal drift over Zipf.
+
+    The base stream draws endpoints Zipf-distributed (exponent ``skew``)
+    like :func:`zipf_workload`, with two temporal effects layered on top:
+
+    * **Diurnal drift** — the popularity *rankings* rotate cyclically, one
+      full rotation every ``drift_period`` queries, so which endpoints are
+      hot changes gradually and comes back around (think day/night traffic
+      moving across regions).  A cache tuned to a static hot set decays as
+      the hot set walks away from it.
+    * **Bursts** — after any organically drawn query, with probability
+      ``burst_rate``, that query's pair becomes a *burst pair*: for the
+      next ``burst_length`` queries each query repeats the burst pair with
+      probability ``burst_intensity`` (otherwise it is drawn organically).
+      Bursts are the regime online hot-set promotion exists for — a pair
+      whose hit count explodes now, whatever its long-run rank.
+
+    Deterministic given the seed, like every generator in this module.
+    """
+    nodes = list(nodes)
+    if len(nodes) < 2:
+        raise ValueError("bursty_workload needs at least 2 nodes")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    if not 0.0 <= burst_rate <= 1.0:
+        raise ValueError("burst_rate must be in [0, 1]")
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    if not 0.0 <= burst_intensity <= 1.0:
+        raise ValueError("burst_intensity must be in [0, 1]")
+    if drift_period < 1:
+        raise ValueError("drift_period must be >= 1")
+    rng = random.Random(seed)
+    n = len(nodes)
+    source_ranking = list(nodes)
+    rng.shuffle(source_ranking)
+    target_ranking = list(nodes)
+    rng.shuffle(target_ranking)
+    draw_rank = _zipf_sampler(n, skew, rng)
+
+    pairs: List[Tuple[Hashable, Hashable]] = []
+    burst_pair: Optional[Tuple[Hashable, Hashable]] = None
+    burst_remaining = 0
+    for index in range(num_queries):
+        # Diurnal phase: rotate both rankings by the same cyclic offset, so
+        # rank r maps to position (r + offset) % n.  One full cycle per
+        # drift_period queries.
+        offset = ((index % drift_period) * n) // drift_period
+        if burst_remaining > 0:
+            burst_remaining -= 1
+            if rng.random() < burst_intensity:
+                pairs.append(burst_pair)
+                continue
+        s = source_ranking[(draw_rank() + offset) % n]
+        t = target_ranking[(draw_rank() + offset) % n]
+        while t == s:
+            # Redraw from the Zipf weights (conditioned on t != s), exactly
+            # as zipf_workload does — a uniform fallback would dilute the
+            # skew on the hottest ranks.
+            t = target_ranking[(draw_rank() + offset) % n]
+        pair = (s, t)
+        pairs.append(pair)
+        if burst_remaining == 0 and rng.random() < burst_rate:
+            burst_pair = pair
+            burst_remaining = burst_length
+    return QueryWorkload(name="bursty", pairs=pairs,
+                         params={"seed": seed, "skew": skew,
+                                 "burst_rate": burst_rate,
+                                 "burst_length": burst_length,
+                                 "burst_intensity": burst_intensity,
+                                 "drift_period": drift_period,
+                                 "nodes": len(nodes)})
+
+
+# ----------------------------------------------------------------------
+# workload registry
+# ----------------------------------------------------------------------
+register_workload(
+    "uniform",
+    lambda graph, num_queries, seed=0, **params:
+        uniform_workload(graph.nodes(), num_queries, seed=seed, **params))
+register_workload(
+    "zipf",
+    lambda graph, num_queries, seed=0, **params:
+        zipf_workload(graph.nodes(), num_queries, seed=seed, **params))
+register_workload(
+    "locality",
+    lambda graph, num_queries, seed=0, **params:
+        locality_workload(graph, num_queries, seed=seed, **params))
+register_workload(
+    "bursty",
+    lambda graph, num_queries, seed=0, **params:
+        bursty_workload(graph.nodes(), num_queries, seed=seed, **params))
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Currently registered workload names (includes custom registrations)."""
+    return WORKLOADS.names()
+
+
+#: The built-in shapes, snapshotted at import time.  Use
+#: :func:`workload_names` to also see shapes registered later.
+WORKLOAD_NAMES = workload_names()
 
 PARTITION_STRATEGIES = ("round_robin", "hash_pair")
 
@@ -214,12 +348,11 @@ def partition_pairs(pairs: Sequence[Tuple[Hashable, Hashable]],
 
 def make_workload(name: str, graph: WeightedGraph, num_queries: int,
                   seed: int = 0, **params) -> QueryWorkload:
-    """Dispatch by shape name (the registry behind ``repro-serve --workload``)."""
-    if name == "uniform":
-        return uniform_workload(graph.nodes(), num_queries, seed=seed, **params)
-    if name == "zipf":
-        return zipf_workload(graph.nodes(), num_queries, seed=seed, **params)
-    if name == "locality":
-        return locality_workload(graph, num_queries, seed=seed, **params)
-    raise ValueError(f"unknown workload {name!r}; "
-                     f"available: {', '.join(WORKLOAD_NAMES)}")
+    """Dispatch by shape name through the workload registry.
+
+    Custom shapes added with
+    :func:`~repro.serving.registry.register_workload` are picked up here
+    (and therefore by ``repro-serve --workload`` and
+    :class:`~repro.serving.config.WorkloadConfig`) without any other wiring.
+    """
+    return get_workload(name)(graph, num_queries, seed=seed, **params)

@@ -1,0 +1,200 @@
+"""Config-family contracts: round-trips, unknown-key rejection, CLI parity."""
+
+import dataclasses
+
+import pytest
+
+from repro.serving import (
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
+    WorkloadConfig,
+)
+from repro.serving.cli import FLAG_CONFIG_FIELDS, build_parser, config_from_args
+
+
+def nondefault_serving_config() -> ServingConfig:
+    """A config exercising every field with a non-default value."""
+    return ServingConfig(
+        artifact_path="/tmp/x.artifact",
+        graph_spec="er:n=40,p=0.1,seed=2",
+        save_artifact=False,
+        workers=3,
+        partitioner="adaptive",
+        partitioner_params={"feedback_every": 2, "min_gap": 0.05},
+        batch_size=32,
+        kind="distance",
+        start_method="spawn",
+        warm_timeout=60.0,
+        reply_timeout=90.0,
+        build=BuildConfig(k=4, epsilon=0.5, seed=7, mode="budget",
+                          engine="logical"),
+        cache=CacheConfig(policy="lru", capacity=512, hot_set="explicit",
+                          hot_kind="both", hot_pairs=((1, 2), (3, 4)),
+                          hot_threshold=5, hot_capacity=10),
+        workload=WorkloadConfig(name="bursty", num_queries=250, seed=9,
+                                params={"skew": 1.5, "burst_length": 20}),
+    )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("config", [
+        BuildConfig(),
+        BuildConfig(k=5, epsilon=1.0, seed=3, mode="spd", engine="simulate"),
+        CacheConfig(),
+        CacheConfig(capacity=0, hot_set="online", hot_threshold=2,
+                    hot_capacity=4),
+        CacheConfig(hot_set="explicit", hot_pairs=((0, 1), ("a", "b"))),
+        WorkloadConfig(),
+        WorkloadConfig(name="locality", num_queries=10, seed=1,
+                       params={"hop_radius": 3, "bias": 0.5}),
+        ServingConfig(),
+    ])
+    def test_from_dict_of_to_dict_is_identity(self, config):
+        assert type(config).from_dict(config.to_dict()) == config
+
+    def test_full_nondefault_round_trip(self):
+        config = nondefault_serving_config()
+        assert ServingConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        config = nondefault_serving_config()
+        rehydrated = ServingConfig.from_dict(
+            json.loads(json.dumps(config.to_dict())))
+        assert rehydrated == config
+
+    def test_hot_pairs_normalised_to_tuples(self):
+        config = CacheConfig(hot_pairs=[[1, 2], (3, 4)])
+        assert config.hot_pairs == ((1, 2), (3, 4))
+
+
+class TestUnknownKeys:
+    @pytest.mark.parametrize("cls", [BuildConfig, CacheConfig,
+                                     WorkloadConfig, ServingConfig])
+    def test_top_level_unknown_key_rejected(self, cls):
+        data = cls().to_dict()
+        data["no_such_option"] = 1
+        with pytest.raises(ValueError, match="no_such_option"):
+            cls.from_dict(data)
+
+    def test_nested_unknown_key_rejected(self):
+        data = ServingConfig().to_dict()
+        data["cache"]["eviction"] = "lfu"
+        with pytest.raises(ValueError, match="eviction"):
+            ServingConfig.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="expects a dict"):
+            BuildConfig.from_dict("k=3")
+
+
+class TestValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            BuildConfig(k=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            BuildConfig(epsilon=0)
+        with pytest.raises(ValueError, match="capacity"):
+            CacheConfig(capacity=-1)
+        with pytest.raises(ValueError, match="hot_kind"):
+            CacheConfig(hot_kind="everything")
+        with pytest.raises(ValueError, match="hot_threshold"):
+            CacheConfig(hot_threshold=0)
+        with pytest.raises(ValueError, match="num_queries"):
+            WorkloadConfig(num_queries=-1)
+        with pytest.raises(ValueError, match="workers"):
+            ServingConfig(workers=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            ServingConfig(batch_size=0)
+        with pytest.raises(ValueError, match="kind"):
+            ServingConfig(kind="latency")
+        with pytest.raises(ValueError, match="build must be"):
+            ServingConfig(build={"k": 3})
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BuildConfig().k = 5
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ServingConfig().workers = 2
+
+    def test_workload_seed_inherits_build_seed(self):
+        config = ServingConfig(build=BuildConfig(seed=11))
+        assert config.workload_seed() == 11
+        pinned = ServingConfig(build=BuildConfig(seed=11),
+                               workload=WorkloadConfig(seed=4))
+        assert pinned.workload_seed() == 4
+
+
+class TestCliParity:
+    """Every ``repro-serve`` flag maps onto a config field (satellite)."""
+
+    def test_mapping_is_total_over_the_parser(self):
+        parser = build_parser()
+        dests = sorted(action.dest for action in parser._actions
+                       if action.dest != "help")
+        assert dests == sorted(FLAG_CONFIG_FIELDS), (
+            "every repro-serve flag must appear in FLAG_CONFIG_FIELDS "
+            "(and vice versa)")
+
+    def test_mapped_config_fields_exist(self):
+        config = ServingConfig()
+        for dest, path in FLAG_CONFIG_FIELDS.items():
+            if path is None:      # presentation-only / runtime-derived flags
+                continue
+            node = config
+            for part in path.split("."):
+                if isinstance(node, dict):
+                    # Free-form params bucket: shape-specific keys live
+                    # here by design; reaching a dict is a valid terminal.
+                    break
+                assert hasattr(node, part), (
+                    f"flag --{dest.replace('_', '-')} maps to {path!r} "
+                    f"but {part!r} is not a config field")
+                node = getattr(node, part)
+
+    def test_parsed_flags_land_in_config(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "--graph", "grid:rows=4,cols=4", "--artifact", "/tmp/a.artifact",
+            "--k", "4", "--epsilon", "0.5", "--mode", "budget", "--seed", "6",
+            "--engine", "logical", "--workload", "bursty", "--queries", "77",
+            "--skew", "1.7", "--burst-length", "15", "--burst-rate", "0.1",
+            "--burst-intensity", "0.5", "--drift-period", "50",
+            "--batch-size", "16", "--cache-size", "99",
+            "--cache-policy", "lru", "--kind", "distance",
+            "--hot-set", "online", "--hot-threshold", "3",
+            "--hot-capacity", "44", "--workers", "2",
+            "--partitioner", "adaptive"])
+        config = config_from_args(args, parser)
+        assert config.graph_spec == "grid:rows=4,cols=4"
+        assert config.artifact_path == "/tmp/a.artifact"
+        assert config.build == BuildConfig(k=4, epsilon=0.5, seed=6,
+                                           mode="budget", engine="logical")
+        assert config.workload.name == "bursty"
+        assert config.workload.num_queries == 77
+        assert config.workload.params == {"skew": 1.7, "burst_length": 15,
+                                          "burst_rate": 0.1,
+                                          "burst_intensity": 0.5,
+                                          "drift_period": 50}
+        assert config.batch_size == 16
+        assert config.kind == "distance"
+        assert config.cache.capacity == 99
+        assert config.cache.policy == "lru"
+        assert config.cache.hot_set == "online"
+        assert config.cache.hot_threshold == 3
+        assert config.cache.hot_capacity == 44
+        assert config.workers == 2
+        assert config.partitioner == "adaptive"
+
+    @pytest.mark.parametrize("bad_argv", [
+        ["--workload", "zipf", "--burst-length", "5"],
+        ["--workload", "uniform", "--drift-period", "10"],
+        ["--workload", "bursty", "--hop-radius", "2"],
+    ])
+    def test_inapplicable_bursty_flags_rejected(self, bad_argv):
+        parser = build_parser()
+        args = parser.parse_args(["--graph", "grid:rows=4,cols=4"] + bad_argv)
+        with pytest.raises(SystemExit):
+            config_from_args(args, parser)

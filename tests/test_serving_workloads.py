@@ -7,6 +7,7 @@ from repro.graphs.distances import bfs_hop_distances
 from repro.serving import (
     QueryWorkload,
     WORKLOAD_NAMES,
+    bursty_workload,
     locality_workload,
     make_workload,
     uniform_workload,
@@ -40,7 +41,11 @@ class TestCommonProperties:
 
     def test_unknown_name_rejected(self, workload_graph):
         with pytest.raises(ValueError, match="unknown workload"):
-            make_workload("bursty", workload_graph, 10)
+            make_workload("tidal", workload_graph, 10)
+
+    def test_builtin_names_registered(self):
+        assert set(WORKLOAD_NAMES) == {"uniform", "zipf", "locality",
+                                       "bursty"}
 
     def test_too_few_nodes_rejected(self):
         tiny = graphs.path_graph(1)
@@ -132,6 +137,66 @@ class TestShapes:
             locality_workload(workload_graph, 10, bias=1.5)
         with pytest.raises(ValueError, match="hop_radius"):
             locality_workload(workload_graph, 10, hop_radius=0)
+
+
+class TestBurstyShape:
+    def test_bursts_concentrate_traffic(self, workload_graph):
+        nodes = workload_graph.nodes()
+        calm = bursty_workload(nodes, 1000, burst_rate=0.0, seed=7)
+        stormy = bursty_workload(nodes, 1000, burst_rate=0.05,
+                                 burst_length=60, burst_intensity=0.9, seed=7)
+        # Bursts repeat one pair for stretches of the stream, so the bursty
+        # stream is strictly more repetitive than its burst-free base.
+        assert stormy.distinct_pairs() < calm.distinct_pairs()
+        assert (stormy.skew_summary()["hottest_pair_share"]
+                > calm.skew_summary()["hottest_pair_share"])
+
+    def test_saturated_burst_is_one_pair(self, workload_graph):
+        workload = bursty_workload(workload_graph.nodes(), 200,
+                                   burst_rate=1.0, burst_length=10 ** 6,
+                                   burst_intensity=1.0, seed=3)
+        # The first organic query starts a burst that never ends; with
+        # intensity 1.0 every later query repeats its pair.
+        assert workload.distinct_pairs() == 1
+
+    def test_diurnal_drift_rotates_the_hot_set(self):
+        from collections import Counter
+
+        nodes = list(range(12))
+        # Extreme skew concentrates nearly all mass on rank 0, so each
+        # window's most common source tracks the rotating ranking head.
+        workload = bursty_workload(nodes, 240, skew=6.0, burst_rate=0.0,
+                                   drift_period=240, seed=11)
+        sources = [s for s, _ in workload.pairs]
+        early = Counter(sources[:40]).most_common(1)[0][0]
+        late = Counter(sources[120:160]).most_common(1)[0][0]
+        assert early != late
+
+    def test_no_drift_keeps_hot_set_static(self):
+        from collections import Counter
+
+        nodes = list(range(12))
+        workload = bursty_workload(nodes, 240, skew=6.0, burst_rate=0.0,
+                                   drift_period=10 ** 9, seed=11)
+        sources = [s for s, _ in workload.pairs]
+        early = Counter(sources[:40]).most_common(1)[0][0]
+        late = Counter(sources[120:160]).most_common(1)[0][0]
+        assert early == late
+
+    def test_parameter_validation(self, workload_graph):
+        nodes = workload_graph.nodes()
+        with pytest.raises(ValueError, match="skew"):
+            bursty_workload(nodes, 10, skew=0.0)
+        with pytest.raises(ValueError, match="burst_rate"):
+            bursty_workload(nodes, 10, burst_rate=1.5)
+        with pytest.raises(ValueError, match="burst_length"):
+            bursty_workload(nodes, 10, burst_length=0)
+        with pytest.raises(ValueError, match="burst_intensity"):
+            bursty_workload(nodes, 10, burst_intensity=-0.1)
+        with pytest.raises(ValueError, match="drift_period"):
+            bursty_workload(nodes, 10, drift_period=0)
+        with pytest.raises(ValueError, match="at least 2 nodes"):
+            bursty_workload([0], 10)
 
 
 class TestQueryWorkloadContainer:
