@@ -12,10 +12,37 @@ table sizes.
 from __future__ import annotations
 
 import math
+import pickle
+import struct
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-__all__ = ["Label", "RoutingTable", "RouteTrace", "words_to_bits", "payload_words"]
+__all__ = [
+    "Label",
+    "RoutingTable",
+    "RouteTrace",
+    "words_to_bits",
+    "payload_words",
+    # fixed-width record tables (artifact format v2)
+    "RecordTableError",
+    "NodeInternTable",
+    "PivotRowTable",
+    "OffsetRecordTable",
+    "InternedPivotView",
+    "InternedBunchRow",
+    "InternedBunchLevel",
+    "PivotRowBackend",
+]
 
 
 def payload_words(value: Any) -> int:
@@ -121,3 +148,519 @@ class RouteTrace:
             "fallback_hops": self.fallback_hops,
             "estimate": self.estimate,
         }
+
+
+# ======================================================================
+# Fixed-width record tables (artifact format v2)
+# ======================================================================
+# The serving layer's artifact format v2 stores the query-hot tables —
+# per-node pivot rows and per-(level, node) bunch rows — as fixed-width
+# binary records over *interned* node indices, so a reader can locate any
+# record by pure offset arithmetic and ``mmap`` the table instead of
+# deserialising it.  Everything below is stdlib ``struct``/``array``-style
+# encoding; no third-party dependencies.  The classes come in pairs:
+#
+# * ``encode`` classmethods produce the section bytes at save time;
+# * the constructors wrap a ``memoryview`` (typically over an ``mmap``)
+#   and answer point lookups without copying or materialising the table.
+#
+# ``Interned*View`` adapters then present those tables through the exact
+# mapping interface the in-memory :class:`~repro.routing.tz_hierarchy.
+# CompactRoutingHierarchy` uses (``pivots[l][v]``, ``bunches[v][s]``), so a
+# lazily-loaded hierarchy answers queries through the same code path as an
+# eager one.
+
+
+class RecordTableError(ValueError):
+    """Raised for malformed or out-of-bounds record-table bytes."""
+
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"f"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"F"
+_TAG_STR = b"S"
+_TAG_TUPLE = b"U"
+_TAG_PICKLE = b"P"
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+
+def _encode_value(value: Any, out: bytearray) -> None:
+    """Tagged binary encoding of one node label (int/str/float/bool/None/
+    tuple natively; anything else falls back to an embedded pickle)."""
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int) and -(2 ** 63) <= value < 2 ** 63:
+        out += _TAG_INT
+        out += _I64.pack(value)
+    elif isinstance(value, float):
+        out += _TAG_FLOAT
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += _TAG_STR
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, tuple):
+        out += _TAG_TUPLE
+        out += _U32.pack(len(value))
+        for item in value:
+            _encode_value(item, out)
+    else:
+        raw = pickle.dumps(value, protocol=4)
+        out += _TAG_PICKLE
+        out += _U32.pack(len(raw))
+        out += raw
+
+
+def _decode_value(buf: memoryview, pos: int) -> Tuple[Any, int]:
+    tag = bytes(buf[pos:pos + 1])
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_FLOAT:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _TAG_STR:
+        (length,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return bytes(buf[pos:pos + length]).decode("utf-8"), pos + length
+    if tag == _TAG_TUPLE:
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _TAG_PICKLE:
+        (length,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return pickle.loads(bytes(buf[pos:pos + length])), pos + length
+    raise RecordTableError(f"unknown intern-table value tag {tag!r}")
+
+
+class NodeInternTable:
+    """Bidirectional node-label <-> dense-index intern table.
+
+    Every binary table in a v2 artifact refers to nodes by their index in
+    this table (the graph's node insertion order), so node labels are
+    stored exactly once no matter how many records mention them.
+    """
+
+    def __init__(self, nodes: Iterable[Hashable]) -> None:
+        self._nodes: List[Hashable] = list(nodes)
+        self._index: Dict[Hashable, int] = {
+            node: i for i, node in enumerate(self._nodes)}
+        if len(self._index) != len(self._nodes):
+            raise RecordTableError("duplicate node labels in intern table")
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._index
+
+    def index_of(self, node: Hashable) -> int:
+        """The dense index of ``node`` (raises ``KeyError`` if unknown)."""
+        return self._index[node]
+
+    def get_index(self, node: Hashable) -> Optional[int]:
+        return self._index.get(node)
+
+    def node_at(self, index: int) -> Hashable:
+        return self._nodes[index]
+
+    def nodes(self) -> List[Hashable]:
+        """The node labels in index order (a copy)."""
+        return list(self._nodes)
+
+    def encode(self) -> bytes:
+        out = bytearray(_U32.pack(len(self._nodes)))
+        for node in self._nodes:
+            _encode_value(node, out)
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, buf) -> "NodeInternTable":
+        view = memoryview(buf)
+        try:
+            (count,) = _U32.unpack_from(view, 0)
+            pos = 4
+            nodes = []
+            for _ in range(count):
+                node, pos = _decode_value(view, pos)
+                nodes.append(node)
+        except (struct.error, IndexError) as exc:
+            raise RecordTableError(f"corrupt intern table: {exc}") from exc
+        if pos != len(view):
+            raise RecordTableError(
+                f"intern table has {len(view) - pos} trailing bytes")
+        return cls(nodes)
+
+
+class PivotRowTable:
+    """Node-major fixed-width pivot records.
+
+    One record per (node, level) holding ``(pivot_index, distance)`` as
+    ``<int32, float64>``; ``pivot_index == -1`` encodes "no pivot".  The
+    records for one node are contiguous, so a full per-node pivot row —
+    the label-derived half of every query — is one bounded slice read.
+    """
+
+    _HEADER = struct.Struct("<II")   # num_nodes, num_levels
+    _RECORD = struct.Struct("<id")
+    NO_PIVOT = -1
+
+    @classmethod
+    def encode(cls, num_nodes: int, num_levels: int,
+               rows: Iterable[Sequence[Tuple[int, float]]]) -> bytes:
+        out = bytearray(cls._HEADER.pack(num_nodes, num_levels))
+        written = 0
+        for row in rows:
+            if len(row) != num_levels:
+                raise RecordTableError(
+                    f"pivot row has {len(row)} levels, expected {num_levels}")
+            for pivot_index, dist in row:
+                out += cls._RECORD.pack(pivot_index, dist)
+            written += 1
+        if written != num_nodes:
+            raise RecordTableError(
+                f"encoded {written} pivot rows, expected {num_nodes}")
+        return bytes(out)
+
+    def __init__(self, buf) -> None:
+        self._buf = memoryview(buf)
+        try:
+            self.num_nodes, self.num_levels = self._HEADER.unpack_from(
+                self._buf, 0)
+        except struct.error as exc:
+            raise RecordTableError(f"corrupt pivot table header: {exc}") from exc
+        expected = (self._HEADER.size
+                    + self.num_nodes * self.num_levels * self._RECORD.size)
+        if len(self._buf) != expected:
+            raise RecordTableError(
+                f"pivot table is {len(self._buf)} bytes, header implies "
+                f"{expected}")
+
+    def record(self, node_index: int, level_offset: int) -> Tuple[int, float]:
+        if not 0 <= node_index < self.num_nodes:
+            raise RecordTableError(f"node index {node_index} out of range")
+        if not 0 <= level_offset < self.num_levels:
+            raise RecordTableError(f"level offset {level_offset} out of range")
+        pos = self._HEADER.size + (node_index * self.num_levels
+                                   + level_offset) * self._RECORD.size
+        return self._RECORD.unpack_from(self._buf, pos)
+
+    def row(self, node_index: int) -> List[Tuple[int, float]]:
+        """All ``(pivot_index, distance)`` records of one node (contiguous)."""
+        if not 0 <= node_index < self.num_nodes:
+            raise RecordTableError(f"node index {node_index} out of range")
+        start = self._HEADER.size + node_index * self.num_levels * self._RECORD.size
+        stop = start + self.num_levels * self._RECORD.size
+        return list(self._RECORD.iter_unpack(self._buf[start:stop]))
+
+
+class OffsetRecordTable:
+    """Variable-length rows of fixed-width records behind an offset index.
+
+    Layout: a ``<num_rows, num_records>`` header, then ``num_rows`` index
+    entries of ``<record_offset uint64, count uint32>``, then the records
+    (``<int32 key, float64 value>``).  A row is found by one index read
+    plus one bounded slice read — no scanning, no deserialisation.  The
+    count sentinel ``ABSENT`` marks a row that is *not present* (used by
+    per-shard sub-artifacts for bunch rows owned by other shards), which
+    is distinct from an empty row.
+    """
+
+    _HEADER = struct.Struct("<QQ")   # num_rows, num_records
+    _INDEX = struct.Struct("<QI")    # record offset, count
+    _RECORD = struct.Struct("<id")
+    ABSENT = 0xFFFFFFFF
+
+    @classmethod
+    def encode(cls, rows: Iterable[Optional[Sequence[Tuple[int, float]]]]
+               ) -> bytes:
+        index = bytearray()
+        data = bytearray()
+        num_rows = 0
+        num_records = 0
+        for row in rows:
+            num_rows += 1
+            if row is None:
+                index += cls._INDEX.pack(0, cls.ABSENT)
+                continue
+            index += cls._INDEX.pack(num_records, len(row))
+            for key, value in row:
+                data += cls._RECORD.pack(key, value)
+            num_records += len(row)
+        return cls._HEADER.pack(num_rows, num_records) + bytes(index) + bytes(data)
+
+    def __init__(self, buf) -> None:
+        self._buf = memoryview(buf)
+        try:
+            self.num_rows, self.num_records = self._HEADER.unpack_from(
+                self._buf, 0)
+        except struct.error as exc:
+            raise RecordTableError(f"corrupt offset table header: {exc}") from exc
+        self._index_base = self._HEADER.size
+        self._data_base = self._index_base + self.num_rows * self._INDEX.size
+        expected = self._data_base + self.num_records * self._RECORD.size
+        if len(self._buf) != expected:
+            raise RecordTableError(
+                f"offset table is {len(self._buf)} bytes, header implies "
+                f"{expected}")
+
+    def _entry(self, row_index: int) -> Tuple[int, int]:
+        if not 0 <= row_index < self.num_rows:
+            raise RecordTableError(f"row index {row_index} out of range")
+        return self._INDEX.unpack_from(
+            self._buf, self._index_base + row_index * self._INDEX.size)
+
+    def has_row(self, row_index: int) -> bool:
+        _, count = self._entry(row_index)
+        return count != self.ABSENT
+
+    def row_count(self, row_index: int) -> int:
+        offset, count = self._entry(row_index)
+        if count == self.ABSENT:
+            raise RecordTableError(f"row {row_index} is absent from this table")
+        return count
+
+    def row_items(self, row_index: int) -> List[Tuple[int, float]]:
+        return list(self._RECORD.iter_unpack(self._row_slice(row_index)))
+
+    def _row_slice(self, row_index: int):
+        offset, count = self._entry(row_index)
+        if count == self.ABSENT:
+            raise RecordTableError(f"row {row_index} is absent from this table")
+        if offset + count > self.num_records:
+            raise RecordTableError(
+                f"row {row_index} points past the record area "
+                f"(offset {offset}, count {count}, {self.num_records} records)")
+        start = self._data_base + offset * self._RECORD.size
+        return self._buf[start:start + count * self._RECORD.size]
+
+    def lookup(self, row_index: int, key: int) -> Optional[float]:
+        """The value stored for ``key`` in the row, or ``None``.
+
+        A bounded scan over the row's fixed-width records without
+        materialising them (rows are ``O~(n^{1/k})`` entries).
+        """
+        for record_key, value in self._RECORD.iter_unpack(
+                self._row_slice(row_index)):
+            if record_key == key:
+                return value
+        return None
+
+
+# ----------------------------------------------------------------------
+# mapping adapters: record tables presented as the hierarchy's dicts
+# ----------------------------------------------------------------------
+class InternedPivotView:
+    """One pivot level as a read-only mapping ``{node: pivot}`` (or
+    ``{node: distance}``), decoding records straight from the table."""
+
+    _PIVOT = 0
+    _DIST = 1
+
+    __slots__ = ("_table", "_intern", "_level", "_field")
+
+    def __init__(self, table: PivotRowTable, intern: NodeInternTable,
+                 level_offset: int, field: int) -> None:
+        self._table = table
+        self._intern = intern
+        self._level = level_offset
+        self._field = field
+
+    @classmethod
+    def pivots(cls, table, intern, level_offset) -> "InternedPivotView":
+        return cls(table, intern, level_offset, cls._PIVOT)
+
+    @classmethod
+    def distances(cls, table, intern, level_offset) -> "InternedPivotView":
+        return cls(table, intern, level_offset, cls._DIST)
+
+    def __getitem__(self, node: Hashable):
+        index = self._intern.index_of(node)   # KeyError for unknown nodes
+        pivot_index, dist = self._table.record(index, self._level)
+        if self._field == self._DIST:
+            return dist
+        return None if pivot_index < 0 else self._intern.node_at(pivot_index)
+
+    def get(self, node: Hashable, default=None):
+        try:
+            return self[node]
+        except KeyError:
+            return default
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._intern
+
+    def __len__(self) -> int:
+        return len(self._intern)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._intern.nodes())
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self._intern.nodes())
+
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        for node in self._intern.nodes():
+            yield node, self[node]
+
+    def values(self) -> Iterator[Any]:
+        for node in self._intern.nodes():
+            yield self[node]
+
+
+class InternedBunchRow:
+    """One bunch row as a read-only mapping ``{source: estimate}``.
+
+    Membership tests and lookups scan the row's records (bunch rows are
+    ``O~(n^{1/k})`` entries by construction), decoding nothing but the
+    records touched.
+    """
+
+    __slots__ = ("_table", "_intern", "_row")
+
+    def __init__(self, table: OffsetRecordTable, intern: NodeInternTable,
+                 row_index: int) -> None:
+        self._table = table
+        self._intern = intern
+        self._row = row_index
+
+    def __contains__(self, node: Hashable) -> bool:
+        index = self._intern.get_index(node)
+        if index is None:
+            return False
+        return self._table.lookup(self._row, index) is not None
+
+    def __getitem__(self, node: Hashable) -> float:
+        index = self._intern.get_index(node)
+        value = None if index is None else self._table.lookup(self._row, index)
+        if value is None:
+            raise KeyError(node)
+        return value
+
+    def get(self, node: Hashable, default=None):
+        index = self._intern.get_index(node)
+        if index is None:
+            return default
+        value = self._table.lookup(self._row, index)
+        return default if value is None else value
+
+    def __len__(self) -> int:
+        return self._table.row_count(self._row)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        for index, _ in self._table.row_items(self._row):
+            yield self._intern.node_at(index)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self)
+
+    def items(self) -> Iterator[Tuple[Hashable, float]]:
+        for index, value in self._table.row_items(self._row):
+            yield self._intern.node_at(index), value
+
+    def values(self) -> Iterator[float]:
+        for _, value in self._table.row_items(self._row):
+            yield value
+
+
+class InternedBunchLevel:
+    """One level's bunches as a read-only mapping ``{node: bunch_row}``.
+
+    Row indices are ``level * num_nodes + node_index`` into one shared
+    :class:`OffsetRecordTable` holding every level's rows.  Accessing a
+    row a sub-artifact sliced away raises ``KeyError`` with an
+    explanatory message — by construction the sharded front-end never
+    routes such a query to this slice.
+    """
+
+    __slots__ = ("_table", "_intern", "_level", "_num_nodes")
+
+    def __init__(self, table: OffsetRecordTable, intern: NodeInternTable,
+                 level: int, num_nodes: int) -> None:
+        self._table = table
+        self._intern = intern
+        self._level = level
+        self._num_nodes = num_nodes
+
+    def _row_index(self, node: Hashable) -> int:
+        return self._level * self._num_nodes + self._intern.index_of(node)
+
+    def __getitem__(self, node: Hashable) -> InternedBunchRow:
+        row = self._row_index(node)    # KeyError for unknown nodes
+        if not self._table.has_row(row):
+            raise KeyError(
+                f"bunch row for node {node!r} (level {self._level}) is not "
+                f"present in this artifact slice; sub-artifacts only hold "
+                f"rows for their own shard's sources")
+        return InternedBunchRow(self._table, self._intern, row)
+
+    def get(self, node: Hashable, default=None):
+        try:
+            return self[node]
+        except KeyError:
+            return default
+
+    def __contains__(self, node: Hashable) -> bool:
+        index = self._intern.get_index(node)
+        if index is None:
+            return False
+        return self._table.has_row(self._level * self._num_nodes + index)
+
+    def __len__(self) -> int:
+        return sum(1 for node in self._intern.nodes() if node in self)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        for node in self._intern.nodes():
+            if node in self:
+                yield node
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self)
+
+    def items(self) -> Iterator[Tuple[Hashable, InternedBunchRow]]:
+        for node in self:
+            yield node, self[node]
+
+
+class PivotRowBackend:
+    """Zero-copy ``pivot_row`` provider for an mmap-loaded hierarchy.
+
+    ``CompactRoutingHierarchy.pivot_row`` delegates here when present: the
+    full per-level pivot row of a target is one contiguous record-slice
+    read straight from the page cache, instead of ``k`` dict lookups over
+    eagerly materialised pivot maps.
+    """
+
+    __slots__ = ("_table", "_intern")
+
+    def __init__(self, table: PivotRowTable, intern: NodeInternTable) -> None:
+        self._table = table
+        self._intern = intern
+
+    def pivot_row(self, target: Hashable) -> Tuple[Optional[Hashable], ...]:
+        index = self._intern.index_of(target)
+        row: List[Optional[Hashable]] = [target]   # level 0 pivot is the target
+        node_at = self._intern.node_at
+        for pivot_index, _dist in self._table.row(index):
+            row.append(None if pivot_index < 0 else node_at(pivot_index))
+        return tuple(row)

@@ -50,7 +50,10 @@ from .tree_routing import TreeRouting
 from .tz_exact import sample_levels
 from .stretch import evaluate_routing
 
-__all__ = ["CompactRoutingHierarchy", "HierarchyBuildReport"]
+__all__ = ["CompactRoutingHierarchy", "HierarchyBuildReport", "LazyLevelData"]
+
+#: Sentinel distinguishing "absent from the bunch" from any real estimate.
+_ABSENT = object()
 
 
 @dataclass
@@ -92,6 +95,65 @@ class _LevelData:
     overflow_count: int = 0
 
 
+class LazyLevelData:
+    """Duck-typed :class:`_LevelData` backed by artifact-v2 sections.
+
+    The query hot path only ever touches ``bunches`` (an mmap-backed
+    mapping view), ``trees`` (needed for route queries, unpickled from its
+    own section on first access) and the scalar flags.  The remaining
+    fields — ``sources`` / ``estimates`` / ``next_pivot`` /
+    ``next_pivot_dist`` — are construction-time state that only
+    ``export_state`` and the build reports read; they materialise from the
+    level's aux section on first access (and per-shard sub-artifacts drop
+    that section entirely, so touching them there raises).
+    """
+
+    __slots__ = ("bunches", "h", "sigma", "skeleton_level", "overflow_count",
+                 "_aux_loader", "_aux", "_trees_loader", "_trees",
+                 "_trees_loaded")
+
+    def __init__(self, bunches, h: int, sigma: int, skeleton_level: bool,
+                 overflow_count: int, aux_loader, trees_loader) -> None:
+        self.bunches = bunches
+        self.h = h
+        self.sigma = sigma
+        self.skeleton_level = skeleton_level
+        self.overflow_count = overflow_count
+        self._aux_loader = aux_loader
+        self._aux = None
+        self._trees_loader = trees_loader
+        self._trees = None
+        self._trees_loaded = False
+
+    def _load_aux(self) -> Dict[str, object]:
+        if self._aux is None:
+            self._aux = self._aux_loader()
+        return self._aux
+
+    @property
+    def sources(self) -> Set[Hashable]:
+        return self._load_aux()["sources"]
+
+    @property
+    def estimates(self) -> Dict[Hashable, Dict[Hashable, float]]:
+        return self._load_aux()["estimates"]
+
+    @property
+    def next_pivot(self) -> Dict[Hashable, Optional[Hashable]]:
+        return self._load_aux()["next_pivot"]
+
+    @property
+    def next_pivot_dist(self) -> Dict[Hashable, float]:
+        return self._load_aux()["next_pivot_dist"]
+
+    @property
+    def trees(self) -> Optional[TreeFamily]:
+        if not self._trees_loaded:
+            self._trees = self._trees_loader()
+            self._trees_loaded = True
+        return self._trees
+
+
 class CompactRoutingHierarchy:
     """Compact routing tables with stretch ``4k - 3 + o(1)`` (Section 4.3)."""
 
@@ -122,6 +184,11 @@ class CompactRoutingHierarchy:
         self._exact_parent_cache: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {}
         self._pivot_row_cache: Dict[Hashable, Tuple[Optional[Hashable], ...]] = {}
         self._route_fallbacks = 0
+        #: Optional zero-copy pivot-row provider (set by the artifact-v2
+        #: loader to a :class:`~repro.routing.tables.PivotRowBackend`); when
+        #: present, :meth:`pivot_row` reads one contiguous record slice from
+        #: the mmapped pivot table instead of k per-level dict lookups.
+        self._pivot_backend = None
 
     # ==================================================================
     # construction
@@ -405,11 +472,17 @@ class CompactRoutingHierarchy:
 
         This is the label-derived part of every query against ``target``;
         it is cached so that query streams hitting the same destinations
-        (the serving layer's batched APIs) pay the lookup once.
+        (the serving layer's batched APIs) pay the lookup once.  On an
+        mmap-loaded hierarchy (artifact format v2) the row is one
+        contiguous fixed-width record-slice read from the page cache —
+        answers are identical either way.
         """
         row = self._pivot_row_cache.get(target)
         if row is None:
-            row = tuple(self._target_pivot(target, l) for l in range(self.k))
+            if self._pivot_backend is not None:
+                row = self._pivot_backend.pivot_row(target)
+            else:
+                row = tuple(self._target_pivot(target, l) for l in range(self.k))
             self._pivot_row_cache[target] = row
         return row
 
@@ -421,10 +494,13 @@ class CompactRoutingHierarchy:
             pivot = row[l]
             if pivot is None:
                 continue
-            bunch = self.level_data[l].bunches[source]
-            if pivot in bunch:
+            # One .get instead of a membership test plus a lookup: on an
+            # mmap-loaded hierarchy each bunch access scans the source's
+            # record row, so probing once per level halves the hot path.
+            estimate = self.level_data[l].bunches[source].get(pivot, _ABSENT)
+            if estimate is not _ABSENT:
                 tail = 0.0 if l == 0 else self.pivot_dists[l][target]
-                return l, pivot, bunch[pivot] + tail
+                return l, pivot, estimate + tail
         return self.k, None, float("inf")
 
     def distance(self, source: Hashable, target: Hashable) -> float:
@@ -440,7 +516,10 @@ class CompactRoutingHierarchy:
         Equivalent to calling :meth:`distance` per pair; label-lookup
         amortization lives in the :meth:`pivot_row` cache, which single and
         batched queries share.  The serving layer additionally dedups
-        repeated pairs before calling this.
+        repeated pairs before calling this.  On an mmap-loaded hierarchy
+        the per-pair bunch lookups read fixed-width records directly from
+        the page cache (no tables are materialised), so co-located
+        processes serving the same artifact share the physical pages.
         """
         return [self.distance(s, t) for s, t in pairs]
 

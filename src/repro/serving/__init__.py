@@ -36,15 +36,20 @@ The public surface (API v2) is one typed, policy-pluggable contract:
 from .artifacts import (
     ArtifactError,
     ArtifactInfo,
+    ArtifactV2Reader,
     artifact_info,
     load_hierarchy,
     load_pde,
     read_artifact,
     save_hierarchy,
     save_pde,
+    shard_artifact_path,
+    verify_artifact,
     write_artifact,
+    write_artifact_v2,
+    write_shard_artifacts,
 )
-from .cache import LRUCache, ServingStats
+from .cache import LFUCache, LRUCache, ServingStats
 from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
 from .registry import (
     CACHE_POLICIES,
@@ -72,6 +77,7 @@ from .sharded import ShardError, ShardedRoutingService
 from .partitioners import (
     AdaptivePartitioner,
     HashPairPartitioner,
+    HashSourcePartitioner,
     Partitioner,
     RoundRobinPartitioner,
     make_partitioner,
@@ -86,6 +92,7 @@ from .workloads import (
     locality_workload,
     make_workload,
     partition_pairs,
+    stable_node_hash,
     uniform_workload,
     workload_names,
     zipf_workload,
@@ -95,13 +102,18 @@ __all__ = [
     # artifacts
     "ArtifactError",
     "ArtifactInfo",
+    "ArtifactV2Reader",
     "artifact_info",
     "read_artifact",
     "write_artifact",
+    "write_artifact_v2",
+    "verify_artifact",
     "save_hierarchy",
     "load_hierarchy",
     "save_pde",
     "load_pde",
+    "write_shard_artifacts",
+    "shard_artifact_path",
     # API v2: protocol, factory, configs
     "QueryBackend",
     "open_service",
@@ -131,10 +143,12 @@ __all__ = [
     "Partitioner",
     "RoundRobinPartitioner",
     "HashPairPartitioner",
+    "HashSourcePartitioner",
     "AdaptivePartitioner",
     "make_partitioner",
     # backends
     "LRUCache",
+    "LFUCache",
     "ServingStats",
     "RoutingService",
     "build_or_load_service",
@@ -153,4 +167,5 @@ __all__ = [
     "make_workload",
     "PARTITION_STRATEGIES",
     "partition_pairs",
+    "stable_node_hash",
 ]

@@ -7,22 +7,55 @@ number of serving processes load it back and answer queries *identically* to
 the in-memory original (the round-trip tests assert bit-for-bit equal query
 answers).
 
-On-disk layout (format version 1)::
+Two on-disk formats are readable; format 2 is the default writer.
+
+Format 1 (legacy, still loadable)::
 
     REPRO-ARTIFACT v1\\n                      <- magic + format version
     {header JSON}\\n                          <- kind, payload size + sha256,
                                                 state version, metadata
     <payload bytes>                           <- pickled builtin-only state
 
-The payload is the ``export_state()`` snapshot of the object — plain dicts /
-lists / tuples / scalars, never ``repro`` classes — serialised with
-:mod:`pickle`.  Keeping classes out of the payload means old artifacts stay
-loadable across refactors of the in-memory types; the pickle is merely a
-container for builtins.  Integrity is checked on load: magic, format
-version, payload length and SHA-256 checksum must all match, and the header
-``kind`` must equal what the caller expects.  Artifacts are trusted local
-files (pickle is not safe against adversarial bytes — the checksum detects
-corruption, not tampering).
+The v1 payload is the ``export_state()`` snapshot of the object serialised
+with :mod:`pickle` — loading deserialises the *entire* hierarchy up front,
+which at scale dominates process start-up and gives every co-located worker
+a private copy of every table.
+
+Format 2 (section table, mmap-able)::
+
+    REPRO-ARTIFACT v2\\n                      <- magic + format version
+    {header JSON}\\n                          <- kind, state version, metadata,
+                                                sections: {name: {offset,
+                                                length, sha256}}
+    <section bytes, concatenated>             <- offsets relative to payload
+
+The query-hot tables — node intern table, per-node pivot rows, per-(level,
+node) bunch rows — are fixed-width binary records (stdlib ``struct``; see
+:mod:`repro.routing.tables`) that the loader ``mmap``\\ s and reads by offset
+arithmetic: nothing is deserialised until a query touches it, first answers
+arrive after reading only the pages they need, and co-located workers
+serving the same artifact share the physical pages through the OS page
+cache instead of holding N private copies.  Construction-time state
+(per-level estimates, destination trees, skeleton structures) lives in
+separate pickled sections materialised lazily on first access.
+
+Every section carries its own SHA-256.  Opening a v2 artifact validates the
+header and section bounds (truncation and out-of-range offsets fail fast)
+and verifies the query-hot record tables' checksums — a sequential hash
+over the mapping, no deserialisation — so corrupt records can never answer
+queries; lazily-pickled sections are verified when they first materialise,
+and :func:`verify_artifact` checks every section of either format on
+demand (the CI smoke job and the corruption tests use it).  Artifacts are trusted
+local files (pickle is not safe against adversarial bytes — checksums
+detect corruption, not tampering).
+
+Per-shard **sub-artifacts** (:func:`write_shard_artifacts`) slice a format-2
+artifact by *source node*: shard ``w`` keeps the bunch rows (and the
+destination trees they can reach) only for sources with
+``stable_node_hash(source) % workers == w``, and drops the construction-time
+aux sections entirely.  A sharded front-end whose partitioner routes every
+query to its source's shard (``partitioner="hash_source"``) answers
+identically to full-artifact serving while each worker maps only its slice.
 """
 
 from __future__ import annotations
@@ -30,31 +63,55 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import mmap
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from functools import partial
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..congest.metrics import CongestMetrics
 from ..core.pde import PDEResult
-from ..routing.tz_hierarchy import CompactRoutingHierarchy
+from ..graphs.weighted_graph import WeightedGraph
+from ..routing.cluster_trees import TreeFamily
+from ..routing.tables import (
+    InternedBunchLevel,
+    InternedPivotView,
+    NodeInternTable,
+    OffsetRecordTable,
+    PivotRowBackend,
+    PivotRowTable,
+    RecordTableError,
+)
+from ..routing.tz_hierarchy import CompactRoutingHierarchy, LazyLevelData
+from .workloads import stable_node_hash
 
 __all__ = [
     "ArtifactError",
     "ArtifactInfo",
+    "ArtifactV2Reader",
     "FORMAT_VERSION",
+    "SUPPORTED_FORMATS",
     "KIND_HIERARCHY",
     "KIND_PDE",
     "write_artifact",
+    "write_artifact_v2",
     "read_artifact",
     "artifact_info",
+    "verify_artifact",
     "save_hierarchy",
     "load_hierarchy",
     "save_pde",
     "load_pde",
+    "write_shard_artifacts",
+    "shard_artifact_path",
 ]
 
 MAGIC = b"REPRO-ARTIFACT"
-FORMAT_VERSION = 1
+
+#: The default *writer* format; both listed formats stay loadable.
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, 2)
 
 KIND_HIERARCHY = "routing_hierarchy"
 KIND_PDE = "pde_result"
@@ -69,7 +126,14 @@ class ArtifactError(RuntimeError):
 
 @dataclass
 class ArtifactInfo:
-    """Parsed artifact header (everything except the payload)."""
+    """Parsed artifact header (everything except the payload).
+
+    For format-2 artifacts ``sections`` maps each section name to its
+    ``{"offset", "length", "sha256"}`` entry, ``payload_bytes`` is the total
+    section byte count, and ``payload_sha256`` is the SHA-256 over the
+    concatenated per-section digests (a stable content identity that can be
+    recomputed without hashing the payload twice).
+    """
 
     kind: str
     format_version: int
@@ -78,6 +142,7 @@ class ArtifactInfo:
     payload_sha256: str
     metadata: Dict[str, Any] = field(default_factory=dict)
     path: Optional[str] = None
+    sections: Optional[Dict[str, Dict[str, Any]]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -88,16 +153,71 @@ class ArtifactInfo:
             "payload_sha256": self.payload_sha256,
             "metadata": dict(self.metadata),
             "path": self.path,
+            "sections": (None if self.sections is None
+                         else {name: dict(entry)
+                               for name, entry in self.sections.items()}),
         }
 
 
 # ----------------------------------------------------------------------
-# generic read / write
+# header parsing (shared by both formats)
+# ----------------------------------------------------------------------
+def _parse_magic(magic_line: bytes, path: str) -> int:
+    if not magic_line.startswith(MAGIC):
+        raise ArtifactError(f"{path}: not a repro artifact (bad magic)")
+    suffix = magic_line[len(MAGIC):].strip()
+    version: Optional[int] = None
+    if suffix.startswith(b"v"):
+        try:
+            version = int(suffix[1:])
+        except ValueError:
+            version = None
+    if version not in SUPPORTED_FORMATS:
+        raise ArtifactError(
+            f"{path}: unsupported artifact format {magic_line!r} "
+            f"(this build reads versions {list(SUPPORTED_FORMATS)})")
+    return version
+
+
+def _read_header(fh: io.BufferedReader, path: str) -> ArtifactInfo:
+    version = _parse_magic(fh.readline(), path)
+    header_line = fh.readline()
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ArtifactError(f"{path}: corrupt artifact header: {exc}") from exc
+    try:
+        sections = None
+        if version >= 2:
+            sections = {name: dict(entry)
+                        for name, entry in header["sections"].items()}
+        return ArtifactInfo(
+            kind=header["kind"],
+            format_version=version,
+            state_version=header["state_version"],
+            payload_bytes=header["payload_bytes"],
+            payload_sha256=header["payload_sha256"],
+            metadata=dict(header.get("metadata", {})),
+            path=path,
+            sections=sections,
+        )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ArtifactError(f"{path}: artifact header is missing {exc}") from exc
+
+
+def artifact_info(path: str) -> ArtifactInfo:
+    """Read only the header of an artifact (cheap; payload is not touched)."""
+    with open(path, "rb") as fh:
+        return _read_header(fh, path)
+
+
+# ----------------------------------------------------------------------
+# format 1: monolithic pickled payload
 # ----------------------------------------------------------------------
 def write_artifact(path: str, kind: str, state: Dict[str, Any],
                    metadata: Optional[Dict[str, Any]] = None,
                    state_version: int = 1) -> ArtifactInfo:
-    """Write ``state`` (a builtin-only snapshot) as a versioned artifact.
+    """Write ``state`` (a builtin-only snapshot) as a format-1 artifact.
 
     Returns the :class:`ArtifactInfo` that was written.  The write goes
     through a temporary file in the same directory followed by an atomic
@@ -106,7 +226,7 @@ def write_artifact(path: str, kind: str, state: Dict[str, Any],
     payload = pickle.dumps(state, protocol=_PICKLE_PROTOCOL)
     info = ArtifactInfo(
         kind=kind,
-        format_version=FORMAT_VERSION,
+        format_version=1,
         state_version=state_version,
         payload_bytes=len(payload),
         payload_sha256=hashlib.sha256(payload).hexdigest(),
@@ -120,65 +240,30 @@ def write_artifact(path: str, kind: str, state: Dict[str, Any],
         "payload_sha256": info.payload_sha256,
         "metadata": info.metadata,
     }
-    tmp_path = f"{path}.tmp.{os.getpid()}"
-    try:
-        with open(tmp_path, "wb") as fh:
-            fh.write(MAGIC + b" v%d\n" % FORMAT_VERSION)
-            fh.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
-            fh.write(payload)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+    _atomic_write(path, b"".join([
+        MAGIC + b" v1\n",
+        json.dumps(header, sort_keys=True).encode("utf-8") + b"\n",
+        payload,
+    ]))
     return info
-
-
-def _read_header(fh: io.BufferedReader, path: str) -> ArtifactInfo:
-    magic_line = fh.readline()
-    expected = MAGIC + b" v%d\n" % FORMAT_VERSION
-    if not magic_line.startswith(MAGIC):
-        raise ArtifactError(f"{path}: not a repro artifact (bad magic)")
-    if magic_line != expected:
-        raise ArtifactError(
-            f"{path}: unsupported artifact format {magic_line!r} "
-            f"(this build reads {expected!r})")
-    header_line = fh.readline()
-    try:
-        header = json.loads(header_line.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ArtifactError(f"{path}: corrupt artifact header: {exc}") from exc
-    try:
-        return ArtifactInfo(
-            kind=header["kind"],
-            format_version=FORMAT_VERSION,
-            state_version=header["state_version"],
-            payload_bytes=header["payload_bytes"],
-            payload_sha256=header["payload_sha256"],
-            metadata=dict(header.get("metadata", {})),
-            path=path,
-        )
-    except KeyError as exc:
-        raise ArtifactError(f"{path}: artifact header is missing {exc}") from exc
-
-
-def artifact_info(path: str) -> ArtifactInfo:
-    """Read only the header of an artifact (cheap; payload is not touched)."""
-    with open(path, "rb") as fh:
-        return _read_header(fh, path)
 
 
 def read_artifact(path: str, expected_kind: Optional[str] = None
                   ) -> Tuple[Dict[str, Any], ArtifactInfo]:
-    """Read an artifact, verifying integrity; returns ``(state, info)``.
+    """Read a format-1 artifact, verifying integrity; returns ``(state, info)``.
 
     Raises :class:`ArtifactError` on bad magic, unsupported version, kind
-    mismatch, truncation, or checksum failure.
+    mismatch, truncation, or checksum failure.  Format-2 artifacts hold a
+    section table rather than one pickled state blob — read those through
+    :func:`load_hierarchy` / :func:`load_pde` or :class:`ArtifactV2Reader`.
     """
     with open(path, "rb") as fh:
         info = _read_header(fh, path)
+        if info.format_version != 1:
+            raise ArtifactError(
+                f"{path}: format-{info.format_version} artifact has no "
+                f"monolithic payload; use load_hierarchy/load_pde or "
+                f"ArtifactV2Reader instead of read_artifact")
         if expected_kind is not None and info.kind != expected_kind:
             raise ArtifactError(
                 f"{path}: artifact holds a {info.kind!r}, expected "
@@ -199,49 +284,650 @@ def read_artifact(path: str, expected_kind: Optional[str] = None
     return state, info
 
 
+def _atomic_write(path: str, blob: bytes) -> None:
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as fh:
+            fh.write(blob)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# format 2: offset-indexed section table
+# ----------------------------------------------------------------------
+def write_artifact_v2(path: str, kind: str, sections: Dict[str, bytes],
+                      metadata: Optional[Dict[str, Any]] = None,
+                      state_version: int = 1) -> ArtifactInfo:
+    """Write named byte sections as a format-2 artifact (atomically).
+
+    Section order is preserved; offsets are relative to the payload start
+    (the byte after the header line), so the header can be built before any
+    payload byte is written.
+    """
+    section_table: Dict[str, Dict[str, Any]] = {}
+    identity = hashlib.sha256()
+    offset = 0
+    for name, blob in sections.items():
+        digest = hashlib.sha256(blob).hexdigest()
+        section_table[name] = {"offset": offset, "length": len(blob),
+                               "sha256": digest}
+        identity.update(digest.encode("ascii"))
+        offset += len(blob)
+    info = ArtifactInfo(
+        kind=kind,
+        format_version=2,
+        state_version=state_version,
+        payload_bytes=offset,
+        payload_sha256=identity.hexdigest(),
+        metadata=dict(metadata or {}),
+        path=path,
+        sections=section_table,
+    )
+    header = {
+        "kind": info.kind,
+        "state_version": info.state_version,
+        "payload_bytes": info.payload_bytes,
+        "payload_sha256": info.payload_sha256,
+        "metadata": info.metadata,
+        "sections": section_table,
+    }
+    _atomic_write(path, b"".join(
+        [MAGIC + b" v2\n",
+         json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"]
+        + list(sections.values())))
+    return info
+
+
+class ArtifactV2Reader:
+    """mmap-backed reader for one format-2 artifact.
+
+    Opening validates the header and that every section lies within the
+    mapped payload (truncated files and out-of-range offsets raise
+    immediately).  Section *bytes* are then served as zero-copy memoryviews
+    over the mapping: :meth:`section_view` for the fixed-width record
+    tables that are read incrementally by the query path, and
+    :meth:`section_bytes` (checksum verified on first materialisation) for
+    sections that are decoded whole.  :meth:`verify` checks every
+    section's checksum.
+
+    The reader must outlive any views handed out; the lazy hierarchy keeps
+    a reference for exactly that reason.
+    """
+
+    def __init__(self, path: str, expected_kind: Optional[str] = None) -> None:
+        self.path = path
+        with open(path, "rb") as fh:
+            self.info = _read_header(fh, path)
+            if self.info.format_version != 2:
+                raise ArtifactError(
+                    f"{path}: expected a format-2 artifact, found format "
+                    f"{self.info.format_version}")
+            if expected_kind is not None and self.info.kind != expected_kind:
+                raise ArtifactError(
+                    f"{path}: artifact holds a {self.info.kind!r}, expected "
+                    f"{expected_kind!r}")
+            self._payload_start = fh.tell()
+            available = os.fstat(fh.fileno()).st_size - self._payload_start
+            if available < self.info.payload_bytes:
+                raise ArtifactError(
+                    f"{path}: truncated payload ({available} bytes, header "
+                    f"says {self.info.payload_bytes})")
+            for name, entry in self.info.sections.items():
+                offset, length = entry["offset"], entry["length"]
+                if (not isinstance(offset, int) or not isinstance(length, int)
+                        or offset < 0 or length < 0
+                        or offset + length > self.info.payload_bytes):
+                    raise ArtifactError(
+                        f"{path}: section {name!r} is out of bounds "
+                        f"(offset {offset}, length {length}, payload "
+                        f"{self.info.payload_bytes} bytes)")
+            self._mmap = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        self._view = memoryview(self._mmap)
+        self._verified: set = set()
+        self._closed = False
+
+    # -- sections -------------------------------------------------------
+    def section_names(self) -> Tuple[str, ...]:
+        return tuple(self.info.sections)
+
+    def has_section(self, name: str) -> bool:
+        return name in self.info.sections
+
+    def _entry(self, name: str) -> Dict[str, Any]:
+        try:
+            return self.info.sections[name]
+        except KeyError:
+            raise ArtifactError(
+                f"{self.path}: artifact has no section {name!r}; available: "
+                f"{', '.join(self.info.sections)}") from None
+
+    def section_view(self, name: str):
+        """Zero-copy view of a section (no checksum; used for the record
+        tables the query path reads incrementally — :func:`verify_artifact`
+        covers them on demand)."""
+        entry = self._entry(name)
+        start = self._payload_start + entry["offset"]
+        return self._view[start:start + entry["length"]]
+
+    def section_bytes(self, name: str):
+        """Section view with its checksum verified (once per section)."""
+        view = self.section_view(name)
+        if name not in self._verified:
+            self.verify_section(name)
+        return view
+
+    def verify_section(self, name: str) -> None:
+        entry = self._entry(name)
+        digest = hashlib.sha256(self.section_view(name)).hexdigest()
+        if digest != entry["sha256"]:
+            raise ArtifactError(
+                f"{self.path}: section {name!r} checksum mismatch "
+                f"({digest} != {entry['sha256']})")
+        self._verified.add(name)
+
+    def verify(self) -> ArtifactInfo:
+        """Verify every section's checksum; returns the header info."""
+        for name in self.info.sections:
+            self.verify_section(name)
+        return self.info
+
+    def load_pickle(self, name: str) -> Any:
+        try:
+            return pickle.loads(self.section_bytes(name))
+        except ArtifactError:
+            raise
+        except Exception as exc:
+            raise ArtifactError(
+                f"{self.path}: section {name!r} failed to deserialise: "
+                f"{exc}") from exc
+
+    def load_json(self, name: str) -> Any:
+        try:
+            return json.loads(bytes(self.section_bytes(name)).decode("utf-8"))
+        except ArtifactError:
+            raise
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactError(
+                f"{self.path}: section {name!r} is not valid JSON: "
+                f"{exc}") from exc
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._view.release()
+            try:
+                self._mmap.close()
+            except BufferError:
+                # A section view handed out earlier is still alive; the
+                # mapping is released when the last view is garbage
+                # collected instead.
+                pass
+
+
+def verify_artifact(path: str) -> ArtifactInfo:
+    """Full integrity check of either format; returns the header info.
+
+    Format 1: payload length + checksum.  Format 2: every section's bounds
+    and SHA-256.  Raises :class:`ArtifactError` on any mismatch.
+    """
+    info = artifact_info(path)
+    if info.format_version == 1:
+        with open(path, "rb") as fh:
+            _read_header(fh, path)
+            payload = fh.read()
+        if len(payload) != info.payload_bytes:
+            raise ArtifactError(
+                f"{path}: truncated payload ({len(payload)} bytes, header "
+                f"says {info.payload_bytes})")
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != info.payload_sha256:
+            raise ArtifactError(f"{path}: payload checksum mismatch "
+                                f"({digest} != {info.payload_sha256})")
+        return info
+    reader = ArtifactV2Reader(path)
+    try:
+        return reader.verify()
+    finally:
+        reader.close()
+
+
+# ----------------------------------------------------------------------
+# hierarchy <-> v2 sections
+# ----------------------------------------------------------------------
+def _dumps(state: Any) -> bytes:
+    return pickle.dumps(state, protocol=_PICKLE_PROTOCOL)
+
+
+def _hierarchy_meta(hierarchy: CompactRoutingHierarchy,
+                    num_nodes: int) -> Dict[str, Any]:
+    return {
+        "state_version": hierarchy.STATE_VERSION,
+        "k": hierarchy.k,
+        "epsilon": hierarchy.epsilon,
+        "mode": hierarchy.mode,
+        "l0": hierarchy.l0,
+        "num_nodes": num_nodes,
+        "level_meta": [
+            {"h": data.h, "sigma": data.sigma,
+             "skeleton_level": data.skeleton_level,
+             "overflow_count": data.overflow_count}
+            for data in hierarchy.level_data
+        ],
+        "build_params": dict(hierarchy.build_params),
+        "sub_artifact": None,
+    }
+
+
+def _hierarchy_sections(hierarchy: CompactRoutingHierarchy) -> Dict[str, bytes]:
+    """Encode a built hierarchy as the format-2 section family."""
+    graph_nodes = hierarchy.graph.nodes()
+    intern = NodeInternTable(graph_nodes)
+    index_of = intern.index_of
+    k = hierarchy.k
+    n = len(graph_nodes)
+
+    pivot_rows: List[List[Tuple[int, float]]] = []
+    for node in graph_nodes:
+        row = []
+        for level in range(1, k):
+            pivot = hierarchy.pivots[level][node]
+            dist = hierarchy.pivot_dists[level][node]
+            row.append((PivotRowTable.NO_PIVOT if pivot is None
+                        else index_of(pivot), float(dist)))
+        pivot_rows.append(row)
+
+    bunch_rows: List[Optional[List[Tuple[int, float]]]] = []
+    for level in range(k):
+        bunches = hierarchy.level_data[level].bunches
+        for node in graph_nodes:
+            row = bunches.get(node)
+            if row is None:
+                bunch_rows.append(None)
+            else:
+                bunch_rows.append([(index_of(s), float(est))
+                                   for s, est in row.items()])
+
+    sections: Dict[str, bytes] = {}
+    sections["meta"] = json.dumps(_hierarchy_meta(hierarchy, n),
+                                  sort_keys=True).encode("utf-8")
+    sections["nodes"] = intern.encode()
+    sections["pivots"] = PivotRowTable.encode(n, k - 1, pivot_rows)
+    sections["bunches"] = OffsetRecordTable.encode(bunch_rows)
+    sections["graph"] = _dumps(hierarchy.graph.export_state())
+    sections["levels"] = _dumps({
+        "levels": dict(hierarchy.levels),
+        "level_sets": [sorted(s, key=repr) for s in hierarchy.level_sets],
+    })
+    for level in range(k):
+        data = hierarchy.level_data[level]
+        sections[f"level_aux_{level}"] = _dumps({
+            "sources": sorted(data.sources, key=repr),
+            "estimates": {v: dict(row) for v, row in data.estimates.items()},
+            "next_pivot": dict(data.next_pivot),
+            "next_pivot_dist": dict(data.next_pivot_dist),
+        })
+        trees = data.trees
+        sections[f"level_trees_{level}"] = _dumps(
+            None if trees is None else trees.export_state())
+    sections["skeleton"] = _dumps({
+        "pde_skel": (hierarchy.pde_skel.export_state()
+                     if hierarchy.pde_skel is not None else None),
+        "skeleton_graph": (hierarchy.skeleton_graph.export_state()
+                           if hierarchy.skeleton_graph is not None else None),
+        "attach_trees": (hierarchy.attach_trees.export_state()
+                         if hierarchy.attach_trees is not None else None),
+        "skeleton_trees": {level: trees.export_state()
+                           for level, trees in hierarchy.skeleton_trees.items()},
+    })
+    sections["metrics"] = _dumps(hierarchy.metrics.export_state())
+    return sections
+
+
+class _LazyHierarchy(CompactRoutingHierarchy):
+    """A hierarchy whose heavy sections materialise on first access.
+
+    Bunches and pivot rows are mmap-backed mapping views (zero-copy; the
+    query hot path reads fixed-width records straight from the page
+    cache); per-level aux/tree sections and the skeleton-mode structures
+    unpickle lazily.  Query answers are identical to the eagerly-loaded
+    hierarchy — the views implement the exact mapping contract the query
+    code already uses.
+    """
+
+    _SKELETON_ATTRS = ("pde_skel", "skeleton_graph", "attach_trees",
+                       "skeleton_trees")
+
+    def __init__(self, reader: ArtifactV2Reader, **kwargs) -> None:
+        super().__init__(pde_skel=None, skeleton_graph=None, attach_trees=None,
+                         skeleton_trees={}, **kwargs)
+        # The skeleton attributes come back through __getattr__, which only
+        # fires for *missing* instance attributes — drop the placeholders.
+        for name in self._SKELETON_ATTRS:
+            del self.__dict__[name]
+        self._artifact_reader = reader
+
+    def __getattr__(self, name: str):
+        if name in type(self)._SKELETON_ATTRS:
+            self._materialise_skeleton()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def _materialise_skeleton(self) -> None:
+        state = self._artifact_reader.load_pickle("skeleton")
+        self.__dict__["pde_skel"] = (
+            PDEResult.from_state(state["pde_skel"])
+            if state["pde_skel"] is not None else None)
+        self.__dict__["skeleton_graph"] = (
+            WeightedGraph.from_state(state["skeleton_graph"])
+            if state["skeleton_graph"] is not None else None)
+        self.__dict__["attach_trees"] = (
+            TreeFamily.from_state(state["attach_trees"])
+            if state["attach_trees"] is not None else None)
+        self.__dict__["skeleton_trees"] = {
+            level: TreeFamily.from_state(tree_state)
+            for level, tree_state in state["skeleton_trees"].items()}
+
+
+def _load_level_aux(reader: ArtifactV2Reader, level: int) -> Dict[str, Any]:
+    name = f"level_aux_{level}"
+    if not reader.has_section(name):
+        raise ArtifactError(
+            f"{reader.path}: section {name!r} is not present — per-shard "
+            f"sub-artifacts drop construction-time aux sections; load the "
+            f"full artifact to export or report on this hierarchy")
+    state = reader.load_pickle(name)
+    return {
+        "sources": set(state["sources"]),
+        "estimates": {v: dict(row) for v, row in state["estimates"].items()},
+        "next_pivot": dict(state["next_pivot"]),
+        "next_pivot_dist": dict(state["next_pivot_dist"]),
+    }
+
+
+def _load_level_trees(reader: ArtifactV2Reader, level: int
+                      ) -> Optional[TreeFamily]:
+    state = reader.load_pickle(f"level_trees_{level}")
+    return None if state is None else TreeFamily.from_state(state)
+
+
+def _load_hierarchy_v2(path: str) -> Tuple[CompactRoutingHierarchy, ArtifactInfo]:
+    reader = ArtifactV2Reader(path, expected_kind=KIND_HIERARCHY)
+    try:
+        meta = reader.load_json("meta")
+        version = meta.get("state_version")
+        if version != CompactRoutingHierarchy.STATE_VERSION:
+            raise ArtifactError(
+                f"{path}: unsupported hierarchy state version {version!r} "
+                f"(expected {CompactRoutingHierarchy.STATE_VERSION})")
+        intern = NodeInternTable.decode(reader.section_bytes("nodes"))
+        # section_bytes (not section_view): the record tables are verified
+        # once at open — a sequential hash over the mapping, no
+        # deserialisation — so a flipped byte cannot silently answer
+        # queries; afterwards the views stay zero-copy.
+        pivot_table = PivotRowTable(reader.section_bytes("pivots"))
+        bunch_table = OffsetRecordTable(reader.section_bytes("bunches"))
+        k = meta["k"]
+        n = meta["num_nodes"]
+        if len(intern) != n:
+            raise ArtifactError(
+                f"{path}: intern table holds {len(intern)} nodes, meta "
+                f"says {n}")
+        if pivot_table.num_nodes != n or pivot_table.num_levels != k - 1:
+            raise ArtifactError(
+                f"{path}: pivot table shape {pivot_table.num_nodes}x"
+                f"{pivot_table.num_levels} does not match n={n}, k={k}")
+        if bunch_table.num_rows != k * n:
+            raise ArtifactError(
+                f"{path}: bunch table has {bunch_table.num_rows} rows, "
+                f"expected {k * n}")
+        graph = WeightedGraph.from_state(reader.load_pickle("graph"))
+        levels_state = reader.load_pickle("levels")
+        metrics = CongestMetrics.from_state(reader.load_pickle("metrics"))
+
+        level_data = [
+            LazyLevelData(
+                bunches=InternedBunchLevel(bunch_table, intern, level, n),
+                h=entry["h"],
+                sigma=entry["sigma"],
+                skeleton_level=entry["skeleton_level"],
+                overflow_count=entry["overflow_count"],
+                aux_loader=partial(_load_level_aux, reader, level),
+                trees_loader=partial(_load_level_trees, reader, level),
+            )
+            for level, entry in enumerate(meta["level_meta"])
+        ]
+        pivots = {level: InternedPivotView.pivots(pivot_table, intern, level - 1)
+                  for level in range(1, k)}
+        pivot_dists = {
+            level: InternedPivotView.distances(pivot_table, intern, level - 1)
+            for level in range(1, k)}
+
+        hierarchy = _LazyHierarchy(
+            reader,
+            graph=graph, k=k, epsilon=meta["epsilon"], mode=meta["mode"],
+            l0=meta["l0"], levels=dict(levels_state["levels"]),
+            level_sets=[set(s) for s in levels_state["level_sets"]],
+            level_data=level_data, pivots=pivots, pivot_dists=pivot_dists,
+            metrics=metrics)
+        hierarchy.build_params = dict(meta["build_params"])
+        hierarchy._pivot_backend = PivotRowBackend(pivot_table, intern)
+        return hierarchy, reader.info
+    except RecordTableError as exc:
+        reader.close()
+        raise ArtifactError(f"{path}: corrupt record table: {exc}") from exc
+    except (KeyError, TypeError, ValueError) as exc:
+        reader.close()
+        raise ArtifactError(f"{path}: invalid hierarchy sections: {exc}") from exc
+    except BaseException:
+        reader.close()
+        raise
+
+
 # ----------------------------------------------------------------------
 # typed entry points
 # ----------------------------------------------------------------------
 def save_hierarchy(hierarchy: CompactRoutingHierarchy, path: str,
-                   metadata: Optional[Dict[str, Any]] = None) -> ArtifactInfo:
+                   metadata: Optional[Dict[str, Any]] = None,
+                   format: int = FORMAT_VERSION) -> ArtifactInfo:
     """Persist a built compact-routing hierarchy.
 
-    Build parameters (k, epsilon, mode, l0, seed, engine, ...) are merged
-    into the header metadata so :func:`artifact_info` answers "what is this
-    file?" without deserialising the payload.
+    ``format=2`` (the default) writes the mmap-able section-table layout;
+    ``format=1`` writes the legacy monolithic pickle.  Build parameters
+    (k, epsilon, mode, l0, seed, engine, ...) are merged into the header
+    metadata either way, so :func:`artifact_info` answers "what is this
+    file?" without touching the payload.
     """
+    if format not in SUPPORTED_FORMATS:
+        raise ValueError(f"format must be one of {list(SUPPORTED_FORMATS)}, "
+                         f"got {format!r}")
     merged = {"n": hierarchy.graph.num_nodes, "m": hierarchy.graph.num_edges}
     merged.update(hierarchy.build_params)
     merged.update(metadata or {})
-    return write_artifact(path, KIND_HIERARCHY, hierarchy.export_state(),
-                          metadata=merged,
-                          state_version=hierarchy.STATE_VERSION)
+    if format == 1:
+        return write_artifact(path, KIND_HIERARCHY, hierarchy.export_state(),
+                              metadata=merged,
+                              state_version=hierarchy.STATE_VERSION)
+    return write_artifact_v2(path, KIND_HIERARCHY,
+                             _hierarchy_sections(hierarchy),
+                             metadata=merged,
+                             state_version=hierarchy.STATE_VERSION)
 
 
 def load_hierarchy(path: str) -> Tuple[CompactRoutingHierarchy, ArtifactInfo]:
-    """Load a hierarchy artifact; returns ``(hierarchy, info)``."""
-    state, info = read_artifact(path, expected_kind=KIND_HIERARCHY)
-    try:
-        hierarchy = CompactRoutingHierarchy.from_state(state)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ArtifactError(f"{path}: invalid hierarchy state: {exc}") from exc
-    return hierarchy, info
+    """Load a hierarchy artifact; returns ``(hierarchy, info)``.
+
+    Format is auto-detected: format-1 artifacts deserialise eagerly (the
+    legacy behaviour), format-2 artifacts come back as an mmap-backed lazy
+    hierarchy whose query answers are identical but whose tables page in
+    on demand.
+    """
+    info = artifact_info(path)
+    if info.format_version == 1:
+        state, info = read_artifact(path, expected_kind=KIND_HIERARCHY)
+        try:
+            hierarchy = CompactRoutingHierarchy.from_state(state)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactError(f"{path}: invalid hierarchy state: {exc}") from exc
+        return hierarchy, info
+    return _load_hierarchy_v2(path)
 
 
 def save_pde(pde: PDEResult, path: str,
-             metadata: Optional[Dict[str, Any]] = None) -> ArtifactInfo:
+             metadata: Optional[Dict[str, Any]] = None,
+             format: int = FORMAT_VERSION) -> ArtifactInfo:
     """Persist a PDE result (estimates, lists, next hops, accounting)."""
+    if format not in SUPPORTED_FORMATS:
+        raise ValueError(f"format must be one of {list(SUPPORTED_FORMATS)}, "
+                         f"got {format!r}")
     merged = {"sources": len(pde.sources), "h": pde.h, "sigma": pde.sigma,
               "epsilon": pde.epsilon}
     merged.update(metadata or {})
-    return write_artifact(path, KIND_PDE, pde.export_state(), metadata=merged)
+    if format == 1:
+        return write_artifact(path, KIND_PDE, pde.export_state(),
+                              metadata=merged)
+    meta = {"h": pde.h, "sigma": pde.sigma, "epsilon": pde.epsilon,
+            "sources": len(pde.sources)}
+    sections = {
+        "meta": json.dumps(meta, sort_keys=True).encode("utf-8"),
+        "state": _dumps(pde.export_state()),
+    }
+    return write_artifact_v2(path, KIND_PDE, sections, metadata=merged)
 
 
 def load_pde(path: str) -> Tuple[PDEResult, ArtifactInfo]:
-    """Load a PDE artifact; returns ``(pde, info)``."""
-    state, info = read_artifact(path, expected_kind=KIND_PDE)
+    """Load a PDE artifact (either format); returns ``(pde, info)``."""
+    info = artifact_info(path)
+    if info.format_version == 1:
+        state, info = read_artifact(path, expected_kind=KIND_PDE)
+    else:
+        reader = ArtifactV2Reader(path, expected_kind=KIND_PDE)
+        try:
+            state = reader.load_pickle("state")
+            info = reader.info
+        finally:
+            reader.close()
     try:
         pde = PDEResult.from_state(state)
     except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactError(f"{path}: invalid PDE state: {exc}") from exc
     return pde, info
+
+
+# ----------------------------------------------------------------------
+# per-shard sub-artifacts
+# ----------------------------------------------------------------------
+def shard_artifact_path(artifact_path: str, shard: int, workers: int) -> str:
+    """Canonical path of one shard's sub-artifact."""
+    return f"{artifact_path}.shard{shard}of{workers}"
+
+
+def write_shard_artifacts(artifact_path: str, num_workers: int,
+                          partitioner: str = "hash_source") -> List[str]:
+    """Materialise per-shard sub-artifacts of a format-2 hierarchy artifact.
+
+    Shard ``w`` owns the source nodes with ``stable_node_hash(node) %
+    num_workers == w`` (exactly the assignment of the ``hash_source``
+    partitioner, which is why it is the only supported ``partitioner``):
+    its sub-artifact keeps the full intern/pivot tables, graph and
+    skeleton sections (they are read per *target*, which can be any node),
+    slices the bunch table down to the owned sources' rows, keeps only the
+    destination trees those rows can select, and drops the
+    construction-time aux sections entirely.  A worker serving only
+    queries whose source it owns answers identically to full-artifact
+    serving while loading a fraction of the table bytes.
+
+    Returns the sub-artifact paths in shard order (written atomically,
+    overwriting earlier slices).
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if partitioner != "hash_source":
+        raise ValueError(
+            f"sub-artifact slicing is defined for the source-hash "
+            f"assignment only (partitioner='hash_source'), got "
+            f"{partitioner!r}")
+    info = artifact_info(artifact_path)
+    if info.format_version != 2:
+        raise ArtifactError(
+            f"{artifact_path}: sub-artifacts require a format-2 artifact; "
+            f"delete this file and rebuild it with artifact_format=2 (the "
+            f"default) — an existing artifact is served as-is regardless "
+            f"of the requested format, so changing the config alone does "
+            f"not rewrite it")
+    reader = ArtifactV2Reader(artifact_path, expected_kind=KIND_HIERARCHY)
+    try:
+        meta = reader.load_json("meta")
+        intern = NodeInternTable.decode(reader.section_bytes("nodes"))
+        # Copy the bunch section out of the mapping: the slicer reads every
+        # row anyway, and holding no view lets the reader close cleanly.
+        bunch_table = OffsetRecordTable(bytes(reader.section_bytes("bunches")))
+        k = meta["k"]
+        n = meta["num_nodes"]
+        nodes = intern.nodes()
+        owner = [stable_node_hash(node) % num_workers for node in nodes]
+
+        tree_states = [reader.load_pickle(f"level_trees_{level}")
+                       for level in range(k)]
+        copied = {name: bytes(reader.section_bytes(name))
+                  for name in ("nodes", "pivots", "graph", "levels",
+                               "skeleton", "metrics")}
+
+        paths: List[str] = []
+        for shard in range(num_workers):
+            bunch_rows: List[Optional[List[Tuple[int, float]]]] = []
+            keep_roots: List[set] = [set() for _ in range(k)]
+            for level in range(k):
+                base = level * n
+                for index in range(n):
+                    row_index = base + index
+                    if owner[index] == shard and bunch_table.has_row(row_index):
+                        items = bunch_table.row_items(row_index)
+                        bunch_rows.append(items)
+                        keep_roots[level].update(src for src, _ in items)
+                    else:
+                        bunch_rows.append(None)
+
+            provenance = {"shard": shard, "workers": num_workers,
+                          "partitioner": partitioner}
+            sub_meta = dict(meta)
+            sub_meta["sub_artifact"] = provenance
+
+            sections: Dict[str, bytes] = {}
+            sections["meta"] = json.dumps(sub_meta,
+                                          sort_keys=True).encode("utf-8")
+            sections["nodes"] = copied["nodes"]
+            sections["pivots"] = copied["pivots"]
+            sections["bunches"] = OffsetRecordTable.encode(bunch_rows)
+            sections["graph"] = copied["graph"]
+            sections["levels"] = copied["levels"]
+            for level in range(k):
+                state = tree_states[level]
+                if state is None:
+                    kept = None
+                else:
+                    roots = {intern.node_at(i) for i in keep_roots[level]}
+                    kept = [tree_state for tree_state in state
+                            if tree_state["root"] in roots]
+                sections[f"level_trees_{level}"] = _dumps(kept)
+                # level_aux_<level> deliberately absent: construction-time
+                # state a serving worker never reads.
+            sections["skeleton"] = copied["skeleton"]
+            sections["metrics"] = copied["metrics"]
+
+            out_path = shard_artifact_path(artifact_path, shard, num_workers)
+            metadata = dict(reader.info.metadata)
+            metadata["sub_artifact"] = provenance
+            write_artifact_v2(out_path, KIND_HIERARCHY, sections,
+                              metadata=metadata,
+                              state_version=reader.info.state_version)
+            paths.append(out_path)
+        return paths
+    finally:
+        reader.close()

@@ -38,6 +38,7 @@ from typing import (
 )
 
 from ..graphs.weighted_graph import WeightedGraph
+from .artifacts import write_shard_artifacts
 from .cache import ServingStats
 from .config import CacheConfig, ServingConfig
 from .service import RoutingService, build_or_load_service
@@ -110,7 +111,11 @@ def open_service(config: ServingConfig,
       artifact (required: workers load the hierarchy by path), building it
       first in the parent when missing.  The front-end is *not* started —
       enter its context (or call ``start()``) to spawn and warm the
-      workers; the first query batch also starts it lazily.
+      workers; the first query batch also starts it lazily.  With
+      ``config.sub_artifacts`` the parent additionally materialises (or
+      refreshes) per-shard sub-artifact slices and each worker loads only
+      its own — requires a format-2 artifact and a source-partitioning
+      strategy (``partitioner="hash_source"``).
 
     ``graph`` supplies the build-path graph (and the freshness check's
     expected size); when omitted, ``config.graph_spec`` is parsed instead.
@@ -164,10 +169,18 @@ def open_service(config: ServingConfig,
                          load_seconds=parent.stats.load_seconds,
                          artifact_bytes=parent.stats.artifact_bytes,
                          extra=dict(parent.stats.extra))
+    sub_paths = None
+    if config.sub_artifacts:
+        # Re-slice on every open: slicing is cheap next to the build, and a
+        # stale slice of a rebuilt artifact would silently serve old tables.
+        sub_paths = write_shard_artifacts(config.artifact_path,
+                                          config.workers,
+                                          partitioner=config.partitioner)
     return ShardedRoutingService(
         config.artifact_path, num_workers=config.workers,
         partitioner=config.partitioner,
         partitioner_params=config.partitioner_params,
-        cache_config=config.cache, start_method=config.start_method,
+        cache_config=config.cache,
+        sub_artifact_paths=sub_paths, start_method=config.start_method,
         warm_timeout=config.warm_timeout, reply_timeout=config.reply_timeout,
         graph=graph, stats=stats)

@@ -10,10 +10,14 @@ the hierarchy:
 * :class:`LRUCache` — a bounded least-recently-used result cache (capacity
   0 disables caching entirely, which the benchmarks use as the cold
   baseline);
+* :class:`LFUCache` — a frequency-aware alternative (evict the least
+  *frequently* used entry, ties broken least-recently), registered as the
+  ``"lfu"`` cache policy: under stable skew it keeps the perennially hot
+  pairs resident even when a burst of one-off queries would cycle an LRU;
 * :class:`ServingStats` — the counters a service operator watches: query
   volumes, cache hit/miss split, hot-pair hits, build/load latencies.
 
-Both are deliberately dependency-free (``collections.OrderedDict`` only).
+All are deliberately dependency-free (``collections.OrderedDict`` only).
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from typing import Any, Dict, Hashable, Iterable, Optional
 
 from .registry import register_cache_policy
 
-__all__ = ["LRUCache", "ServingStats"]
+__all__ = ["LRUCache", "LFUCache", "ServingStats"]
 
 
 def _sum_additive(values):
@@ -132,6 +136,131 @@ class LRUCache:
 register_cache_policy("lru", LRUCache)
 
 
+class LFUCache:
+    """A least-frequently-used cache with a fixed capacity.
+
+    Same contract as :class:`LRUCache` (so it is registry-compatible), but
+    eviction removes the entry with the *lowest access frequency*, ties
+    broken by least-recent use within that frequency.  Every :meth:`get`
+    hit and :meth:`put` refresh counts as one access.  The classic
+    frequency-bucket construction keeps all operations O(1): entries live
+    in per-frequency ``OrderedDict`` buckets and ``_min_freq`` tracks the
+    lowest populated bucket.
+
+    Compared to LRU this trades recency for durability: a stream of
+    one-off pairs cannot flush the perennially hot working set, which is
+    exactly the failure mode of bursty workloads over a Zipf base.  The
+    cost is slower adaptation when the hot set genuinely drifts (a
+    long-lived entry's frequency head start must be outlived).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._values: Dict[Hashable, Any] = {}
+        self._freq: Dict[Hashable, int] = {}
+        self._buckets: Dict[int, "OrderedDict[Hashable, None]"] = {}
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership test without touching frequency or hit/miss counters."""
+        return key in self._values
+
+    def _bump(self, key: Hashable) -> None:
+        freq = self._freq[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets.setdefault(freq + 1, OrderedDict())[key] = None
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (counting one access) or ``default``."""
+        if key in self._values:
+            self._bump(key)
+            self.hits += 1
+            return self._values[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the LFU entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._values:
+            self._values[key] = value
+            self._bump(key)
+            return
+        if len(self._values) >= self.capacity:
+            bucket = self._buckets[self._min_freq]
+            victim, _ = bucket.popitem(last=False)
+            if not bucket:
+                del self._buckets[self._min_freq]
+            del self._values[victim]
+            del self._freq[victim]
+            self.evictions += 1
+        self._values[key] = value
+        self._freq[key] = 1
+        self._buckets.setdefault(1, OrderedDict())[key] = None
+        self._min_freq = 1
+
+    def discard(self, key: Hashable) -> bool:
+        """Remove ``key`` if present, without touching counters.
+
+        Same contract as :meth:`LRUCache.discard` (hot-pair pinning moves a
+        result outside the eviction domain).
+        """
+        if key not in self._values:
+            return False
+        freq = self._freq.pop(key)
+        del self._values[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq and self._freq:
+                self._min_freq = min(self._buckets)
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; use :meth:`reset` for those)."""
+        self._values.clear()
+        self._freq.clear()
+        self._buckets.clear()
+        self._min_freq = 0
+
+    def reset(self) -> None:
+        """Drop all entries and zero the counters."""
+        self.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"LFUCache(capacity={self.capacity}, size={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+# The frequency-aware alternative, selectable with --cache-policy lfu (or
+# CacheConfig(policy="lfu")) through the cache-policy registry.
+register_cache_policy("lfu", LFUCache)
+
+
 @dataclass
 class ServingStats:
     """Operational counters for one :class:`~repro.serving.service.RoutingService`.
@@ -160,8 +289,11 @@ class ServingStats:
     #: ``extra`` keys that are per-worker additive counters: :meth:`merge`
     #: sums them (scalars, or dict-of-scalars per sub-key) instead of
     #: dropping them when workers disagree — an operator watching a sharded
-    #: service still sees, e.g., the total online hot-set promotions.
-    ADDITIVE_EXTRAS = ("hot_promotions", "hot_pairs")
+    #: service still sees, e.g., the total online hot-set promotions, and
+    #: the total table bytes resident across workers (which is what
+    #: sub-artifact slicing shrinks).
+    ADDITIVE_EXTRAS = ("hot_promotions", "hot_demotions", "hot_pairs",
+                       "loaded_table_bytes")
 
     queries: int = 0
     route_queries: int = 0

@@ -72,6 +72,10 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "hot_set": "cache.hot_set",
     "hot_threshold": "cache.hot_threshold",
     "hot_capacity": "cache.hot_capacity",
+    "hot_decay_window": "cache.hot_decay_window",
+    "hot_decay_threshold": "cache.hot_decay_threshold",
+    "artifact_format": "build.artifact_format",
+    "sub_artifacts": "sub_artifacts",
     "workers": "workers",
     "partitioner": "partitioner",
     "json": None,       # output format, not serving behaviour
@@ -151,12 +155,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hot-capacity", type=int, default=256,
                         help="max online promotions per query kind "
                              "(--hot-set online)")
+    parser.add_argument("--hot-decay-window", type=int, default=0,
+                        help="hit events per decay sweep; promoted pairs "
+                             "whose windowed hot hits fall below "
+                             "--hot-decay-threshold are unpinned "
+                             "(--hot-set online; 0 disables decay)")
+    parser.add_argument("--hot-decay-threshold", type=int, default=1,
+                        help="windowed hot-hit count a promoted pair needs "
+                             "to stay pinned (--hot-decay-window > 0)")
+    parser.add_argument("--artifact-format", type=int, default=2,
+                        choices=[1, 2],
+                        help="on-disk layout written on the build path: "
+                             "2 = mmap-able section table (default), "
+                             "1 = legacy monolithic pickle")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes; >1 serves through a sharded "
                              "front-end (requires --artifact)")
-    parser.add_argument("--partitioner", default="round_robin",
+    parser.add_argument("--partitioner", default=None,
                         choices=list(PARTITIONERS.names()),
-                        help="shard partition strategy (--workers > 1 only)")
+                        help="shard partition strategy (--workers > 1 only; "
+                             "default round_robin, or hash_source when "
+                             "--sub-artifacts is set)")
+    parser.add_argument("--sub-artifacts", action="store_true",
+                        help="slice the artifact into per-shard "
+                             "sub-artifacts so each worker loads only its "
+                             "partition's tables (--workers > 1, format-2 "
+                             "artifact, source partitioning)")
     parser.add_argument("--json", action="store_true",
                         help="emit the result record as JSON on stdout")
     return parser
@@ -196,23 +220,45 @@ def config_from_args(args: argparse.Namespace,
     if args.hot > 0 and args.hot_set != "none":
         parser.error("--hot (explicit pinning) and --hot-set are mutually "
                      "exclusive")
+    if args.hot_decay_window > 0 and args.hot_set != "online":
+        parser.error("--hot-decay-window applies to --hot-set online only "
+                     "(decay demotes online promotions)")
+
+    if args.sub_artifacts:
+        if args.workers <= 1:
+            parser.error("--sub-artifacts requires --workers > 1 "
+                         "(slicing exists to shrink per-worker tables)")
+        if args.artifact_format != 2:
+            parser.error("--sub-artifacts requires --artifact-format 2 "
+                         "(slices are section subsets)")
+        if args.partitioner not in (None, "hash_source"):
+            parser.error("--sub-artifacts requires source partitioning "
+                         "(--partitioner hash_source): workers only hold "
+                         "their own sources' tables")
+    partitioner = args.partitioner
+    if partitioner is None:
+        partitioner = "hash_source" if args.sub_artifacts else "round_robin"
 
     try:
         return ServingConfig(
             artifact_path=args.artifact,
             graph_spec=args.graph,
             workers=args.workers,
-            partitioner=args.partitioner,
+            partitioner=partitioner,
+            sub_artifacts=args.sub_artifacts,
             batch_size=args.batch_size,
             kind=args.kind,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
-                              mode=args.mode, engine=args.engine),
+                              mode=args.mode, engine=args.engine,
+                              artifact_format=args.artifact_format),
             cache=CacheConfig(policy=args.cache_policy,
                               capacity=args.cache_size,
                               hot_set=args.hot_set,
                               hot_kind=args.kind,
                               hot_threshold=args.hot_threshold,
-                              hot_capacity=args.hot_capacity),
+                              hot_capacity=args.hot_capacity,
+                              hot_decay_window=args.hot_decay_window,
+                              hot_decay_threshold=args.hot_decay_threshold),
             workload=WorkloadConfig(name=args.workload,
                                     num_queries=args.queries,
                                     params=workload_params),

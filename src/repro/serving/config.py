@@ -63,7 +63,12 @@ class BuildConfig:
     against an existing artifact's header: requesting a build with a config
     that differs from what an artifact was built with raises
     :class:`~repro.serving.artifacts.ArtifactError` instead of silently
-    serving stale answers.
+    serving stale answers.  ``artifact_format`` selects the on-disk layout
+    written on the build path (2 = mmap-able section table, the default;
+    1 = legacy monolithic pickle) — it is a storage detail, not a build
+    parameter, so it does *not* participate in the freshness check: an
+    existing artifact of either format with matching build parameters is
+    served as-is.
     """
 
     k: int = 3
@@ -71,12 +76,16 @@ class BuildConfig:
     seed: int = 0
     mode: str = "auto"
     engine: str = "batched"
+    artifact_format: int = 2
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ValueError(f"k must be >= 1, got {self.k}")
         if self.epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.artifact_format not in (1, 2):
+            raise ValueError(f"artifact_format must be 1 or 2, "
+                             f"got {self.artifact_format!r}")
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -102,6 +111,13 @@ class CacheConfig:
     * ``"online"``   — promote a pair into the hot store once its LRU hit
       count reaches ``hot_threshold``, up to ``hot_capacity`` promotions
       per query kind.
+
+    ``hot_decay_window`` enables demotion for the online policy: every
+    ``hot_decay_window`` observed hits, promoted pairs whose hit count
+    within the window stayed below ``hot_decay_threshold`` are unpinned
+    (their result returns to the LRU domain), so bursty or drifting
+    streams do not strand cold pairs in the pinned set.  ``0`` (the
+    default) disables decay.
     """
 
     policy: str = "lru"
@@ -111,6 +127,8 @@ class CacheConfig:
     hot_pairs: Tuple[_Pair, ...] = ()
     hot_threshold: int = 8
     hot_capacity: int = 256
+    hot_decay_window: int = 0
+    hot_decay_threshold: int = 1
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
@@ -124,6 +142,12 @@ class CacheConfig:
         if self.hot_capacity < 0:
             raise ValueError(f"hot_capacity must be >= 0, "
                              f"got {self.hot_capacity}")
+        if self.hot_decay_window < 0:
+            raise ValueError(f"hot_decay_window must be >= 0, "
+                             f"got {self.hot_decay_window}")
+        if self.hot_decay_threshold < 1:
+            raise ValueError(f"hot_decay_threshold must be >= 1, "
+                             f"got {self.hot_decay_threshold}")
         # Normalise pair containers so config equality (and the from_dict
         # round-trip, which travels through JSON lists) is structural.
         object.__setattr__(self, "hot_pairs",
@@ -188,6 +212,11 @@ class ServingConfig:
     ``workers == 1`` serves locally (a :class:`RoutingService`);
     ``workers > 1`` serves through the multi-process sharded front-end and
     requires ``artifact_path`` (workers load the hierarchy by path).
+    ``sub_artifacts`` additionally materialises per-shard sub-artifacts
+    (format-2 slices holding only each shard's bunch rows and reachable
+    trees) so every worker maps only its partition's tables; it requires a
+    source-partitioning strategy (``partitioner="hash_source"``), since the
+    slices are only complete for queries routed to their source's shard.
     ``graph_spec`` is an optional ``name:key=value,...`` generator spec (see
     :func:`~repro.serving.specs.parse_graph_spec`) used when no in-memory
     graph is passed to :func:`~repro.serving.backend.open_service`.
@@ -199,6 +228,7 @@ class ServingConfig:
     workers: int = 1
     partitioner: str = "round_robin"
     partitioner_params: Dict[str, Any] = field(default_factory=dict)
+    sub_artifacts: bool = False
     batch_size: int = 64
     kind: str = "route"
     start_method: Optional[str] = None
@@ -211,6 +241,9 @@ class ServingConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.sub_artifacts and self.workers < 2:
+            raise ValueError("sub_artifacts=True requires workers > 1 "
+                             "(slicing exists to shrink per-worker tables)")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, "
                              f"got {self.batch_size}")
@@ -233,6 +266,7 @@ class ServingConfig:
             "workers": self.workers,
             "partitioner": self.partitioner,
             "partitioner_params": dict(self.partitioner_params),
+            "sub_artifacts": self.sub_artifacts,
             "batch_size": self.batch_size,
             "kind": self.kind,
             "start_method": self.start_method,

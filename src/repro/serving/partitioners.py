@@ -39,6 +39,7 @@ __all__ = [
     "Partitioner",
     "RoundRobinPartitioner",
     "HashPairPartitioner",
+    "HashSourcePartitioner",
     "AdaptivePartitioner",
     "make_partitioner",
 ]
@@ -60,6 +61,11 @@ class Partitioner:
     wants_feedback = False
     #: How often (in scatter batches) feedback is delivered, when wanted.
     feedback_every = 1
+    #: Whether every query is routed to a shard determined by its *source*
+    #: node alone (and never migrated).  Per-shard sub-artifacts slice
+    #: their tables by source, so the sharded front-end requires a
+    #: source-partitioning strategy before it will serve from slices.
+    partitions_by_source = False
 
     def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
@@ -92,6 +98,25 @@ class HashPairPartitioner(Partitioner):
 
     def partition(self, pairs: Sequence[_Pair]) -> _Shards:
         return partition_pairs(pairs, self.num_shards, strategy="hash_pair")
+
+
+class HashSourcePartitioner(Partitioner):
+    """Shard by a stable hash of the query's *source* node.
+
+    The shard of ``(s, t)`` depends on ``s`` alone, using the same
+    :func:`~repro.serving.workloads.stable_node_hash` assignment that
+    :func:`~repro.serving.artifacts.write_shard_artifacts` slices bunch
+    tables by — so a worker holding only its shard's sub-artifact is
+    never handed a query whose source rows it lacks.  Like ``hash_pair``,
+    every occurrence of a pair lands on one shard (a source's repeats warm
+    exactly one cache).
+    """
+
+    name = "hash_source"
+    partitions_by_source = True
+
+    def partition(self, pairs: Sequence[_Pair]) -> _Shards:
+        return partition_pairs(pairs, self.num_shards, strategy="hash_source")
 
 
 class AdaptivePartitioner(Partitioner):
@@ -202,6 +227,7 @@ class AdaptivePartitioner(Partitioner):
 
 register_partitioner("round_robin", RoundRobinPartitioner)
 register_partitioner("hash_pair", HashPairPartitioner)
+register_partitioner("hash_source", HashSourcePartitioner)
 register_partitioner("adaptive", AdaptivePartitioner)
 
 

@@ -52,7 +52,7 @@ _Pair = Tuple[Hashable, Hashable]
 
 
 class HotSetPolicy:
-    """Base hot-set policy: both hooks are no-ops."""
+    """Base hot-set policy: all hooks are no-ops."""
 
     name = "none"
 
@@ -63,6 +63,13 @@ class HotSetPolicy:
                      kind: str, value) -> None:
         """Called after every LRU result-cache hit (``kind`` is ``"route"``
         or ``"distance"``; ``value`` is the cached result that answered)."""
+
+    def on_hot_hit(self, service: "RoutingService", key: _Pair,
+                   kind: str) -> None:
+        """Called after every *hot-store* hit.  Promotion policies ignore
+        this (the pair is already promoted); decaying policies use it to
+        keep windowed hit counts for pinned pairs, so demotion can tell a
+        still-hot pair from one the stream has moved past."""
 
     def describe(self) -> Dict[str, object]:
         """Provenance extras folded into the service stats."""
@@ -100,28 +107,54 @@ class OnlineHotSet(HotSetPolicy):
 
     Counters only exist for pairs that repeat while cached, so the tracking
     dict is bounded by the distinct-pair reuse set, and a promoted pair
-    stops counting entirely (its hits move to the hot store).
+    stops counting entirely (its hits move to the hot store, where
+    :meth:`on_hot_hit` keeps a *windowed* count when decay is on).
+
+    **Decay / demotion** (``decay_window > 0``): promotion is a bet that a
+    pair's burst of repeats will continue; bursty and drifting streams
+    break that bet, stranding cold pairs in the pinned set — pinned slots
+    that block new promotions once ``capacity`` is reached.  With decay,
+    every ``decay_window`` observed hit events (LRU and hot combined) the
+    policy sweeps its promoted pairs and *unpins* any whose hot-store hits
+    within the window stayed below ``decay_threshold``
+    (:meth:`~repro.serving.service.RoutingService.unpin_hot_result`
+    returns the value to the LRU domain, so nothing is recomputed if the
+    pair warms back up).  Demotion frees promotion capacity, so the pinned
+    set tracks the stream instead of fossilising its first bursts.
     """
 
     name = "online"
 
-    def __init__(self, threshold: int = 8, capacity: int = 256) -> None:
+    def __init__(self, threshold: int = 8, capacity: int = 256,
+                 decay_window: int = 0, decay_threshold: int = 1) -> None:
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if decay_window < 0:
+            raise ValueError(f"decay_window must be >= 0, got {decay_window}")
+        if decay_threshold < 1:
+            raise ValueError(f"decay_threshold must be >= 1, "
+                             f"got {decay_threshold}")
         self.threshold = threshold
         self.capacity = capacity
+        self.decay_window = decay_window
+        self.decay_threshold = decay_threshold
+        self.demotions = 0
+        #: Cumulative promotions (reported); distinct from the *current*
+        #: pinned counts below, which demotion decrements to free capacity.
+        self.promotions = 0
         self._hit_counts: Dict[Tuple[str, _Pair], int] = {}
-        self._promoted: Dict[str, int] = {"route": 0, "distance": 0}
-
-    @property
-    def promotions(self) -> int:
-        return sum(self._promoted.values())
+        self._pinned_counts: Dict[str, int] = {"route": 0, "distance": 0}
+        #: Windowed hot-store hit counts for pairs *this policy* pinned
+        #: (manually pinned pairs are not the policy's to demote).
+        self._pinned_window: Dict[Tuple[str, _Pair], int] = {}
+        self._window_events = 0
 
     def on_cache_hit(self, service: "RoutingService", key: _Pair,
                      kind: str, value) -> None:
-        if self._promoted[kind] >= self.capacity:
+        self._decay_tick(service)
+        if self._pinned_counts[kind] >= self.capacity:
             return
         counter_key = (kind, key)
         count = self._hit_counts.get(counter_key, 0) + 1
@@ -130,13 +163,44 @@ class OnlineHotSet(HotSetPolicy):
             return
         self._hit_counts.pop(counter_key, None)
         service.pin_hot_result(key, kind, value)
-        self._promoted[kind] += 1
+        self._pinned_counts[kind] += 1
+        self.promotions += 1
+        self._pinned_window[counter_key] = 0
         service.stats.extra["hot_promotions"] = self.promotions
 
+    def on_hot_hit(self, service: "RoutingService", key: _Pair,
+                   kind: str) -> None:
+        counter_key = (kind, key)
+        if counter_key in self._pinned_window:
+            self._pinned_window[counter_key] += 1
+        self._decay_tick(service)
+
+    def _decay_tick(self, service: "RoutingService") -> None:
+        if self.decay_window <= 0:
+            return
+        self._window_events += 1
+        if self._window_events < self.decay_window:
+            return
+        self._window_events = 0
+        for counter_key, window_hits in list(self._pinned_window.items()):
+            kind, key = counter_key
+            if window_hits < self.decay_threshold:
+                if service.unpin_hot_result(key, kind):
+                    self.demotions += 1
+                del self._pinned_window[counter_key]
+                self._pinned_counts[kind] -= 1
+            else:
+                self._pinned_window[counter_key] = 0
+        service.stats.extra["hot_demotions"] = self.demotions
+
     def describe(self) -> Dict[str, object]:
-        return {"hot_set": self.name,
-                "hot_set_threshold": self.threshold,
-                "hot_set_capacity": self.capacity}
+        extras = {"hot_set": self.name,
+                  "hot_set_threshold": self.threshold,
+                  "hot_set_capacity": self.capacity}
+        if self.decay_window > 0:
+            extras["hot_set_decay_window"] = self.decay_window
+            extras["hot_set_decay_threshold"] = self.decay_threshold
+        return extras
 
 
 # ----------------------------------------------------------------------
@@ -149,8 +213,11 @@ register_hot_set_policy(
                                         kind=cache_config.hot_kind))
 register_hot_set_policy(
     "online",
-    lambda cache_config: OnlineHotSet(threshold=cache_config.hot_threshold,
-                                      capacity=cache_config.hot_capacity))
+    lambda cache_config: OnlineHotSet(
+        threshold=cache_config.hot_threshold,
+        capacity=cache_config.hot_capacity,
+        decay_window=cache_config.hot_decay_window,
+        decay_threshold=cache_config.hot_decay_threshold))
 
 
 def make_hot_set_policy(cache_config: CacheConfig

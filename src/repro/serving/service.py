@@ -96,6 +96,7 @@ class RoutingService:
         self.stats.extra.setdefault("n", hierarchy.graph.num_nodes)
         self.stats.extra.setdefault("k", hierarchy.k)
         self.stats.extra.setdefault("mode", hierarchy.mode)
+        self.stats.extra.setdefault("cache_policy", cache_config.policy)
         policy = make_hot_set_policy(cache_config)
         if policy is not None:
             self.install_hot_set(policy)
@@ -121,13 +122,27 @@ class RoutingService:
     @classmethod
     def load(cls, path: str, cache_size: int = 4096,
              cache_config: Optional[CacheConfig] = None) -> "RoutingService":
-        """Load a persisted hierarchy artifact and serve from it."""
+        """Load a persisted hierarchy artifact and serve from it.
+
+        The artifact format decides the load path: format 1 unpickles the
+        whole hierarchy eagerly; format 2 maps the file and pages tables
+        lazily.  Both are recorded in the stats extras
+        (``artifact_format`` / ``artifact_load`` / ``loaded_table_bytes``)
+        so ``repro-serve --json`` reports how this service got its tables.
+        """
         stats = ServingStats()
         start = time.perf_counter()
         hierarchy, info = load_hierarchy(path)
         stats.load_seconds = time.perf_counter() - start
         stats.artifact_bytes = info.payload_bytes
         stats.extra["artifact_path"] = path
+        stats.extra["artifact_format"] = info.format_version
+        stats.extra["artifact_load"] = ("mmap" if info.format_version >= 2
+                                        else "pickle")
+        stats.extra["loaded_table_bytes"] = info.payload_bytes
+        sub = info.metadata.get("sub_artifact")
+        if sub is not None:
+            stats.extra["sub_artifact_shard"] = sub.get("shard")
         return cls(hierarchy, cache_size=cache_size, stats=stats,
                    cache_config=cache_config)
 
@@ -155,10 +170,12 @@ class RoutingService:
                               engine=engine),
             cache=CacheConfig(capacity=cache_size), save=save, **build_kwargs)
 
-    def save(self, path: str, metadata: Optional[Dict[str, object]] = None
-             ) -> ArtifactInfo:
-        """Persist the underlying hierarchy as a versioned artifact."""
-        return save_hierarchy(self.hierarchy, path, metadata=metadata)
+    def save(self, path: str, metadata: Optional[Dict[str, object]] = None,
+             format: int = 2) -> ArtifactInfo:
+        """Persist the underlying hierarchy as a versioned artifact
+        (``format=2`` — the mmap-able section table — by default)."""
+        return save_hierarchy(self.hierarchy, path, metadata=metadata,
+                              format=format)
 
     # ==================================================================
     # single queries
@@ -177,6 +194,8 @@ class RoutingService:
         hot = self._hot_distances.get(key, _MISS)
         if hot is not _MISS:
             self.stats.hot_hits += 1
+            if self._hot_policy is not None:
+                self._hot_policy.on_hot_hit(self, key, "distance")
             return hot
         cached = self.distance_cache.get(key, _MISS)
         if cached is not _MISS:
@@ -205,6 +224,8 @@ class RoutingService:
         hot = self._hot_routes.get(key, _MISS)
         if hot is not _MISS:
             self.stats.hot_hits += 1
+            if self._hot_policy is not None:
+                self._hot_policy.on_hot_hit(self, key, "route")
             return hot
         cached = self.route_cache.get(key, _MISS)
         if cached is not _MISS:
@@ -244,6 +265,8 @@ class RoutingService:
             hot = self._hot_distances.get(key, _MISS)
             if hot is not _MISS:
                 self.stats.hot_hits += 1
+                if self._hot_policy is not None:
+                    self._hot_policy.on_hot_hit(self, key, "distance")
                 resolved[key] = hot
                 continue
             cached = self.distance_cache.get(key, _MISS)
@@ -359,6 +382,29 @@ class RoutingService:
             raise ValueError(f"kind must be route or distance, got {kind!r}")
         self.stats.extra["hot_pairs"] = {"route": len(self._hot_routes),
                                          "distance": len(self._hot_distances)}
+
+    def unpin_hot_result(self, key: _Pair, kind: str) -> bool:
+        """Demote a pinned result back into the LRU eviction domain.
+
+        The inverse of :meth:`pin_hot_result`, used by decaying hot-set
+        policies: the value is removed from the hot store and *re-inserted*
+        into the corresponding result cache, so a demoted pair that comes
+        back is still answered without recomputation (it just competes for
+        cache residency again).  Returns whether a pin was removed.
+        """
+        if kind == "route":
+            store, cache = self._hot_routes, self.route_cache
+        elif kind == "distance":
+            store, cache = self._hot_distances, self.distance_cache
+        else:
+            raise ValueError(f"kind must be route or distance, got {kind!r}")
+        value = store.pop(key, _MISS)
+        if value is _MISS:
+            return False
+        cache.put(key, value)
+        self.stats.extra["hot_pairs"] = {"route": len(self._hot_routes),
+                                         "distance": len(self._hot_distances)}
+        return True
 
     def clear_cache(self, include_hot: bool = False,
                     include_hierarchy: bool = False) -> None:
@@ -481,9 +527,12 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
         mode=build.mode, engine=build.engine, cache_config=cache,
         **build_kwargs)
     if save:
-        info = service.save(path, metadata=metadata)
+        info = service.save(path, metadata=metadata,
+                            format=build.artifact_format)
         service.stats.artifact_bytes = info.payload_bytes
         service.stats.extra["artifact_path"] = path
+        service.stats.extra["artifact_format"] = info.format_version
+        service.stats.extra["artifact_load"] = "built"
     return service
 
 

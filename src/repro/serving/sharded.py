@@ -162,6 +162,16 @@ class ShardedRoutingService:
     cache_config:
         Full per-worker cache behaviour (policy, capacity, hot-set policy)
         as a :class:`~repro.serving.config.CacheConfig`.
+    sub_artifact_paths:
+        Optional per-shard sub-artifact paths (one per worker, shard
+        order — see
+        :func:`~repro.serving.artifacts.write_shard_artifacts`): worker
+        ``w`` loads ``sub_artifact_paths[w]`` instead of the shared
+        artifact, holding only its partition's tables.  Requires a
+        partitioner that routes every query to its source's shard
+        (``partitions_by_source``, e.g. ``"hash_source"``) — the slices
+        are only complete for those queries, and the identity invariant
+        would otherwise break.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
     graph:
@@ -177,6 +187,7 @@ class ShardedRoutingService:
                  partitioner: str = "round_robin", cache_size: int = 4096,
                  cache_config: Optional[CacheConfig] = None,
                  partitioner_params: Optional[Dict[str, object]] = None,
+                 sub_artifact_paths: Optional[Sequence[str]] = None,
                  start_method: Optional[str] = None,
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
@@ -191,6 +202,20 @@ class ShardedRoutingService:
             raise FileNotFoundError(
                 f"artifact {artifact_path!r} does not exist; build it first "
                 f"(e.g. via repro.serving.open_service)")
+        if sub_artifact_paths is not None:
+            sub_artifact_paths = list(sub_artifact_paths)
+            if len(sub_artifact_paths) != num_workers:
+                raise ValueError(
+                    f"got {len(sub_artifact_paths)} sub-artifact paths for "
+                    f"{num_workers} workers (need exactly one per worker, "
+                    f"in shard order)")
+            if not getattr(self._partitioner, "partitions_by_source", False):
+                raise ValueError(
+                    f"sub-artifacts slice tables by source node, so the "
+                    f"partitioner must route every query to its source's "
+                    f"shard (partitions_by_source, e.g. 'hash_source'); "
+                    f"got {partitioner!r}")
+            self._validate_sub_artifacts(artifact_path, sub_artifact_paths)
         if cache_config is None:
             cache_config = CacheConfig(capacity=cache_size)
         if cache_config.hot_set == "explicit":
@@ -209,11 +234,14 @@ class ShardedRoutingService:
         self.partitioner = partitioner
         self.cache_config = cache_config
         self.cache_size = cache_config.capacity
+        self.sub_artifact_paths = sub_artifact_paths
         self.graph = graph
         self.stats = stats if stats is not None else ServingStats()
         self.stats.extra.setdefault("workers", num_workers)
         self.stats.extra.setdefault("partitioner", partitioner)
         self.stats.extra.setdefault("artifact_path", artifact_path)
+        self.stats.extra.setdefault("sub_artifacts",
+                                    sub_artifact_paths is not None)
         self._ctx = multiprocessing.get_context(start_method)
         self._warm_timeout = warm_timeout
         self._reply_timeout = reply_timeout
@@ -224,6 +252,51 @@ class ShardedRoutingService:
         self._closed = False
         self._final_worker_stats: List[ServingStats] = []
         self._undrained_workers: List[int] = []
+
+    @staticmethod
+    def _validate_sub_artifacts(artifact_path: str,
+                                sub_artifact_paths: List[str]) -> None:
+        """Header-only provenance check of caller-supplied slices.
+
+        Each slice must exist, declare the expected ``{shard, workers}``
+        provenance, and *derive from this artifact*: the slicer copies the
+        pivot and intern sections verbatim, so their header checksums must
+        match the parent's.  This catches the silent-staleness trap — an
+        artifact rebuilt in place while old slices linger on disk would
+        otherwise serve the previous hierarchy's tables without any error.
+        """
+        from .artifacts import artifact_info
+
+        workers = len(sub_artifact_paths)
+        parent = artifact_info(artifact_path)
+        if parent.sections is None:
+            raise ValueError(
+                f"sub-artifacts require a format-2 parent artifact; "
+                f"{artifact_path!r} is format {parent.format_version}")
+        for shard, sub_path in enumerate(sub_artifact_paths):
+            if not os.path.exists(sub_path):
+                raise FileNotFoundError(
+                    f"sub-artifact {sub_path!r} does not exist; "
+                    f"materialise the slices first (repro.serving."
+                    f"write_shard_artifacts)")
+            info = artifact_info(sub_path)
+            provenance = info.metadata.get("sub_artifact")
+            if (not isinstance(provenance, dict)
+                    or provenance.get("shard") != shard
+                    or provenance.get("workers") != workers):
+                raise ValueError(
+                    f"{sub_path!r} is not the shard-{shard}-of-{workers} "
+                    f"sub-artifact its position implies (header says "
+                    f"{provenance!r}); pass write_shard_artifacts' paths "
+                    f"in shard order")
+            for section in ("nodes", "pivots"):
+                if (info.sections[section]["sha256"]
+                        != parent.sections[section]["sha256"]):
+                    raise ValueError(
+                        f"{sub_path!r} was sliced from a different build "
+                        f"of {artifact_path!r} (section {section!r} "
+                        f"differs); re-run write_shard_artifacts — stale "
+                        f"slices would silently serve the old tables")
 
     # ==================================================================
     # construction
@@ -274,9 +347,12 @@ class ShardedRoutingService:
         self._result_queue = self._ctx.Queue()
         for worker_id in range(self.num_workers):
             task_queue = self._ctx.Queue()
+            worker_artifact = (self.sub_artifact_paths[worker_id]
+                               if self.sub_artifact_paths is not None
+                               else self.artifact_path)
             process = self._ctx.Process(
                 target=_shard_worker,
-                args=(worker_id, self.artifact_path, self.cache_config,
+                args=(worker_id, worker_artifact, self.cache_config,
                       task_queue, self._result_queue),
                 daemon=True, name=f"repro-shard-{worker_id}")
             process.start()
@@ -506,6 +582,7 @@ class ShardedRoutingService:
         merged.extra["workers"] = self.num_workers
         merged.extra["partitioner"] = self.partitioner
         merged.extra["artifact_path"] = self.artifact_path
+        merged.extra["sub_artifacts"] = self.sub_artifact_paths is not None
         merged.extra["scatter_batches"] = self.stats.batches
         merged.extra.update(self._partitioner.describe())
         if self._undrained_workers:

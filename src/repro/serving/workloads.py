@@ -52,6 +52,7 @@ __all__ = [
     "make_workload",
     "PARTITION_STRATEGIES",
     "partition_pairs",
+    "stable_node_hash",
 ]
 
 
@@ -306,12 +307,24 @@ def workload_names() -> Tuple[str, ...]:
 #: :func:`workload_names` to also see shapes registered later.
 WORKLOAD_NAMES = workload_names()
 
-PARTITION_STRATEGIES = ("round_robin", "hash_pair")
+PARTITION_STRATEGIES = ("round_robin", "hash_pair", "hash_source")
 
 
 def _stable_pair_hash(pair: Tuple[Hashable, Hashable]) -> int:
     """Deterministic across processes and runs (``hash()`` is salted)."""
     return zlib.crc32(repr(pair).encode("utf-8"))
+
+
+def stable_node_hash(node: Hashable) -> int:
+    """Deterministic per-node hash (processes and runs agree).
+
+    This is the shard-ownership function shared by the ``hash_source``
+    partitioner and per-shard sub-artifact slicing
+    (:func:`~repro.serving.artifacts.write_shard_artifacts`): both must
+    assign a node to the same shard, or a worker would be handed queries
+    whose source rows its artifact slice does not hold.
+    """
+    return zlib.crc32(repr(node).encode("utf-8"))
 
 
 def partition_pairs(pairs: Sequence[Tuple[Hashable, Hashable]],
@@ -329,6 +342,9 @@ def partition_pairs(pairs: Sequence[Tuple[Hashable, Hashable]],
       occurrence of a hot pair lands on the same shard and warms exactly one
       shard's result cache instead of smearing its repeats across all of
       them.  Requires node ids with a deterministic ``repr`` (ints, strings).
+    * ``"hash_source"`` — shard by a stable hash of the *source* node, so a
+      shard only ever answers queries originating at its own sources — the
+      assignment per-shard sub-artifacts slice their bunch tables by.
     """
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -340,6 +356,9 @@ def partition_pairs(pairs: Sequence[Tuple[Hashable, Hashable]],
     elif strategy == "hash_pair":
         for index, pair in enumerate(pairs):
             shards[_stable_pair_hash(pair) % num_shards].append((index, pair))
+    elif strategy == "hash_source":
+        for index, pair in enumerate(pairs):
+            shards[stable_node_hash(pair[0]) % num_shards].append((index, pair))
     else:
         raise ValueError(f"unknown partition strategy {strategy!r}; "
                          f"available: {', '.join(PARTITION_STRATEGIES)}")

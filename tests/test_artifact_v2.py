@@ -1,0 +1,463 @@
+"""Artifact format v2: mmap layout, lazy loads, corruption, sub-artifacts.
+
+The format-1 (monolithic pickle) contract is pinned by
+``test_serving_artifacts.py``; this module covers the section-table format
+that is now the default writer:
+
+* v1 <-> v2 round trips answer every query identically (hierarchy and PDE);
+* the on-disk layout is what the docstring promises (magic, header section
+  table, offset-addressed sections);
+* per-section integrity: truncation, flipped bytes and wrong offsets are
+  all detected;
+* per-shard sub-artifacts serve list-for-list identically to full-artifact
+  sharded serving while each worker holds a fraction of the table bytes.
+"""
+
+import itertools
+import json
+import os
+
+import pytest
+
+from repro import graphs
+from repro.core import solve_pde
+from repro.routing import build_compact_routing
+from repro.serving import (
+    ArtifactError,
+    ArtifactV2Reader,
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
+    ShardedRoutingService,
+    artifact_info,
+    load_hierarchy,
+    load_pde,
+    open_service,
+    save_hierarchy,
+    save_pde,
+    stable_node_hash,
+    verify_artifact,
+    write_shard_artifacts,
+    zipf_workload,
+)
+
+
+def _graph_family():
+    """Both hierarchy modes: k=3 resolves to truncated (skeleton sections
+    populated), k=2 to budget (skeleton sections are all-None)."""
+    return {
+        "er_k3": (graphs.erdos_renyi_graph(
+            28, 0.16, graphs.uniform_weights(1, 40), seed=3), 3),
+        "grid_k2": (graphs.grid_graph(
+            4, 6, graphs.mixed_scale_weights(1, 500, 0.3), seed=1), 2),
+    }
+
+
+@pytest.fixture(scope="module", params=sorted(_graph_family()))
+def saved_both_formats(request, tmp_path_factory):
+    name = request.param
+    graph, k = _graph_family()[name]
+    hierarchy = build_compact_routing(graph, k=k, seed=7)
+    base = tmp_path_factory.mktemp("artifacts_v2")
+    v1_path = str(base / f"{name}.v1.artifact")
+    v2_path = str(base / f"{name}.v2.artifact")
+    save_hierarchy(hierarchy, v1_path, format=1)
+    info = save_hierarchy(hierarchy, v2_path)      # format 2 is the default
+    return graph, hierarchy, v1_path, v2_path, info
+
+
+class TestLayout:
+    def test_magic_and_section_table_on_disk(self, saved_both_formats):
+        _, _, _, v2_path, written = saved_both_formats
+        with open(v2_path, "rb") as fh:
+            assert fh.readline() == b"REPRO-ARTIFACT v2\n"
+            header = json.loads(fh.readline().decode("utf-8"))
+        assert header["kind"] == "routing_hierarchy"
+        for name in ("meta", "nodes", "pivots", "bunches", "graph",
+                     "levels", "skeleton", "metrics"):
+            assert name in header["sections"]
+        # Offsets tile the payload exactly: sorted by offset, each section
+        # starts where the previous one ended.
+        entries = sorted(header["sections"].values(), key=lambda e: e["offset"])
+        position = 0
+        for entry in entries:
+            assert entry["offset"] == position
+            position += entry["length"]
+        assert position == header["payload_bytes"] == written.payload_bytes
+
+    def test_artifact_info_reports_format_2(self, saved_both_formats):
+        graph, hierarchy, _, v2_path, _ = saved_both_formats
+        info = artifact_info(v2_path)
+        assert info.format_version == 2
+        assert info.kind == "routing_hierarchy"
+        assert info.sections is not None
+        assert info.metadata["n"] == graph.num_nodes
+        assert info.metadata["k"] == hierarchy.k
+
+    def test_verify_artifact_passes_on_clean_file(self, saved_both_formats):
+        _, _, v1_path, v2_path, _ = saved_both_formats
+        assert verify_artifact(v2_path).format_version == 2
+        assert verify_artifact(v1_path).format_version == 1
+
+
+class TestRoundTrip:
+    def test_v1_and_v2_answer_identically(self, saved_both_formats):
+        """The acceptance criterion: every distance and route query answers
+        identically across the built hierarchy, the v1 reload and the v2
+        mmap reload."""
+        graph, built, v1_path, v2_path, _ = saved_both_formats
+        from_v1, _ = load_hierarchy(v1_path)
+        from_v2, info = load_hierarchy(v2_path)
+        assert info.format_version == 2
+        for u, v in itertools.permutations(graph.nodes(), 2):
+            expected = built.distance(u, v)
+            assert from_v1.distance(u, v) == expected
+            assert from_v2.distance(u, v) == expected
+            fresh = built.route(u, v)
+            for reloaded in (from_v1, from_v2):
+                trace = reloaded.route(u, v)
+                assert trace.path == fresh.path
+                assert trace.weight == fresh.weight
+                assert trace.delivered == fresh.delivered
+                assert trace.fallback_hops == fresh.fallback_hops
+
+    def test_pivot_rows_match_eager_hierarchy(self, saved_both_formats):
+        graph, built, _, v2_path, _ = saved_both_formats
+        from_v2, _ = load_hierarchy(v2_path)
+        assert from_v2._pivot_backend is not None    # mmap fast path active
+        for node in graph.nodes():
+            assert from_v2.pivot_row(node) == built.pivot_row(node)
+
+    def test_lazy_hierarchy_exports_original_state(self, saved_both_formats):
+        """Materialising every lazy section reproduces the exact export —
+        nothing is lost to the section split."""
+        _, built, _, v2_path, _ = saved_both_formats
+        from_v2, _ = load_hierarchy(v2_path)
+        assert from_v2.export_state() == built.export_state()
+        assert from_v2.build_params == built.build_params
+
+    def test_resave_of_v2_load_round_trips(self, saved_both_formats, tmp_path):
+        graph, built, _, v2_path, _ = saved_both_formats
+        from_v2, _ = load_hierarchy(v2_path)
+        again_path = str(tmp_path / "again.artifact")
+        save_hierarchy(from_v2, again_path)
+        again, _ = load_hierarchy(again_path)
+        for u, v in itertools.islice(
+                itertools.permutations(graph.nodes(), 2), 100):
+            assert again.distance(u, v) == built.distance(u, v)
+
+    def test_pde_v2_round_trip(self, tmp_path):
+        graph = graphs.random_geometric_graph(25, 0.35, None, seed=9)
+        sources = graph.nodes()[:6]
+        pde = solve_pde(graph, sources, h=6, sigma=4, epsilon=0.5,
+                        store_levels=False)
+        v1_path, v2_path = str(tmp_path / "p.v1"), str(tmp_path / "p.v2")
+        save_pde(pde, v1_path, format=1)
+        info = save_pde(pde, v2_path)
+        assert info.format_version == 2
+        from_v1, _ = load_pde(v1_path)
+        from_v2, _ = load_pde(v2_path)
+        assert from_v2.estimates == pde.estimates == from_v1.estimates
+        assert from_v2.next_hops == pde.next_hops
+        for v in graph.nodes():
+            assert ([e.key() for e in from_v2.list_of(v)]
+                    == [e.key() for e in pde.list_of(v)])
+
+
+class TestIntegrity:
+    @staticmethod
+    def _corrupt(path, tmp_path, mutate, name="corrupt.artifact"):
+        blob = bytearray(open(path, "rb").read())
+        mutate(blob)
+        out = tmp_path / name
+        out.write_bytes(bytes(blob))
+        return str(out)
+
+    def test_flipped_byte_in_every_section_is_detected(
+            self, saved_both_formats, tmp_path):
+        _, _, _, v2_path, info = saved_both_formats
+        with open(v2_path, "rb") as fh:
+            fh.readline()
+            fh.readline()
+            payload_start = fh.tell()
+        for index, (name, entry) in enumerate(sorted(info.sections.items())):
+            position = payload_start + entry["offset"] + entry["length"] // 2
+            corrupt = self._corrupt(v2_path, tmp_path,
+                                    lambda blob, p=position: blob.__setitem__(
+                                        p, blob[p] ^ 0xFF),
+                                    name=f"s{index}.artifact")
+            with pytest.raises(ArtifactError, match="checksum mismatch"):
+                verify_artifact(corrupt)
+
+    def test_truncated_file_is_detected_at_open(self, saved_both_formats,
+                                                tmp_path):
+        _, _, _, v2_path, _ = saved_both_formats
+        corrupt = self._corrupt(v2_path, tmp_path,
+                                lambda blob: blob.__delitem__(
+                                    slice(len(blob) - 20, len(blob))))
+        with pytest.raises(ArtifactError, match="truncated"):
+            load_hierarchy(corrupt)
+
+    def test_wrong_offset_is_detected(self, saved_both_formats, tmp_path):
+        """An out-of-bounds offset fails bounds validation at open; an
+        in-bounds-but-wrong offset fails the section checksum."""
+        _, _, _, v2_path, _ = saved_both_formats
+
+        def rewrite_offset(new_offset):
+            with open(v2_path, "rb") as fh:
+                magic = fh.readline()
+                header = json.loads(fh.readline().decode("utf-8"))
+                payload = fh.read()
+            header["sections"]["metrics"]["offset"] = new_offset
+            out = tmp_path / f"off{new_offset}.artifact"
+            out.write_bytes(magic + json.dumps(
+                header, sort_keys=True).encode("utf-8") + b"\n" + payload)
+            return str(out)
+
+        with pytest.raises(ArtifactError, match="out of bounds"):
+            ArtifactV2Reader(rewrite_offset(10 ** 9))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            verify_artifact(rewrite_offset(0))
+
+    def test_corrupt_record_table_fails_at_load(self, saved_both_formats,
+                                                tmp_path):
+        """The query-hot sections (pivots, bunches) are hash-verified at
+        open — a flipped record byte can never silently answer queries."""
+        _, _, _, v2_path, info = saved_both_formats
+        with open(v2_path, "rb") as fh:
+            fh.readline()
+            fh.readline()
+            payload_start = fh.tell()
+        for section in ("pivots", "bunches"):
+            entry = info.sections[section]
+            position = payload_start + entry["offset"] + entry["length"] // 2
+            corrupt = self._corrupt(v2_path, tmp_path,
+                                    lambda blob, p=position: blob.__setitem__(
+                                        p, blob[p] ^ 0xFF),
+                                    name=f"{section}.artifact")
+            with pytest.raises(ArtifactError, match="checksum mismatch"):
+                load_hierarchy(corrupt)
+
+    def test_corrupt_lazy_section_raises_on_access(self, saved_both_formats,
+                                                   tmp_path):
+        """A flipped byte in a lazily-loaded pickled section surfaces as
+        ArtifactError when (and only when) that section materialises."""
+        _, _, _, v2_path, info = saved_both_formats
+        entry = info.sections["skeleton"]
+        with open(v2_path, "rb") as fh:
+            fh.readline()
+            fh.readline()
+            payload_start = fh.tell()
+        position = payload_start + entry["offset"] + entry["length"] // 2
+        corrupt = self._corrupt(v2_path, tmp_path,
+                                lambda blob: blob.__setitem__(
+                                    position, blob[position] ^ 0xFF))
+        hierarchy, _ = load_hierarchy(corrupt)       # opens fine
+        nodes = hierarchy.graph.nodes()
+        hierarchy.distance(nodes[0], nodes[1])       # hot path untouched
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            hierarchy.pde_skel                       # materialises skeleton
+
+    def test_kind_mismatch_is_detected(self, tmp_path):
+        graph = graphs.random_geometric_graph(20, 0.4, None, seed=2)
+        pde = solve_pde(graph, graph.nodes()[:4], h=4, sigma=3, epsilon=0.5,
+                        store_levels=False)
+        path = str(tmp_path / "pde.v2")
+        save_pde(pde, path)
+        with pytest.raises(ArtifactError, match="expected"):
+            load_hierarchy(path)
+
+
+class TestSubArtifacts:
+    @pytest.fixture(scope="class")
+    def sliced(self, tmp_path_factory):
+        graph, k = _graph_family()["er_k3"]
+        hierarchy = build_compact_routing(graph, k=k, seed=7)
+        base = tmp_path_factory.mktemp("sub_artifacts")
+        full_path = str(base / "full.artifact")
+        save_hierarchy(hierarchy, full_path)
+        workers = 4
+        sub_paths = write_shard_artifacts(full_path, workers)
+        return graph, hierarchy, full_path, sub_paths, workers
+
+    def test_slices_shrink_per_worker_bytes(self, sliced):
+        _, _, full_path, sub_paths, workers = sliced
+        full_bytes = artifact_info(full_path).payload_bytes
+        sub_bytes = [artifact_info(p).payload_bytes for p in sub_paths]
+        mean_sub = sum(sub_bytes) / workers
+        assert full_bytes / mean_sub >= 2.0, (
+            f"sub-artifacts should hold <= half the table bytes per worker "
+            f"at {workers} workers (full {full_bytes}, mean {mean_sub:.0f})")
+        for path in sub_paths:
+            verify_artifact(path)
+
+    def test_slice_answers_owned_sources_identically(self, sliced):
+        graph, hierarchy, _, sub_paths, workers = sliced
+        shard = 1
+        slice_hierarchy, info = load_hierarchy(sub_paths[shard])
+        assert info.metadata["sub_artifact"]["shard"] == shard
+        owned = [v for v in graph.nodes()
+                 if stable_node_hash(v) % workers == shard]
+        assert owned, "shard 1 should own at least one source"
+        for source in owned:
+            for target in graph.nodes():
+                if source == target:
+                    continue
+                assert (slice_hierarchy.distance(source, target)
+                        == hierarchy.distance(source, target))
+                assert (slice_hierarchy.route(source, target).path
+                        == hierarchy.route(source, target).path)
+
+    def test_slice_refuses_foreign_sources_and_exports(self, sliced):
+        graph, _, _, sub_paths, workers = sliced
+        slice_hierarchy, _ = load_hierarchy(sub_paths[0])
+        foreign = next(v for v in graph.nodes()
+                       if stable_node_hash(v) % workers != 0)
+        local = next(v for v in graph.nodes()
+                     if stable_node_hash(v) % workers == 0 and v != foreign)
+        with pytest.raises(KeyError, match="not.*present|slice"):
+            slice_hierarchy.distance(foreign, local)
+        with pytest.raises(ArtifactError, match="sub-artifact"):
+            slice_hierarchy.export_state()     # aux sections are dropped
+
+    def test_sharded_sub_artifact_serving_is_identical(self, sliced):
+        """The acceptance criterion: sub-artifact sharded answers are
+        list-for-list identical to full-artifact sharded serving (which is
+        itself pinned to local serving by the PR-3 tests)."""
+        graph, hierarchy, full_path, sub_paths, workers = sliced
+        pairs = zipf_workload(graph.nodes(), 240, seed=11).pairs
+        chunks = [pairs[lo:lo + 60] for lo in range(0, len(pairs), 60)]
+        with ShardedRoutingService(full_path, num_workers=workers,
+                                   partitioner="hash_source") as full:
+            full_routes = [t for c in chunks for t in full.route_batch(c)]
+            full_dists = [d for c in chunks for d in full.distance_batch(c)]
+        with ShardedRoutingService(full_path, num_workers=workers,
+                                   partitioner="hash_source",
+                                   sub_artifact_paths=sub_paths) as sub:
+            sub_routes = [t for c in chunks for t in sub.route_batch(c)]
+            sub_dists = [d for c in chunks for d in sub.distance_batch(c)]
+            merged = sub.merged_stats()
+        assert sub_dists == full_dists
+        assert [t.path for t in sub_routes] == [t.path for t in full_routes]
+        assert [t.weight for t in sub_routes] == [t.weight for t in full_routes]
+        assert merged.extra["sub_artifacts"] is True
+        # Per-worker loaded bytes are additive across workers and strictly
+        # below what N full copies would have held.
+        full_bytes = artifact_info(full_path).payload_bytes
+        assert merged.extra["loaded_table_bytes"] < workers * full_bytes / 2
+
+    def test_wrong_partitioner_is_rejected(self, sliced):
+        _, _, full_path, sub_paths, workers = sliced
+        with pytest.raises(ValueError, match="source"):
+            ShardedRoutingService(full_path, num_workers=workers,
+                                  partitioner="round_robin",
+                                  sub_artifact_paths=sub_paths)
+        with pytest.raises(ValueError, match="hash_source"):
+            write_shard_artifacts(full_path, workers,
+                                  partitioner="round_robin")
+
+    def test_wrong_slice_count_is_rejected(self, sliced):
+        _, _, full_path, sub_paths, workers = sliced
+        with pytest.raises(ValueError, match="one per worker"):
+            ShardedRoutingService(full_path, num_workers=workers,
+                                  partitioner="hash_source",
+                                  sub_artifact_paths=sub_paths[:-1])
+
+    def test_misordered_slices_are_rejected(self, sliced):
+        _, _, full_path, sub_paths, workers = sliced
+        shuffled = [sub_paths[1], sub_paths[0]] + sub_paths[2:]
+        with pytest.raises(ValueError, match="shard order"):
+            ShardedRoutingService(full_path, num_workers=workers,
+                                  partitioner="hash_source",
+                                  sub_artifact_paths=shuffled)
+
+    def test_stale_slices_of_rebuilt_artifact_are_rejected(self, tmp_path):
+        """Slices must derive from the artifact they are served with —
+        rebuilding in place while old slices linger must fail loudly, not
+        silently serve the previous hierarchy's tables."""
+        graph, k = _graph_family()["grid_k2"]
+        path = str(tmp_path / "rebuilt.artifact")
+        save_hierarchy(build_compact_routing(graph, k=k, seed=7), path)
+        stale_paths = write_shard_artifacts(path, 2)
+        save_hierarchy(build_compact_routing(graph, k=k, seed=8), path)
+        with pytest.raises(ValueError, match="different build"):
+            ShardedRoutingService(path, num_workers=2,
+                                  partitioner="hash_source",
+                                  sub_artifact_paths=stale_paths)
+        # Re-slicing repairs it.
+        fresh_paths = write_shard_artifacts(path, 2)
+        service = ShardedRoutingService(path, num_workers=2,
+                                        partitioner="hash_source",
+                                        sub_artifact_paths=fresh_paths)
+        assert service.sub_artifact_paths == fresh_paths
+
+    def test_v1_artifact_cannot_be_sliced(self, tmp_path):
+        graph, k = _graph_family()["grid_k2"]
+        hierarchy = build_compact_routing(graph, k=k, seed=7)
+        v1_path = str(tmp_path / "old.artifact")
+        save_hierarchy(hierarchy, v1_path, format=1)
+        with pytest.raises(ArtifactError, match="format-2"):
+            write_shard_artifacts(v1_path, 2)
+
+
+class TestOpenServiceIntegration:
+    def test_open_service_records_load_path_metrics(self, tmp_path):
+        graph, k = _graph_family()["grid_k2"]
+        path = str(tmp_path / "svc.artifact")
+        config = ServingConfig(artifact_path=path,
+                               build=BuildConfig(k=k, seed=7),
+                               cache=CacheConfig(capacity=128))
+        with open_service(config, graph=graph) as built:
+            extras = built.query_stats().extra
+            assert extras["artifact_format"] == 2
+            assert extras["artifact_load"] == "built"
+            assert extras["cache_policy"] == "lru"
+        with open_service(config, graph=graph) as loaded:
+            extras = loaded.query_stats().extra
+            assert extras["artifact_format"] == 2
+            assert extras["artifact_load"] == "mmap"
+            assert extras["loaded_table_bytes"] == artifact_info(
+                path).payload_bytes
+
+    def test_build_path_honours_artifact_format_1(self, tmp_path):
+        graph, k = _graph_family()["grid_k2"]
+        path = str(tmp_path / "legacy.artifact")
+        config = ServingConfig(
+            artifact_path=path,
+            build=BuildConfig(k=k, seed=7, artifact_format=1),
+            cache=CacheConfig(capacity=128))
+        with open_service(config, graph=graph):
+            pass
+        assert artifact_info(path).format_version == 1
+        # Reloading a v1 artifact with a format-2 request serves it as-is:
+        # the format is a storage detail, not a freshness parameter.
+        v2_request = ServingConfig(artifact_path=path,
+                                   build=BuildConfig(k=k, seed=7),
+                                   cache=CacheConfig(capacity=128))
+        with open_service(v2_request, graph=graph) as service:
+            extras = service.query_stats().extra
+            assert extras["artifact_format"] == 1
+            assert extras["artifact_load"] == "pickle"
+
+    def test_sub_artifact_config_requires_source_partitioning(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServingConfig(artifact_path="x", sub_artifacts=True)
+
+    def test_open_service_sub_artifacts_end_to_end(self, tmp_path):
+        graph, k = _graph_family()["grid_k2"]
+        path = str(tmp_path / "subsvc.artifact")
+        local_config = ServingConfig(artifact_path=path,
+                                     build=BuildConfig(k=k, seed=7),
+                                     cache=CacheConfig(capacity=128))
+        pairs = zipf_workload(graph.nodes(), 160, seed=5).pairs
+        with open_service(local_config, graph=graph) as local:
+            expected = local.distance_batch(pairs)
+        sharded_config = ServingConfig(
+            artifact_path=path, workers=2, partitioner="hash_source",
+            sub_artifacts=True, build=BuildConfig(k=k, seed=7),
+            cache=CacheConfig(capacity=128))
+        with open_service(sharded_config, graph=graph) as sharded:
+            assert sharded.sub_artifact_paths is not None
+            assert all(os.path.exists(p)
+                       for p in sharded.sub_artifact_paths)
+            assert sharded.distance_batch(pairs) == expected

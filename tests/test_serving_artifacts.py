@@ -1,4 +1,11 @@
-"""Artifact persistence: format header, integrity checking, lossless round-trips."""
+"""Artifact persistence: format header, integrity checking, lossless round-trips.
+
+This module pins the *format-1* (monolithic pickle) contract — the fixture
+saves with ``format=1`` explicitly, since format 2 (the mmap-able section
+table) became the default writer.  The format-2 layout, lazy loading,
+corruption detection and sub-artifact slicing are covered by
+``test_artifact_v2.py``.
+"""
 
 import itertools
 import json
@@ -36,7 +43,7 @@ def saved_hierarchy(request, tmp_path_factory):
     graph, k = _graph_family()[name]
     hierarchy = build_compact_routing(graph, k=k, seed=7)
     path = tmp_path_factory.mktemp("artifacts") / f"{name}.artifact"
-    info = save_hierarchy(hierarchy, str(path))
+    info = save_hierarchy(hierarchy, str(path), format=1)
     return graph, hierarchy, str(path), info
 
 
@@ -125,7 +132,7 @@ class TestHierarchyRoundTrip:
         _, _, path, _ = saved_hierarchy
         reloaded, _ = load_hierarchy(path)
         again_path = str(tmp_path / "again.artifact")
-        save_hierarchy(reloaded, again_path)
+        save_hierarchy(reloaded, again_path, format=1)
         # Save -> load -> save must be a fixed point at the state level (the
         # raw bytes may differ through pickle string-interning memo effects).
         first_state, _ = read_artifact(path)
