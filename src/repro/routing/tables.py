@@ -12,8 +12,10 @@ table sizes.
 from __future__ import annotations
 
 import math
+import os
 import pickle
 import struct
+from array import array
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -42,7 +44,27 @@ __all__ = [
     "InternedBunchRow",
     "InternedBunchLevel",
     "PivotRowBackend",
+    "ColumnarQueryKernel",
+    "HAVE_NUMPY",
 ]
+
+# Optional accelerator only: every columnar path below has a stdlib
+# struct/array twin producing bit-identical answers, so numpy's absence
+# (or REPRO_NO_NUMPY=1, which the CI matrix uses to pin the stdlib path)
+# changes speed, never results.
+try:
+    import numpy as _np
+except ImportError:          # pragma: no cover - depends on environment
+    _np = None
+if _np is not None and os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: The ``<int32, float64>`` record layout shared by the pivot and bunch
+#: tables, as a packed numpy structured dtype (itemsize 12, no padding).
+_RECORD_DTYPE = (None if _np is None
+                 else _np.dtype([("key", "<i4"), ("value", "<f8")]))
 
 
 def payload_words(value: Any) -> int:
@@ -278,6 +300,17 @@ class NodeInternTable:
         """The dense index of ``node`` (raises ``KeyError`` if unknown)."""
         return self._index[node]
 
+    def indices_of(self, nodes: Iterable[Hashable]) -> List[int]:
+        """Dense indices for a whole batch of labels in one pass.
+
+        The batch-query kernel resolves every label exactly once through
+        this instead of one dict probe per (pair, level) touch.  Unknown
+        labels raise ``KeyError`` naming the offending label, matching
+        :meth:`index_of`.
+        """
+        index = self._index
+        return [index[node] for node in nodes]
+
     def get_index(self, node: Hashable) -> Optional[int]:
         return self._index.get(node)
 
@@ -373,6 +406,47 @@ class PivotRowTable:
         stop = start + self.num_levels * self._RECORD.size
         return list(self._RECORD.iter_unpack(self._buf[start:stop]))
 
+    def _np_records(self):
+        """The whole record area as a ``(num_nodes, num_levels)`` structured
+        numpy view over the mapped bytes (built once, zero-copy)."""
+        table = getattr(self, "_np_table", None)
+        if table is None:
+            flat = _np.frombuffer(self._buf, dtype=_RECORD_DTYPE,
+                                  offset=self._HEADER.size)
+            table = flat.reshape(self.num_nodes, self.num_levels)
+            self._np_table = table
+        return table
+
+    def rows_batch(self, node_indices: Sequence[int]
+                   ) -> Tuple[Sequence[int], Sequence[float]]:
+        """Packed pivot records for a batch of nodes.
+
+        Returns ``(pivots, dists)`` as two flat parallel sequences, row
+        major with ``num_levels`` entries per node in ``node_indices``
+        order — the columnar twin of calling :meth:`row` per node.  The
+        stdlib path fills ``array('i')`` / ``array('d')`` blocks from the
+        contiguous record slices; with numpy the whole gather is one fancy
+        index over a zero-copy structured view.
+        """
+        if _np is not None:
+            rows = self._np_records()[node_indices]
+            # .tolist() converts to plain int/float once; the kernel's
+            # per-pair loop then avoids numpy-scalar boxing on every access.
+            return rows["key"].ravel().tolist(), rows["value"].ravel().tolist()
+        pivots = array("i")
+        dists = array("d")
+        base = self._HEADER.size
+        stride = self.num_levels * self._RECORD.size
+        for node_index in node_indices:
+            if not 0 <= node_index < self.num_nodes:
+                raise RecordTableError(f"node index {node_index} out of range")
+            start = base + node_index * stride
+            for pivot_index, dist in self._RECORD.iter_unpack(
+                    self._buf[start:start + stride]):
+                pivots.append(pivot_index)
+                dists.append(dist)
+        return pivots, dists
+
 
 class OffsetRecordTable:
     """Variable-length rows of fixed-width records behind an offset index.
@@ -454,17 +528,44 @@ class OffsetRecordTable:
         start = self._data_base + offset * self._RECORD.size
         return self._buf[start:start + count * self._RECORD.size]
 
-    def lookup(self, row_index: int, key: int) -> Optional[float]:
+    _KEY = struct.Struct("<i")
+
+    def probe(self, row_index: int, key: int) -> Optional[float]:
         """The value stored for ``key`` in the row, or ``None``.
 
-        A bounded scan over the row's fixed-width records without
-        materialising them (rows are ``O~(n^{1/k})`` entries).
+        A bounded scan over the row's fixed-width records that decodes
+        *keys only* at the record stride; the float64 value is unpacked
+        for the single matching record (rows are ``O~(n^{1/k})`` entries).
+        With numpy the key column is compared in one vectorised pass.
         """
-        for record_key, value in self._RECORD.iter_unpack(
-                self._row_slice(row_index)):
-            if record_key == key:
-                return value
+        row = self._row_slice(row_index)
+        if _np is not None:
+            records = _np.frombuffer(row, dtype=_RECORD_DTYPE)
+            hits = _np.nonzero(records["key"] == key)[0]
+            return float(records["value"][hits[0]]) if hits.size else None
+        unpack_key = self._KEY.unpack_from
+        for pos in range(0, len(row), self._RECORD.size):
+            if unpack_key(row, pos)[0] == key:
+                return _F64.unpack_from(row, pos + self._KEY.size)[0]
         return None
+
+    def lookup(self, row_index: int, key: int) -> Optional[float]:
+        """Alias of :meth:`probe` (the historical name, kept for callers)."""
+        return self.probe(row_index, key)
+
+    def row_map(self, row_index: int) -> Dict[int, float]:
+        """One row decoded to a ``{key: value}`` dict in a single pass.
+
+        The batch kernel decodes each ``(level, source)`` row at most once
+        per batch through this, then answers every pair in the source's
+        group with plain dict probes.
+        """
+        row = self._row_slice(row_index)
+        if _np is not None and len(row) >= 256:
+            records = _np.frombuffer(row, dtype=_RECORD_DTYPE)
+            return dict(zip(records["key"].tolist(),
+                            records["value"].tolist()))
+        return dict(self._RECORD.iter_unpack(row))
 
 
 # ----------------------------------------------------------------------
@@ -664,3 +765,138 @@ class PivotRowBackend:
         for pivot_index, _dist in self._table.row(index):
             row.append(None if pivot_index < 0 else node_at(pivot_index))
         return tuple(row)
+
+
+class ColumnarQueryKernel:
+    """Array-native batch query kernel over the v2 record tables.
+
+    The per-pair query path answers ``distance(s, t)`` through the mapping
+    adapters above: one ``InternedBunchRow`` object per probe, one label
+    dict lookup per touch, one full-row scan per level.  This kernel
+    answers a whole batch straight from the record slices instead:
+
+    * every label is resolved to its interned id exactly once
+      (:meth:`NodeInternTable.indices_of`);
+    * pairs are grouped by source and the groups visited in index order,
+      so bunch-row reads walk the mapped section monotonically;
+    * each distinct target's pivot row is gathered once into one packed
+      block (:meth:`PivotRowTable.rows_batch`);
+    * each ``(level, source)`` bunch row is decoded at most once per batch
+      (:meth:`OffsetRecordTable.row_map`), then every pair in the group is
+      answered by integer-keyed dict probes.
+
+    Answers are bit-identical to the per-pair path — same float records,
+    same ``estimate + tail`` arithmetic, same ``KeyError`` for unknown
+    labels or bunch rows a sub-artifact sliced away — only the access
+    pattern changes.  ``stats`` counts batches / pairs / source groups /
+    bunch-row decodes for the serving layer's ``--json`` report.
+    """
+
+    __slots__ = ("_intern", "_pivot_table", "_bunch_table", "_k",
+                 "_num_nodes", "stats")
+
+    def __init__(self, intern: NodeInternTable, pivot_table: PivotRowTable,
+                 bunch_table: OffsetRecordTable, k: int) -> None:
+        if pivot_table.num_levels != k - 1:
+            raise RecordTableError(
+                f"pivot table has {pivot_table.num_levels} levels, "
+                f"expected k-1 = {k - 1}")
+        if bunch_table.num_rows != k * len(intern):
+            raise RecordTableError(
+                f"bunch table has {bunch_table.num_rows} rows, "
+                f"expected k*n = {k * len(intern)}")
+        self._intern = intern
+        self._pivot_table = pivot_table
+        self._bunch_table = bunch_table
+        self._k = k
+        self._num_nodes = len(intern)
+        self.stats: Dict[str, int] = {"batches": 0, "pairs": 0, "groups": 0,
+                                      "bunch_rows_decoded": 0}
+
+    def node_label(self, index: int) -> Hashable:
+        """The node label behind an interned index (for route selections)."""
+        return self._intern.node_at(index)
+
+    def _bunch_row(self, level: int, source_index: int) -> Dict[int, float]:
+        row_index = level * self._num_nodes + source_index
+        if not self._bunch_table.has_row(row_index):
+            # Same KeyError contract as InternedBunchLevel.__getitem__.
+            node = self._intern.node_at(source_index)
+            raise KeyError(
+                f"bunch row for node {node!r} (level {level}) is not "
+                f"present in this artifact slice; sub-artifacts only hold "
+                f"rows for their own shard's sources")
+        return self._bunch_table.row_map(row_index)
+
+    def select_batch(self, pairs: Sequence[Tuple[Hashable, Hashable]]
+                     ) -> List[Optional[Tuple[int, Optional[int], float]]]:
+        """Level selections ``(level, pivot_index, estimate)`` per pair.
+
+        Mirrors ``CompactRoutingHierarchy._select_level`` exactly: the
+        minimal level whose target pivot lands in the source's bunch, with
+        ``(k, None, inf)`` when no level hits.  Pairs whose source equals
+        their target return ``None`` — the query paths short-circuit
+        equality before level selection, so selection is undefined there.
+        """
+        pairs = list(pairs)
+        intern = self._intern
+        source_ids = intern.indices_of(s for s, _ in pairs)
+        target_ids = intern.indices_of(t for _, t in pairs)
+
+        # Distinct targets resolve their pivot rows once, as one packed block.
+        slot_of: Dict[int, int] = {}
+        distinct_targets: List[int] = []
+        for t in target_ids:
+            if t not in slot_of:
+                slot_of[t] = len(distinct_targets)
+                distinct_targets.append(t)
+        pivots, pivot_dists = self._pivot_table.rows_batch(distinct_targets)
+        stride = self._k - 1
+
+        groups: Dict[int, List[int]] = {}
+        for position, s in enumerate(source_ids):
+            groups.setdefault(s, []).append(position)
+
+        k = self._k
+        results: List[Optional[Tuple[int, Optional[int], float]]] = \
+            [None] * len(pairs)
+        decoded = 0
+        no_hit = (k, None, float("inf"))
+        for s in sorted(groups):
+            bunch_rows: List[Optional[Dict[int, float]]] = [None] * k
+            for position in groups[s]:
+                t = target_ids[position]
+                if s == t:
+                    continue           # equality sentinel: stays None
+                base = slot_of[t] * stride
+                selection = no_hit
+                for level in range(k):
+                    if level == 0:
+                        pivot, tail = t, 0.0   # level-0 pivot is the target
+                    else:
+                        pivot = pivots[base + level - 1]
+                        if pivot < 0:          # NO_PIVOT
+                            continue
+                        tail = pivot_dists[base + level - 1]
+                    row = bunch_rows[level]
+                    if row is None:
+                        row = self._bunch_row(level, s)
+                        bunch_rows[level] = row
+                        decoded += 1
+                    estimate = row.get(pivot)
+                    if estimate is not None:
+                        selection = (level, pivot, estimate + tail)
+                        break
+                results[position] = selection
+        self.stats["batches"] += 1
+        self.stats["pairs"] += len(pairs)
+        self.stats["groups"] += len(groups)
+        self.stats["bunch_rows_decoded"] += decoded
+        return results
+
+    def distance_batch(self, pairs: Sequence[Tuple[Hashable, Hashable]]
+                       ) -> List[float]:
+        """Distance estimates for ``pairs``, list-for-list identical to
+        the per-pair dict path (equal pairs are 0.0 by definition)."""
+        return [0.0 if selection is None else selection[2]
+                for selection in self.select_batch(pairs)]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
@@ -50,10 +51,77 @@ from .tree_routing import TreeRouting
 from .tz_exact import sample_levels
 from .stretch import evaluate_routing
 
-__all__ = ["CompactRoutingHierarchy", "HierarchyBuildReport", "LazyLevelData"]
+__all__ = ["CompactRoutingHierarchy", "HierarchyBuildReport", "LazyLevelData",
+           "PIVOT_ROW_CACHE_CAP"]
 
 #: Sentinel distinguishing "absent from the bunch" from any real estimate.
 _ABSENT = object()
+
+#: Default bound on the per-hierarchy pivot-row cache.  On mmap backends a
+#: pivot row is one contiguous record-slice read, so caching buys little and
+#: an unbounded dict just mirrors the pivot table into Python objects under
+#: uniform workloads; the bound keeps the win for skewed streams without
+#: the footprint.
+PIVOT_ROW_CACHE_CAP = 65536
+
+
+class _PivotRowCache:
+    """Bounded LRU for resolved pivot rows, with hit/eviction counters.
+
+    ``capacity == 0`` disables caching entirely (every ``get`` misses,
+    ``put`` is a no-op) — benchmarks use that to measure cold-query cost
+    without monkey-patching.  Counters are cumulative across
+    :meth:`clear` so serving stats see lifetime totals.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Tuple[Optional[Hashable], ...]]" = \
+            OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        row = self._entries.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return row
+
+    def put(self, key: Hashable, row) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = row
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> Dict[str, int]:
+        return {"capacity": self.capacity, "size": len(self._entries),
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
 
 
 @dataclass
@@ -182,13 +250,18 @@ class CompactRoutingHierarchy:
         self.metrics = metrics
         self.build_params: Dict[str, object] = {}
         self._exact_parent_cache: Dict[Hashable, Dict[Hashable, Optional[Hashable]]] = {}
-        self._pivot_row_cache: Dict[Hashable, Tuple[Optional[Hashable], ...]] = {}
+        self._pivot_row_cache = _PivotRowCache(PIVOT_ROW_CACHE_CAP)
         self._route_fallbacks = 0
         #: Optional zero-copy pivot-row provider (set by the artifact-v2
         #: loader to a :class:`~repro.routing.tables.PivotRowBackend`); when
         #: present, :meth:`pivot_row` reads one contiguous record slice from
         #: the mmapped pivot table instead of k per-level dict lookups.
         self._pivot_backend = None
+        #: Optional batch-query kernel (set by the artifact-v2 loader to a
+        #: :class:`~repro.routing.tables.ColumnarQueryKernel`); when present
+        #: the batch APIs can answer whole groups of pairs straight from the
+        #: mapped record slices instead of per-pair dict probes.
+        self._columnar_kernel = None
 
     # ==================================================================
     # construction
@@ -483,8 +556,17 @@ class CompactRoutingHierarchy:
                 row = self._pivot_backend.pivot_row(target)
             else:
                 row = tuple(self._target_pivot(target, l) for l in range(self.k))
-            self._pivot_row_cache[target] = row
+            self._pivot_row_cache.put(target, row)
         return row
+
+    def set_pivot_row_cache_cap(self, capacity: int) -> None:
+        """Rebound the pivot-row LRU (``0`` disables it), trimming if needed."""
+        self._pivot_row_cache.resize(capacity)
+
+    def pivot_row_cache_info(self) -> Dict[str, int]:
+        """Lifetime counters for the pivot-row LRU (capacity/size/hits/
+        misses/evictions) — surfaced through serving stats."""
+        return self._pivot_row_cache.info()
 
     def _select_level(self, source: Hashable, target: Hashable
                       ) -> Tuple[int, Hashable, float]:
@@ -510,18 +592,71 @@ class CompactRoutingHierarchy:
         _, _, estimate = self._select_level(source, target)
         return estimate
 
-    def distance_batch(self, pairs: List[Tuple[Hashable, Hashable]]) -> List[float]:
-        """Distance estimates for many pairs (convenience wrapper).
+    # -- batch queries ----------------------------------------------------
+    def has_columnar_kernel(self) -> bool:
+        """Whether this hierarchy is backed by v2 record tables with a
+        columnar batch kernel attached (mmap-loaded format-2 artifacts)."""
+        return self._columnar_kernel is not None
 
-        Equivalent to calling :meth:`distance` per pair; label-lookup
-        amortization lives in the :meth:`pivot_row` cache, which single and
-        batched queries share.  The serving layer additionally dedups
-        repeated pairs before calling this.  On an mmap-loaded hierarchy
-        the per-pair bunch lookups read fixed-width records directly from
-        the page cache (no tables are materialised), so co-located
-        processes serving the same artifact share the physical pages.
+    def query_kernel(self, kernel: str = "auto"):
+        """Resolve a kernel selector to the kernel object (or ``None``).
+
+        ``"dict"`` always returns ``None`` (the per-pair path);
+        ``"columnar"`` and ``"auto"`` return the attached columnar kernel
+        when the backing store provides one, falling back to ``None`` for
+        v1 / in-memory hierarchies whose levels have no record tables.
         """
-        return [self.distance(s, t) for s, t in pairs]
+        if kernel == "dict":
+            return None
+        if kernel in ("columnar", "auto"):
+            return self._columnar_kernel
+        raise ValueError(f"unknown query kernel {kernel!r} "
+                         f"(expected dict/columnar/auto)")
+
+    def distance_batch(self, pairs: List[Tuple[Hashable, Hashable]],
+                       kernel: str = "auto") -> List[float]:
+        """Distance estimates for many pairs, in input order.
+
+        With a columnar kernel attached (mmap-loaded format-2 artifacts)
+        the batch is answered straight from the record tables: labels are
+        interned once, pairs are grouped by source, and each ``(level,
+        source)`` bunch row is decoded at most once for the whole batch.
+        Otherwise — v1 or in-memory hierarchies, or ``kernel="dict"`` —
+        this is per-pair :meth:`distance` with label-lookup amortization
+        in the shared :meth:`pivot_row` cache.  Answers are list-for-list
+        identical between the two paths.
+        """
+        kern = self.query_kernel(kernel)
+        if kern is None:
+            return [self.distance(s, t) for s, t in pairs]
+        return kern.distance_batch(pairs)
+
+    def route_batch(self, pairs: List[Tuple[Hashable, Hashable]],
+                    kernel: str = "auto") -> List[RouteTrace]:
+        """Route traces for many pairs, in input order.
+
+        The columnar kernel only accelerates level selection (the
+        pivot/bunch probes); path materialisation is shared with
+        :meth:`route`, so traces are identical between kernels.
+        """
+        kern = self.query_kernel(kernel)
+        if kern is None:
+            return [self.route(s, t) for s, t in pairs]
+        traces: List[Optional[RouteTrace]] = [None] * len(pairs)
+        selections = kern.select_batch(pairs)
+        for position, (source, target) in enumerate(pairs):
+            selection = selections[position]
+            if selection is None:      # source == target
+                traces[position] = RouteTrace(
+                    source=source, target=target, path=[source],
+                    delivered=True, weight=0.0, estimate=0.0)
+                continue
+            level, pivot_index, estimate = selection
+            pivot = (None if pivot_index is None
+                     else kern.node_label(pivot_index))
+            traces[position] = self._route_selected(source, target, level,
+                                                    pivot, estimate)
+        return traces
 
     def clear_runtime_caches(self) -> None:
         """Drop query-time caches (pivot rows, exact-path parents).
@@ -537,6 +672,16 @@ class CompactRoutingHierarchy:
             return RouteTrace(source=source, target=target, path=[source],
                               delivered=True, weight=0.0, estimate=0.0)
         level, pivot, estimate = self._select_level(source, target)
+        return self._route_selected(source, target, level, pivot, estimate)
+
+    def _route_selected(self, source: Hashable, target: Hashable, level: int,
+                        pivot: Optional[Hashable], estimate: float
+                        ) -> RouteTrace:
+        """Materialise the route for an already-selected ``(level, pivot)``.
+
+        Shared by :meth:`route` (per-pair selection) and :meth:`route_batch`
+        (columnar selection) so both produce identical traces.
+        """
         if pivot is None:
             path, fallback = self._exact_path(source, target), 1
             return self._finish(source, target, path, fallback, estimate)

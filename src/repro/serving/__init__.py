@@ -55,15 +55,18 @@ from .registry import (
     CACHE_POLICIES,
     HOT_SET_POLICIES,
     PARTITIONERS,
+    QUERY_KERNELS,
     WORKLOADS,
     Registry,
     get_cache_policy,
     get_hot_set_policy,
     get_partitioner,
+    get_query_kernel,
     get_workload,
     register_cache_policy,
     register_hot_set_policy,
     register_partitioner,
+    register_query_kernel,
     register_workload,
 )
 from .policies import ExplicitHotSet, HotSetPolicy, OnlineHotSet
@@ -72,6 +75,7 @@ from .service import (
     answer_batch,
     build_or_load_service,
     execute_query_shard,
+    resolve_query_kernel,
 )
 from .sharded import ShardError, ShardedRoutingService
 from .partitioners import (
@@ -128,14 +132,18 @@ __all__ = [
     "CACHE_POLICIES",
     "HOT_SET_POLICIES",
     "WORKLOADS",
+    "QUERY_KERNELS",
     "register_partitioner",
     "register_cache_policy",
     "register_hot_set_policy",
     "register_workload",
+    "register_query_kernel",
     "get_partitioner",
     "get_cache_policy",
     "get_hot_set_policy",
     "get_workload",
+    "get_query_kernel",
+    "resolve_query_kernel",
     # policies and partitioners
     "HotSetPolicy",
     "ExplicitHotSet",

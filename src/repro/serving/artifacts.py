@@ -75,6 +75,7 @@ from ..core.pde import PDEResult
 from ..graphs.weighted_graph import WeightedGraph
 from ..routing.cluster_trees import TreeFamily
 from ..routing.tables import (
+    ColumnarQueryKernel,
     InternedBunchLevel,
     InternedPivotView,
     NodeInternTable,
@@ -422,6 +423,44 @@ class ArtifactV2Reader:
             self.verify_section(name)
         return view
 
+    #: Advice names accepted by :meth:`advise`, mapped to mmap flag names.
+    _ADVICE_FLAGS = {"willneed": "MADV_WILLNEED",
+                     "sequential": "MADV_SEQUENTIAL",
+                     "random": "MADV_RANDOM"}
+
+    def advise(self, name: str, advice: str = "willneed") -> bool:
+        """Readahead hint for one section's pages; ``True`` if applied.
+
+        Bulk kernel scans walk the record sections front to back, so the
+        loader issues ``WILLNEED`` on them at open.  Strictly a hint: on
+        platforms without ``mmap.madvise`` (or without the requested flag)
+        this is a no-op returning ``False``, and failures of the syscall
+        itself are swallowed — answers never depend on it.
+        """
+        try:
+            flag_name = self._ADVICE_FLAGS[advice]
+        except KeyError:
+            raise ValueError(f"unknown madvise advice {advice!r}; expected "
+                             f"one of {sorted(self._ADVICE_FLAGS)}") from None
+        flag = getattr(mmap, flag_name, None)
+        if flag is None or not hasattr(self._mmap, "madvise"):
+            return False
+        entry = self._entry(name)
+        start = self._payload_start + entry["offset"]
+        # madvise requires a page-aligned start: round down and widen the
+        # length by the same delta, clamped to the mapping.
+        page = mmap.PAGESIZE
+        aligned = start - (start % page)
+        length = min(entry["length"] + (start - aligned),
+                     len(self._mmap) - aligned)
+        if length <= 0:
+            return False
+        try:
+            self._mmap.madvise(flag, aligned, length)
+        except (OSError, ValueError):
+            return False
+        return True
+
     def verify_section(self, name: str) -> None:
         entry = self._entry(name)
         digest = hashlib.sha256(self.section_view(name)).hexdigest()
@@ -718,6 +757,13 @@ def _load_hierarchy_v2(path: str) -> Tuple[CompactRoutingHierarchy, ArtifactInfo
             metrics=metrics)
         hierarchy.build_params = dict(meta["build_params"])
         hierarchy._pivot_backend = PivotRowBackend(pivot_table, intern)
+        hierarchy._columnar_kernel = ColumnarQueryKernel(
+            intern, pivot_table, bunch_table, k)
+        # Bulk kernel scans walk the record sections front to back; hint
+        # the kernel so readahead stages the pages before the first batch.
+        hierarchy._madvise_sections = tuple(
+            name for name in ("nodes", "pivots", "bunches")
+            if reader.advise(name, "willneed"))
         return hierarchy, reader.info
     except RecordTableError as exc:
         reader.close()

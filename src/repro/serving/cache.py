@@ -291,9 +291,13 @@ class ServingStats:
     #: dropping them when workers disagree — an operator watching a sharded
     #: service still sees, e.g., the total online hot-set promotions, and
     #: the total table bytes resident across workers (which is what
-    #: sub-artifact slicing shrinks).
+    #: sub-artifact slicing shrinks).  ``kernel_stats`` (columnar batch /
+    #: group / row-decode counts) and ``pivot_row_cache`` (hits / misses /
+    #: evictions) are per-worker dict-of-scalar counters, so their merged
+    #: values are fleet totals too.
     ADDITIVE_EXTRAS = ("hot_promotions", "hot_demotions", "hot_pairs",
-                       "loaded_table_bytes")
+                       "loaded_table_bytes", "kernel_stats",
+                       "pivot_row_cache")
 
     queries: int = 0
     route_queries: int = 0

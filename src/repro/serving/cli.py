@@ -29,7 +29,13 @@ from typing import Dict, Optional
 from .backend import open_service
 from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
 from .policies import ExplicitHotSet
-from .registry import CACHE_POLICIES, HOT_SET_POLICIES, PARTITIONERS, WORKLOADS
+from .registry import (
+    CACHE_POLICIES,
+    HOT_SET_POLICIES,
+    PARTITIONERS,
+    QUERY_KERNELS,
+    WORKLOADS,
+)
 from .service import answer_batch
 from .sharded import ShardedRoutingService
 from .specs import parse_graph_spec
@@ -66,8 +72,10 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "drift_period": "workload.params.drift_period",
     "batch_size": "batch_size",
     "kind": "kind",
+    "kernel": "kernel",
     "cache_size": "cache.capacity",
     "cache_policy": "cache.policy",
+    "pivot_cache_cap": "cache.pivot_cache_cap",
     "hot": None,        # derives cache.hot_pairs from the workload at runtime
     "hot_set": "cache.hot_set",
     "hot_threshold": "cache.hot_threshold",
@@ -140,6 +148,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result-cache policy (from the cache-policy "
                              "registry)")
     parser.add_argument("--kind", default="route", choices=["route", "distance"])
+    parser.add_argument("--kernel", default="auto",
+                        choices=list(QUERY_KERNELS.names()),
+                        help="batch query kernel: 'columnar' answers batches "
+                             "straight from the v2 record tables, 'dict' is "
+                             "the per-pair path, 'auto' picks columnar "
+                             "whenever the backing store supports it "
+                             "(answers are identical either way)")
+    parser.add_argument("--pivot-cache-cap", type=int, default=65536,
+                        help="bound on the hierarchy's pivot-row LRU "
+                             "(0 disables it)")
     parser.add_argument("--hot", type=int, default=0,
                         help="pin the N most frequent workload pairs up "
                              "front (explicit hot set; single-process only)")
@@ -248,6 +266,7 @@ def config_from_args(args: argparse.Namespace,
             sub_artifacts=args.sub_artifacts,
             batch_size=args.batch_size,
             kind=args.kind,
+            kernel=args.kernel,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
                               mode=args.mode, engine=args.engine,
                               artifact_format=args.artifact_format),
@@ -258,7 +277,8 @@ def config_from_args(args: argparse.Namespace,
                               hot_threshold=args.hot_threshold,
                               hot_capacity=args.hot_capacity,
                               hot_decay_window=args.hot_decay_window,
-                              hot_decay_threshold=args.hot_decay_threshold),
+                              hot_decay_threshold=args.hot_decay_threshold,
+                              pivot_cache_cap=args.pivot_cache_cap),
             workload=WorkloadConfig(name=args.workload,
                                     num_queries=args.queries,
                                     params=workload_params),
@@ -315,6 +335,9 @@ def main(argv=None) -> int:
     record = {
         "workload": workload.name,
         "kind": config.kind,
+        # The *resolved* kernel (what answered the batches), not just the
+        # request; per-batch group stats ride along in extra.kernel_stats.
+        "kernel": stats.extra.get("kernel_active", config.kernel),
         "queries": len(workload),
         "delivered": delivered,
         "seconds": round(elapsed, 4),

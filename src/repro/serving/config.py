@@ -118,6 +118,10 @@ class CacheConfig:
     (their result returns to the LRU domain), so bursty or drifting
     streams do not strand cold pairs in the pinned set.  ``0`` (the
     default) disables decay.
+
+    ``pivot_cache_cap`` bounds the hierarchy's pivot-row LRU (resolved
+    per-target pivot rows shared by single and batched queries); ``0``
+    disables that cache.
     """
 
     policy: str = "lru"
@@ -129,10 +133,14 @@ class CacheConfig:
     hot_capacity: int = 256
     hot_decay_window: int = 0
     hot_decay_threshold: int = 1
+    pivot_cache_cap: int = 65536
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+        if self.pivot_cache_cap < 0:
+            raise ValueError(f"pivot_cache_cap must be >= 0, "
+                             f"got {self.pivot_cache_cap}")
         if self.hot_kind not in ("route", "distance", "both"):
             raise ValueError(f"hot_kind must be route/distance/both, "
                              f"got {self.hot_kind!r}")
@@ -220,6 +228,10 @@ class ServingConfig:
     ``graph_spec`` is an optional ``name:key=value,...`` generator spec (see
     :func:`~repro.serving.specs.parse_graph_spec`) used when no in-memory
     graph is passed to :func:`~repro.serving.backend.open_service`.
+    ``kernel`` names a query-kernel registry entry (``dict`` / ``columnar``
+    / ``auto`` built in) selecting how batch queries probe the routing
+    tables; like ``partitioner`` it is validated against the registry when
+    the service opens.
     """
 
     artifact_path: Optional[str] = None
@@ -231,6 +243,7 @@ class ServingConfig:
     sub_artifacts: bool = False
     batch_size: int = 64
     kind: str = "route"
+    kernel: str = "auto"
     start_method: Optional[str] = None
     warm_timeout: float = 120.0
     reply_timeout: float = 300.0
@@ -269,6 +282,7 @@ class ServingConfig:
             "sub_artifacts": self.sub_artifacts,
             "batch_size": self.batch_size,
             "kind": self.kind,
+            "kernel": self.kernel,
             "start_method": self.start_method,
             "warm_timeout": self.warm_timeout,
             "reply_timeout": self.reply_timeout,

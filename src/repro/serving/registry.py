@@ -13,7 +13,10 @@ by downstream code — without the call sites knowing the concrete class:
 * :data:`HOT_SET_POLICIES`  — ``name -> factory(cache_config)`` producing a
   hot-set policy (or ``None`` for the no-op policy);
 * :data:`WORKLOADS`         — ``name -> factory(graph, num_queries, seed,
-  **params)`` producing a :class:`~repro.serving.workloads.QueryWorkload`.
+  **params)`` producing a :class:`~repro.serving.workloads.QueryWorkload`;
+* :data:`QUERY_KERNELS`     — ``name -> resolver(hierarchy)`` returning the
+  concrete kernel name (``"dict"`` or ``"columnar"``) to use for batch
+  queries against that hierarchy.
 
 Built-in strategies register themselves when their defining module is
 imported (importing :mod:`repro.serving` imports them all).  Downstream code
@@ -42,14 +45,17 @@ __all__ = [
     "CACHE_POLICIES",
     "HOT_SET_POLICIES",
     "WORKLOADS",
+    "QUERY_KERNELS",
     "register_partitioner",
     "register_cache_policy",
     "register_hot_set_policy",
     "register_workload",
+    "register_query_kernel",
     "get_partitioner",
     "get_cache_policy",
     "get_hot_set_policy",
     "get_workload",
+    "get_query_kernel",
 ]
 
 
@@ -113,6 +119,7 @@ PARTITIONERS = Registry("partition strategy")
 CACHE_POLICIES = Registry("cache policy")
 HOT_SET_POLICIES = Registry("hot-set policy")
 WORKLOADS = Registry("workload")
+QUERY_KERNELS = Registry("query kernel")
 
 
 def register_partitioner(name: str, factory: Optional[Callable] = None, *,
@@ -139,6 +146,12 @@ def register_workload(name: str, factory: Optional[Callable] = None, *,
     return WORKLOADS.register(name, factory, replace=replace)
 
 
+def register_query_kernel(name: str, factory: Optional[Callable] = None, *,
+                          replace: bool = False) -> Callable:
+    """Register a query-kernel resolver ``(hierarchy) -> concrete name``."""
+    return QUERY_KERNELS.register(name, factory, replace=replace)
+
+
 def get_partitioner(name: str) -> Callable:
     return PARTITIONERS.get(name)
 
@@ -153,3 +166,7 @@ def get_hot_set_policy(name: str) -> Callable:
 
 def get_workload(name: str) -> Callable:
     return WORKLOADS.get(name)
+
+
+def get_query_kernel(name: str) -> Callable:
+    return QUERY_KERNELS.get(name)

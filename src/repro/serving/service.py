@@ -41,10 +41,10 @@ from .artifacts import (
 from .cache import ServingStats
 from .config import BuildConfig, CacheConfig
 from .policies import HotSetPolicy, make_hot_set_policy
-from .registry import get_cache_policy
+from .registry import get_cache_policy, get_query_kernel, register_query_kernel
 
 __all__ = ["RoutingService", "build_or_load_service", "answer_batch",
-           "execute_query_shard"]
+           "execute_query_shard", "resolve_query_kernel"]
 
 _Pair = Tuple[Hashable, Hashable]
 
@@ -53,6 +53,39 @@ _MISS = object()
 
 #: Sentinel for "key absent from an artifact header" in freshness checks.
 _UNSET = object()
+
+
+# ======================================================================
+# query kernels (batch probing strategy, selected by name)
+# ======================================================================
+@register_query_kernel("dict")
+def _dict_kernel(hierarchy: CompactRoutingHierarchy) -> str:
+    """The per-pair path: label-keyed dict probes, always available."""
+    return "dict"
+
+
+@register_query_kernel("columnar")
+def _columnar_kernel(hierarchy: CompactRoutingHierarchy) -> str:
+    """Array-native batch kernel over v2 record tables; falls back to the
+    dict path when the backing store is v1/in-memory (no record tables)."""
+    return "columnar" if hierarchy.has_columnar_kernel() else "dict"
+
+
+@register_query_kernel("auto")
+def _auto_kernel(hierarchy: CompactRoutingHierarchy) -> str:
+    """Columnar whenever the backing store supports it, dict otherwise."""
+    return "columnar" if hierarchy.has_columnar_kernel() else "dict"
+
+
+def resolve_query_kernel(kernel: str,
+                         hierarchy: CompactRoutingHierarchy) -> str:
+    """Resolve a kernel selector against a hierarchy's backing store.
+
+    Returns the *concrete* kernel name (``"dict"`` or ``"columnar"``) that
+    batch queries will actually use; unknown selectors raise with the
+    registered names.
+    """
+    return get_query_kernel(kernel)(hierarchy)
 
 
 class RoutingService:
@@ -75,16 +108,26 @@ class RoutingService:
         — selects the result-cache policy from the cache-policy registry and
         installs the configured hot-set policy.  When omitted, an LRU of
         ``cache_size`` with no hot-set policy (the v1 behaviour).
+    kernel:
+        Query-kernel selector (``"dict"`` / ``"columnar"`` / ``"auto"``,
+        resolved through the query-kernel registry).  Controls how batch
+        queries probe the routing tables; answers are identical across
+        kernels, so ``"auto"`` (columnar whenever the backing store is a
+        v2 mmap artifact) is safe everywhere.
     """
 
     def __init__(self, hierarchy: CompactRoutingHierarchy,
                  cache_size: int = 4096,
                  stats: Optional[ServingStats] = None,
-                 cache_config: Optional[CacheConfig] = None) -> None:
+                 cache_config: Optional[CacheConfig] = None,
+                 kernel: str = "auto") -> None:
         if cache_config is None:
             cache_config = CacheConfig(capacity=cache_size)
         self.hierarchy = hierarchy
         self.cache_config = cache_config
+        self.kernel = kernel
+        self._kernel_active = resolve_query_kernel(kernel, hierarchy)
+        hierarchy.set_pivot_row_cache_cap(cache_config.pivot_cache_cap)
         self.stats = stats if stats is not None else ServingStats()
         make_cache = get_cache_policy(cache_config.policy)
         self.route_cache = make_cache(cache_config.capacity)
@@ -97,6 +140,10 @@ class RoutingService:
         self.stats.extra.setdefault("k", hierarchy.k)
         self.stats.extra.setdefault("mode", hierarchy.mode)
         self.stats.extra.setdefault("cache_policy", cache_config.policy)
+        self.stats.extra.setdefault("kernel_requested", kernel)
+        self.stats.extra.setdefault("kernel_active", self._kernel_active)
+        self.stats.extra.setdefault("pivot_row_cache_cap",
+                                    cache_config.pivot_cache_cap)
         policy = make_hot_set_policy(cache_config)
         if policy is not None:
             self.install_hot_set(policy)
@@ -109,7 +156,7 @@ class RoutingService:
               seed: int = 0, mode: str = "auto", engine: str = "batched",
               cache_size: int = 4096,
               cache_config: Optional[CacheConfig] = None,
-              **build_kwargs) -> "RoutingService":
+              kernel: str = "auto", **build_kwargs) -> "RoutingService":
         """Build a hierarchy from scratch and wrap it in a service."""
         stats = ServingStats()
         start = time.perf_counter()
@@ -117,11 +164,12 @@ class RoutingService:
                                           mode=mode, engine=engine, **build_kwargs)
         stats.build_seconds = time.perf_counter() - start
         return cls(hierarchy, cache_size=cache_size, stats=stats,
-                   cache_config=cache_config)
+                   cache_config=cache_config, kernel=kernel)
 
     @classmethod
     def load(cls, path: str, cache_size: int = 4096,
-             cache_config: Optional[CacheConfig] = None) -> "RoutingService":
+             cache_config: Optional[CacheConfig] = None,
+             kernel: str = "auto") -> "RoutingService":
         """Load a persisted hierarchy artifact and serve from it.
 
         The artifact format decides the load path: format 1 unpickles the
@@ -143,8 +191,11 @@ class RoutingService:
         sub = info.metadata.get("sub_artifact")
         if sub is not None:
             stats.extra["sub_artifact_shard"] = sub.get("shard")
+        madvised = getattr(hierarchy, "_madvise_sections", None)
+        if madvised is not None:
+            stats.extra["madvise_sections"] = list(madvised)
         return cls(hierarchy, cache_size=cache_size, stats=stats,
-                   cache_config=cache_config)
+                   cache_config=cache_config, kernel=kernel)
 
     @classmethod
     def build_or_load(cls, path: str, graph: Optional[WeightedGraph] = None,
@@ -281,14 +332,21 @@ class RoutingService:
                 pending.add(key)
                 misses.append(key)
         if misses:
-            for key, estimate in zip(misses,
-                                     self.hierarchy.distance_batch(misses)):
+            answers = self.hierarchy.distance_batch(
+                misses, kernel=self._kernel_active)
+            for key, estimate in zip(misses, answers):
                 resolved[key] = estimate
                 self.distance_cache.put(key, estimate)
         return [resolved[key] for key in pairs]
 
     def route_batch(self, pairs: Sequence[_Pair]) -> List[RouteTrace]:
-        """Route a batch of pairs; duplicates are served from one computation."""
+        """Route a batch of pairs; duplicates are served from one computation.
+
+        Mirrors :meth:`distance_batch`: hot-store and result-cache probes
+        (and hot-set policy hooks) run once per *distinct* pair, then all
+        cache misses go to the hierarchy as one batch through the active
+        query kernel.
+        """
         pairs = list(pairs)
         for s, t in pairs:
             self._validate_node(s)
@@ -299,14 +357,35 @@ class RoutingService:
         self.stats.batched_queries += len(pairs)
 
         resolved: Dict[_Pair, RouteTrace] = {}
-        results: List[RouteTrace] = []
+        misses: List[_Pair] = []
+        pending = set()
         for key in pairs:
-            trace = resolved.get(key)
-            if trace is None:
-                trace = self._route_cached(key)
+            if key in resolved or key in pending:
+                continue
+            hot = self._hot_routes.get(key, _MISS)
+            if hot is not _MISS:
+                self.stats.hot_hits += 1
+                if self._hot_policy is not None:
+                    self._hot_policy.on_hot_hit(self, key, "route")
+                resolved[key] = hot
+                continue
+            cached = self.route_cache.get(key, _MISS)
+            if cached is not _MISS:
+                self.stats.cache_hits += 1
+                if self._hot_policy is not None:
+                    self._hot_policy.on_cache_hit(self, key, "route", cached)
+                resolved[key] = cached
+            else:
+                self.stats.cache_misses += 1
+                pending.add(key)
+                misses.append(key)
+        if misses:
+            answers = self.hierarchy.route_batch(
+                misses, kernel=self._kernel_active)
+            for key, trace in zip(misses, answers):
                 resolved[key] = trace
-            results.append(trace)
-        return results
+                self.route_cache.put(key, trace)
+        return [resolved[key] for key in pairs]
 
     # ==================================================================
     # cache management
@@ -447,7 +526,17 @@ class RoutingService:
         return self.hierarchy.graph.num_nodes
 
     def query_stats(self) -> ServingStats:
-        """This service's counters (the QueryBackend stats accessor)."""
+        """This service's counters (the QueryBackend stats accessor).
+
+        Refreshes the hierarchy-level snapshots (pivot-row cache counters,
+        columnar-kernel group stats) into ``stats.extra`` so readers get
+        current values without poking hierarchy internals.
+        """
+        self.stats.extra["pivot_row_cache"] = \
+            self.hierarchy.pivot_row_cache_info()
+        kern = self.hierarchy.query_kernel(self._kernel_active)
+        if kern is not None:
+            self.stats.extra["kernel_stats"] = dict(kern.stats)
         return self.stats
 
     def describe(self) -> str:
@@ -467,6 +556,7 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
                           cache: Optional[CacheConfig] = None,
                           save: bool = True,
                           metadata: Optional[Dict[str, Any]] = None,
+                          kernel: str = "auto",
                           **build_kwargs) -> RoutingService:
     """Load the artifact at ``path`` if it exists, else build (and save).
 
@@ -518,14 +608,14 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
                     + ", ".join(f"{key}={have!r} (requested {want!r})"
                                 for key, (have, want) in sorted(stale.items()))
                     + "; delete the artifact to rebuild")
-        return RoutingService.load(path, cache_config=cache)
+        return RoutingService.load(path, cache_config=cache, kernel=kernel)
     if graph is None:
         raise ValueError(f"artifact {path!r} does not exist and no graph "
                          "was provided to build from")
     service = RoutingService.build(
         graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
         mode=build.mode, engine=build.engine, cache_config=cache,
-        **build_kwargs)
+        kernel=kernel, **build_kwargs)
     if save:
         info = service.save(path, metadata=metadata,
                             format=build.artifact_format)
@@ -554,8 +644,8 @@ def answer_batch(service: RoutingService, kind: str,
 
 
 def execute_query_shard(artifact_path: str, pairs: Sequence[_Pair],
-                        kind: str = "route", cache_size: int = 4096
-                        ) -> Tuple[List, ServingStats]:
+                        kind: str = "route", cache_size: int = 4096,
+                        kernel: str = "auto") -> Tuple[List, ServingStats]:
     """One-shot shard execution: load the artifact, answer ``pairs``.
 
     A module-level function (hence picklable) so pool-style multiprocessing
@@ -565,5 +655,6 @@ def execute_query_shard(artifact_path: str, pairs: Sequence[_Pair],
     of ``pairs``.  The persistent-worker equivalent lives in
     :mod:`repro.serving.sharded`.
     """
-    service = RoutingService.load(artifact_path, cache_size=cache_size)
-    return answer_batch(service, kind, list(pairs)), service.stats
+    service = RoutingService.load(artifact_path, cache_size=cache_size,
+                                  kernel=kernel)
+    return answer_batch(service, kind, list(pairs)), service.query_stats()

@@ -70,14 +70,16 @@ class ShardError(RuntimeError):
 
 
 def _shard_worker(worker_id: int, artifact_path: str,
-                  cache_config: CacheConfig,
+                  cache_config: CacheConfig, kernel: str,
                   task_queue, result_queue) -> None:
     """Worker main loop (module-level so it stays picklable under spawn).
 
     Each worker applies the :class:`CacheConfig` locally — cache policy,
     capacity, and the (per-worker by construction) online hot-set policy;
     explicit hot sets are rejected by the front-end, since every worker
-    would pin every pair while serving only its own partition.
+    would pin every pair while serving only its own partition.  The query
+    ``kernel`` selector is likewise applied per worker against its own
+    loaded artifact (``auto`` resolves to ``columnar`` on v2 artifacts).
 
     Protocol (all messages are tuples; the first element is the tag):
 
@@ -92,7 +94,8 @@ def _shard_worker(worker_id: int, artifact_path: str,
     """
     try:
         service = RoutingService.load(artifact_path,
-                                      cache_config=cache_config)
+                                      cache_config=cache_config,
+                                      kernel=kernel)
     except BaseException as exc:
         result_queue.put(("failed", worker_id,
                           f"{type(exc).__name__}: {exc}"))
@@ -103,10 +106,12 @@ def _shard_worker(worker_id: int, artifact_path: str,
         message = task_queue.get()
         tag = message[0]
         if tag == "shutdown":
-            result_queue.put(("bye", worker_id, service.stats))
+            # query_stats() refreshes the hierarchy-level snapshots (pivot
+            # cache, kernel groups) so the merged stats see final values.
+            result_queue.put(("bye", worker_id, service.query_stats()))
             return
         if tag == "stats":
-            result_queue.put(("stats", worker_id, service.stats))
+            result_queue.put(("stats", worker_id, service.query_stats()))
             continue
         if tag != "query":
             result_queue.put(("error", worker_id, None,
@@ -191,7 +196,8 @@ class ShardedRoutingService:
                  start_method: Optional[str] = None,
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
-                 stats: Optional[ServingStats] = None) -> None:
+                 stats: Optional[ServingStats] = None,
+                 kernel: str = "auto") -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         # Resolving the partitioner up front also validates the name (the
@@ -235,10 +241,12 @@ class ShardedRoutingService:
         self.cache_config = cache_config
         self.cache_size = cache_config.capacity
         self.sub_artifact_paths = sub_artifact_paths
+        self.kernel = kernel
         self.graph = graph
         self.stats = stats if stats is not None else ServingStats()
         self.stats.extra.setdefault("workers", num_workers)
         self.stats.extra.setdefault("partitioner", partitioner)
+        self.stats.extra.setdefault("kernel_requested", kernel)
         self.stats.extra.setdefault("artifact_path", artifact_path)
         self.stats.extra.setdefault("sub_artifacts",
                                     sub_artifact_paths is not None)
@@ -353,7 +361,7 @@ class ShardedRoutingService:
             process = self._ctx.Process(
                 target=_shard_worker,
                 args=(worker_id, worker_artifact, self.cache_config,
-                      task_queue, self._result_queue),
+                      self.kernel, task_queue, self._result_queue),
                 daemon=True, name=f"repro-shard-{worker_id}")
             process.start()
             self._workers.append(_WorkerHandle(worker_id, process, task_queue))
