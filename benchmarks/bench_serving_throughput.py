@@ -31,7 +31,11 @@ with ``kernel="columnar"`` (the array-native kernel reading the v2 record
 slices directly), on uniform and zipf streams.  Answers are asserted
 identical; the recorded numbers are the measured columnar speedup.
 
-Run as a script to produce the JSON artifact consumed by CI:
+Run as a script to produce a run directory in the ``repro-experiment``
+layout (``config.json`` / ``metrics.json`` / ``environment.json``, so
+``repro-experiment compare`` can gate one benchmark run against another)
+plus the flat ``BENCH_serving_throughput.json`` CI artifact derived from
+the run directory's ``metrics.json``:
 
     PYTHONPATH=src python benchmarks/bench_serving_throughput.py \\
         --sizes 120 500 --out BENCH_serving_throughput.json
@@ -50,6 +54,7 @@ import time
 import pytest
 
 from repro import graphs
+from repro.obs.experiment import load_run, write_run_directory
 from repro.serving import (
     BuildConfig,
     CacheConfig,
@@ -259,6 +264,10 @@ def main(argv=None) -> int:
     parser.add_argument("--queries", type=int, default=2000)
     parser.add_argument("--batch-size", type=int, default=64)
     parser.add_argument("--out", default="BENCH_serving_throughput.json")
+    parser.add_argument("--run-dir", default=None,
+                        help="run directory to write (repro-experiment "
+                             "layout; default runs/bench_serving_throughput/"
+                             "<utc-timestamp>-<pid>)")
     args = parser.parse_args(argv)
 
     records = []
@@ -300,8 +309,26 @@ def main(argv=None) -> int:
             "records": kernel_records,
         },
     }
+    run_dir = args.run_dir
+    if run_dir is None:
+        run_id = time.strftime("%Y%m%dT%H%M%S", time.gmtime()) \
+            + f"-{os.getpid()}"
+        run_dir = os.path.join("runs", "bench_serving_throughput", run_id)
+    write_run_directory(run_dir, payload, {
+        "name": "bench_serving_throughput",
+        "sizes": args.sizes,
+        "kernel_sizes": args.kernel_sizes,
+        "seed": args.seed,
+        "k": args.k,
+        "queries": args.queries,
+        "batch_size": args.batch_size,
+    })
+    print(f"wrote run directory {run_dir}")
+
+    # The flat CI artifact is *derived* from the run directory — one
+    # source of truth, two consumers.
     with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
+        json.dump(load_run(run_dir)["metrics"], fh, indent=2)
     print(f"wrote {args.out}")
 
     # Exit non-zero if the headline claims fail at the largest size.

@@ -12,6 +12,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve=repro.serving.cli:main",
+            "repro-experiment=repro.obs.experiment:main",
         ],
     },
 )

@@ -1,0 +1,54 @@
+"""Observability: metrics registries, trace capture/replay, experiments.
+
+Layering contract: this package is a **dependency leaf** for its eagerly
+imported modules — :mod:`repro.obs.metrics` and :mod:`repro.obs.trace`
+import nothing from the rest of ``repro`` at module level, so routing
+kernels and every serving layer can import them without cycles.
+
+:mod:`repro.obs.experiment` (the ``repro-experiment`` harness) sits on
+*top* of ``repro.serving`` and is therefore deliberately **not**
+imported here; reach it explicitly (``from repro.obs import experiment``
+or the console entry point).
+"""
+
+from .metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    make_registry,
+    merge_exports,
+)
+from .trace import (
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    SessionTrace,
+    TraceBatch,
+    TraceError,
+    TraceRecorder,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "make_registry",
+    "merge_exports",
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "SessionTrace",
+    "TraceBatch",
+    "TraceError",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+]

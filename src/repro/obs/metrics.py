@@ -1,0 +1,433 @@
+"""Telemetry core: counters, gauges, fixed-log-bucket histograms, spans.
+
+This module is deliberately a *leaf* — stdlib only, no imports from the
+rest of ``repro`` — so any layer (routing kernels, serving services,
+shard workers, the CLI) can depend on it without cycles.
+
+Design contract:
+
+* Bucket boundaries are **deterministic** functions of ``(lo, hi,
+  buckets_per_double)``: ``bounds[i] = lo * 2**(i / buckets_per_double)``.
+  Two histograms built with the same parameters — in different processes,
+  different interpreter runs, different worker orderings — always agree
+  bucket-for-bucket, which is what makes per-worker merges exact.
+* :meth:`Histogram.merge` is associative and commutative (bucket counts
+  add, ``min``/``max``/``total`` combine pointwise), so
+  ``ServingStats.merge`` can fold worker registries in any order.
+* Everything is picklable (worker stats travel over a
+  ``multiprocessing`` queue) and :meth:`to_dict` is JSON-safe (run
+  directories and ``--json`` embed exports verbatim).
+* The disabled path is the :data:`NULL_REGISTRY` singleton: every
+  accessor returns a pre-built no-op object, so instrumented hot paths
+  pay one attribute call and nothing else.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "make_registry",
+    "merge_exports",
+]
+
+#: Default bucket layout: 4 buckets per doubling (growth factor
+#: 2**0.25 ~ 1.19, i.e. ~19% relative quantile error) spanning 1us..64s.
+DEFAULT_LO = 1e-6
+DEFAULT_HI = 64.0
+DEFAULT_BUCKETS_PER_DOUBLE = 4
+
+_BOUNDS_CACHE: Dict[Tuple[float, float, int], List[float]] = {}
+
+
+def _bucket_bounds(lo: float, hi: float, buckets_per_double: int) -> List[float]:
+    """Strictly increasing log-spaced boundaries from ``lo`` up past ``hi``."""
+    key = (lo, hi, buckets_per_double)
+    bounds = _BOUNDS_CACHE.get(key)
+    if bounds is None:
+        if lo <= 0 or hi <= lo or buckets_per_double < 1:
+            raise ValueError(
+                f"invalid histogram layout lo={lo} hi={hi} "
+                f"buckets_per_double={buckets_per_double}")
+        steps = int(math.ceil(math.log2(hi / lo) * buckets_per_double)) + 1
+        bounds = [lo * 2.0 ** (i / buckets_per_double) for i in range(steps)]
+        _BOUNDS_CACHE[key] = bounds
+    return bounds
+
+
+class Counter:
+    """A monotonically increasing count.  Merges by summing."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time level.  Merges by taking the max across workers
+
+    (the conventional cross-process reduction for levels like queue depth
+    or resident table bytes, where summing would double-count a shared
+    resource and averaging hides the worst worker).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-log-bucket latency histogram (seconds).
+
+    Buckets never move: index ``0`` is the underflow bucket
+    (``v < lo``), indices ``1..len(bounds)-1`` cover
+    ``[bounds[i-1], bounds[i])``, and ``len(bounds)`` is the overflow
+    bucket (``v >= bounds[-1]``).  Counts are stored sparsely.
+
+    Quantiles are bucket-resolution (geometric midpoint of the selected
+    bucket) but always clamped to the observed ``[min, max]``, so a
+    single-sample histogram reports that exact sample and an
+    overflow-heavy histogram never invents a value beyond its true max.
+    An empty histogram reports ``nan`` for every quantile.
+    """
+
+    __slots__ = ("lo", "hi", "buckets_per_double", "count", "total",
+                 "min", "max", "counts", "_bounds")
+
+    def __init__(self, lo: float = DEFAULT_LO, hi: float = DEFAULT_HI,
+                 buckets_per_double: int = DEFAULT_BUCKETS_PER_DOUBLE) -> None:
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets_per_double = int(buckets_per_double)
+        self._bounds = _bucket_bounds(self.lo, self.hi, self.buckets_per_double)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.counts: Dict[int, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0:          # durations: clock skew clamps to zero
+            value = 0.0
+        index = bisect_right(self._bounds, value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def _bucket_value(self, index: int) -> float:
+        bounds = self._bounds
+        if index <= 0:
+            value = self.min
+        elif index >= len(bounds):
+            value = self.max
+        else:
+            value = math.sqrt(bounds[index - 1] * bounds[index])
+        return min(max(value, self.min), self.max)
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile; ``nan`` when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative >= rank:
+                return self._bucket_value(index)
+        return self._bucket_value(max(self.counts))  # pragma: no cover
+
+    def percentiles(self) -> Dict[str, float]:
+        return {"p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+    # -- combining ---------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into ``self`` (in place); returns ``self``."""
+        layout = (self.lo, self.hi, self.buckets_per_double)
+        other_layout = (other.lo, other.hi, other.buckets_per_double)
+        if layout != other_layout:
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts: "
+                f"{layout} vs {other_layout}")
+        for index, n in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + n
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets_per_double": self.buckets_per_double,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            # JSON object keys are strings; sorted for deterministic dumps.
+            "counts": {str(i): self.counts[i] for i in sorted(self.counts)},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Histogram":
+        hist = cls(lo=payload.get("lo", DEFAULT_LO),
+                   hi=payload.get("hi", DEFAULT_HI),
+                   buckets_per_double=payload.get(
+                       "buckets_per_double", DEFAULT_BUCKETS_PER_DOUBLE))
+        hist.count = int(payload.get("count", 0))
+        hist.total = float(payload.get("total", 0.0))
+        if hist.count:
+            hist.min = float(payload["min"])
+            hist.max = float(payload["max"])
+        hist.counts = {int(i): int(n)
+                       for i, n in dict(payload.get("counts", {})).items()}
+        return hist
+
+    def __getstate__(self):
+        # _bounds is a shared cached list; rebuild it on unpickle instead of
+        # shipping a private copy per worker.
+        return {"lo": self.lo, "hi": self.hi,
+                "buckets_per_double": self.buckets_per_double,
+                "count": self.count, "total": self.total,
+                "min": self.min, "max": self.max, "counts": self.counts}
+
+    def __setstate__(self, state):
+        for name in ("lo", "hi", "buckets_per_double", "count", "total",
+                     "min", "max", "counts"):
+            object.__setattr__(self, name, state[name])
+        object.__setattr__(
+            self, "_bounds",
+            _bucket_bounds(self.lo, self.hi, self.buckets_per_double))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram(count={self.count}, mean={self.mean:.6g}, "
+                f"p99={self.quantile(0.99):.6g})")
+
+
+class _Span:
+    """Context manager timing one stage into the owning histogram."""
+
+    __slots__ = ("_histogram", "_clock", "_start")
+
+    def __init__(self, histogram: Histogram, clock) -> None:
+        self._histogram = histogram
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._histogram.observe(self._clock() - self._start)
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and a JSON-safe export.
+
+    Not thread-safe by design: each worker process (and the front-end)
+    owns its registry and exports travel through ``ServingStats`` extras,
+    where :func:`merge_exports` folds them additively.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=None) -> None:
+        import time
+        self._clock = clock if clock is not None else time.perf_counter
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, factory, kind) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, *, lo: float = DEFAULT_LO,
+                  hi: float = DEFAULT_HI,
+                  buckets_per_double: int = DEFAULT_BUCKETS_PER_DOUBLE,
+                  ) -> Histogram:
+        return self._get(
+            name, lambda: Histogram(lo=lo, hi=hi,
+                                    buckets_per_double=buckets_per_double),
+            Histogram)
+
+    def span(self, name: str) -> _Span:
+        """Time a stage: ``with registry.span("artifact_load"): ...``."""
+        return _Span(self.histogram(name), self._clock)
+
+    def export(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe snapshot ``{name: metric.to_dict()}``, name-sorted."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    def __getstate__(self):
+        return {"_metrics": self._metrics}
+
+    def __setstate__(self, state):
+        import time
+        self._clock = time.perf_counter
+        self._metrics = state["_metrics"]
+
+
+class _NullMetric:
+    """Absorbs every recording call; never stores anything."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_SPAN = _NullSpan()
+
+
+class NullRegistry:
+    """No-op registry: the default when telemetry is disabled.
+
+    Every accessor returns a pre-built singleton, so an instrumented call
+    site costs one method call and zero allocation on the hot path.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **_kwargs) -> _NullMetric:
+        return _NULL_METRIC
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def export(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def make_registry(enabled: bool) -> object:
+    """A live :class:`MetricsRegistry` or the shared no-op singleton."""
+    return MetricsRegistry() if enabled else NULL_REGISTRY
+
+
+def merge_exports(exports: Iterable[Mapping[str, Mapping[str, object]]],
+                  ) -> Dict[str, Dict[str, object]]:
+    """Fold registry exports additively (the ``ServingStats`` extra rule).
+
+    Counters sum, gauges max, histograms merge bucket-for-bucket.
+    Associative and commutative, so worker ordering cannot change the
+    result.  Metrics present in only some exports are kept as-is; a name
+    whose type disagrees across exports raises ``ValueError``.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for export in exports:
+        if not export:
+            continue
+        for name, payload in export.items():
+            kind = payload.get("type")
+            if name not in merged:
+                if kind == "histogram":
+                    merged[name] = Histogram.from_dict(payload).to_dict()
+                else:
+                    merged[name] = dict(payload)
+                continue
+            seen = merged[name]
+            if seen.get("type") != kind:
+                raise ValueError(
+                    f"metric {name!r} has conflicting types across "
+                    f"exports: {seen.get('type')!r} vs {kind!r}")
+            if kind == "counter":
+                seen["value"] = seen["value"] + payload["value"]
+            elif kind == "gauge":
+                seen["value"] = max(seen["value"], payload["value"])
+            elif kind == "histogram":
+                seen.update(
+                    Histogram.from_dict(seen)
+                    .merge(Histogram.from_dict(payload)).to_dict())
+            else:
+                raise ValueError(f"metric {name!r} has unknown type {kind!r}")
+    return {name: merged[name] for name in sorted(merged)}

@@ -1,0 +1,288 @@
+"""Trace capture and replay: live serving sessions as versioned artifacts.
+
+A *trace* is the recorded shape of a serving session — the query pairs,
+their kinds, the batch boundaries, and each batch's arrival-time offset
+from session start.  Captured once with :class:`TraceRecorder` (which
+wraps any ``QueryBackend``), it becomes a reusable fixture: the ``trace``
+workload registered in :mod:`repro.serving.workloads` replays it
+deterministically, batch shaping included, so production-shaped load can
+gate regressions instead of living and dying with one terminal session.
+
+On-disk format (``REPRO-TRACE v1``), following the artifact idiom of
+``serving/artifacts.py`` — a magic line, a header JSON line carrying the
+body checksum, then the body::
+
+    REPRO-TRACE v1\n
+    {"checksum": "<sha256 of body bytes>", "queries": N, "batches": M,
+     "meta": {...}}\n
+    {"batches": [{"kind": "route", "offset": 0.0013,
+                  "pairs": [[s, t], ...]}, ...]}
+
+The body is UTF-8 JSON with sorted keys, so identical sessions produce
+byte-identical traces.  Node labels must be JSON-representable (ints and
+strings — everything the graph generators produce); richer label types
+would need an interning layer and are rejected at save time.
+
+This module imports nothing from ``repro.serving`` at module level (the
+one serving import, inside :meth:`SessionTrace.to_workload`, is resolved
+at call time) so ``repro.obs`` stays a dependency leaf.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceBatch",
+    "SessionTrace",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "replay_trace",
+]
+
+TRACE_MAGIC = "REPRO-TRACE"
+TRACE_VERSION = 1
+
+_KINDS = ("route", "distance")
+
+
+class TraceError(ValueError):
+    """A trace file is missing, malformed, corrupt, or unsupported."""
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """One recorded query batch."""
+
+    kind: str
+    pairs: Tuple[Tuple[Hashable, Hashable], ...]
+    #: Seconds between session start and this batch's submission.
+    offset_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise TraceError(f"unknown batch kind {self.kind!r}")
+
+
+@dataclass
+class SessionTrace:
+    """An ordered sequence of recorded batches plus free-form metadata."""
+
+    batches: List[TraceBatch] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+    version: int = TRACE_VERSION
+
+    @property
+    def num_queries(self) -> int:
+        return sum(len(batch.pairs) for batch in self.batches)
+
+    def pairs(self) -> List[Tuple[Hashable, Hashable]]:
+        """All pairs in recorded order, batch boundaries flattened away."""
+        flat: List[Tuple[Hashable, Hashable]] = []
+        for batch in self.batches:
+            flat.extend(batch.pairs)
+        return flat
+
+    def batch_sizes(self) -> List[int]:
+        return [len(batch.pairs) for batch in self.batches]
+
+    def kinds(self) -> List[str]:
+        return [batch.kind for batch in self.batches]
+
+    def to_workload(self, name: str = "trace"):
+        """Materialise as a :class:`~repro.serving.workloads.QueryWorkload`.
+
+        Batch shaping (sizes and per-batch kinds) rides along so the CLI
+        replays the recorded session batch-for-batch rather than
+        re-chunking by ``--batch-size``.
+        """
+        # Call-time import: serving.workloads itself registers the
+        # ``trace`` workload, which calls back into this module.
+        from ..serving.workloads import QueryWorkload
+
+        return QueryWorkload(
+            name=name,
+            pairs=self.pairs(),
+            params={"queries": self.num_queries,
+                    "batches": len(self.batches),
+                    "version": self.version,
+                    **{f"meta_{k}": v for k, v in sorted(self.meta.items())
+                       if isinstance(v, (str, int, float, bool))}},
+            batch_sizes=self.batch_sizes(),
+            batch_kinds=self.kinds(),
+        )
+
+    def _body_payload(self) -> Dict[str, object]:
+        return {"batches": [{"kind": batch.kind,
+                             "offset": batch.offset_seconds,
+                             "pairs": [list(pair) for pair in batch.pairs]}
+                            for batch in self.batches]}
+
+
+class TraceRecorder:
+    """Wrap a ``QueryBackend``; answers pass through, batches are recorded.
+
+    Duck-types the backend protocol (``route_batch`` / ``distance_batch``
+    / ``query_stats`` / ``close`` / context manager) and delegates any
+    other attribute to the wrapped backend, so existing driver loops work
+    unmodified.  Arrival offsets are measured from construction with a
+    monotonic clock (injectable for tests).
+    """
+
+    def __init__(self, backend, meta: Optional[Dict[str, object]] = None,
+                 clock=time.perf_counter) -> None:
+        self._backend = backend
+        self._clock = clock
+        self._start = clock()
+        self.trace = SessionTrace(meta=dict(meta or {}))
+
+    def _record(self, kind: str, pairs: Sequence) -> None:
+        self.trace.batches.append(TraceBatch(
+            kind=kind,
+            pairs=tuple(tuple(pair) for pair in pairs),
+            offset_seconds=self._clock() - self._start))
+
+    def route_batch(self, pairs):
+        self._record("route", pairs)
+        return self._backend.route_batch(pairs)
+
+    def distance_batch(self, pairs):
+        self._record("distance", pairs)
+        return self._backend.distance_batch(pairs)
+
+    def query_stats(self):
+        return self._backend.query_stats()
+
+    @property
+    def graph(self):
+        return self._backend.graph
+
+    def close(self) -> None:
+        self._backend.close()
+
+    def __enter__(self) -> "TraceRecorder":
+        enter = getattr(self._backend, "__enter__", None)
+        if enter is not None:
+            enter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        exit_ = getattr(self._backend, "__exit__", None)
+        if exit_ is not None:
+            return exit_(exc_type, exc, tb)
+        return None
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
+
+    def save(self, path: str,
+             meta: Optional[Dict[str, object]] = None) -> str:
+        if meta:
+            self.trace.meta.update(meta)
+        return save_trace(self.trace, path)
+
+
+def _json_safe_pair(pair) -> None:
+    for node in pair:
+        if not isinstance(node, (int, str)):
+            raise TraceError(
+                f"trace nodes must be JSON-representable ints or strings, "
+                f"got {type(node).__name__}: {node!r}")
+
+
+def save_trace(trace: SessionTrace, path: str) -> str:
+    """Write ``trace`` atomically; returns the body's sha256 hex digest."""
+    for batch in trace.batches:
+        for pair in batch.pairs:
+            _json_safe_pair(pair)
+    body = json.dumps(trace._body_payload(), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    checksum = hashlib.sha256(body).hexdigest()
+    header = json.dumps({"checksum": checksum,
+                         "queries": trace.num_queries,
+                         "batches": len(trace.batches),
+                         "meta": trace.meta}, sort_keys=True)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "wb") as fh:
+        fh.write(f"{TRACE_MAGIC} v{trace.version}\n".encode("ascii"))
+        fh.write(header.encode("utf-8") + b"\n")
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp_path, path)
+    return checksum
+
+
+def load_trace(path: str) -> SessionTrace:
+    """Read a trace, verifying magic, version, and body checksum."""
+    try:
+        with open(path, "rb") as fh:
+            magic_line = fh.readline()
+            header_line = fh.readline()
+            body = fh.read()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path!r}: {exc}") from exc
+
+    magic = magic_line.decode("ascii", "replace").strip()
+    if not magic.startswith(TRACE_MAGIC + " v"):
+        raise TraceError(f"{path!r} is not a trace file (magic {magic!r})")
+    try:
+        version = int(magic.split("v", 1)[1])
+    except ValueError:
+        raise TraceError(f"unparseable trace version in magic {magic!r}")
+    if version != TRACE_VERSION:
+        raise TraceError(
+            f"unsupported trace version {version} (supported: "
+            f"{TRACE_VERSION})")
+
+    try:
+        header = json.loads(header_line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"corrupt trace header in {path!r}: {exc}") from exc
+    checksum = hashlib.sha256(body).hexdigest()
+    if checksum != header.get("checksum"):
+        raise TraceError(
+            f"trace body checksum mismatch in {path!r}: header says "
+            f"{header.get('checksum')!r}, body hashes to {checksum!r}")
+
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"corrupt trace body in {path!r}: {exc}") from exc
+
+    batches = [TraceBatch(kind=entry["kind"],
+                          pairs=tuple(tuple(pair) for pair in entry["pairs"]),
+                          offset_seconds=float(entry.get("offset", 0.0)))
+               for entry in payload.get("batches", [])]
+    trace = SessionTrace(batches=batches, meta=dict(header.get("meta", {})),
+                         version=version)
+    if trace.num_queries != header.get("queries"):
+        raise TraceError(
+            f"trace query count mismatch in {path!r}: header says "
+            f"{header.get('queries')}, body holds {trace.num_queries}")
+    return trace
+
+
+def replay_trace(backend, trace: SessionTrace) -> List[object]:
+    """Re-issue every recorded batch in order; returns the flat answers.
+
+    Replay is deterministic: batch boundaries and kinds are exactly the
+    recorded ones, so answers are list-for-list comparable with the
+    original session on any backend serving the same artifact.
+    """
+    answers: List[object] = []
+    for batch in trace.batches:
+        if batch.kind == "route":
+            answers.extend(backend.route_batch(list(batch.pairs)))
+        else:
+            answers.extend(backend.distance_batch(list(batch.pairs)))
+    return answers

@@ -29,6 +29,8 @@ from typing import (
     Tuple,
 )
 
+from ..obs.metrics import NULL_REGISTRY
+
 __all__ = [
     "Label",
     "RoutingTable",
@@ -793,7 +795,7 @@ class ColumnarQueryKernel:
     """
 
     __slots__ = ("_intern", "_pivot_table", "_bunch_table", "_k",
-                 "_num_nodes", "stats")
+                 "_num_nodes", "stats", "metrics")
 
     def __init__(self, intern: NodeInternTable, pivot_table: PivotRowTable,
                  bunch_table: OffsetRecordTable, k: int) -> None:
@@ -812,6 +814,10 @@ class ColumnarQueryKernel:
         self._num_nodes = len(intern)
         self.stats: Dict[str, int] = {"batches": 0, "pairs": 0, "groups": 0,
                                       "bunch_rows_decoded": 0}
+        #: Telemetry registry for per-group decode spans; the serving layer
+        #: swaps in a live registry when telemetry is enabled (the no-op
+        #: singleton costs one attribute access per group otherwise).
+        self.metrics = NULL_REGISTRY
 
     def node_label(self, index: int) -> Hashable:
         """The node label behind an interned index (for route selections)."""
@@ -863,31 +869,33 @@ class ColumnarQueryKernel:
         decoded = 0
         no_hit = (k, None, float("inf"))
         for s in sorted(groups):
-            bunch_rows: List[Optional[Dict[int, float]]] = [None] * k
-            for position in groups[s]:
-                t = target_ids[position]
-                if s == t:
-                    continue           # equality sentinel: stays None
-                base = slot_of[t] * stride
-                selection = no_hit
-                for level in range(k):
-                    if level == 0:
-                        pivot, tail = t, 0.0   # level-0 pivot is the target
-                    else:
-                        pivot = pivots[base + level - 1]
-                        if pivot < 0:          # NO_PIVOT
-                            continue
-                        tail = pivot_dists[base + level - 1]
-                    row = bunch_rows[level]
-                    if row is None:
-                        row = self._bunch_row(level, s)
-                        bunch_rows[level] = row
-                        decoded += 1
-                    estimate = row.get(pivot)
-                    if estimate is not None:
-                        selection = (level, pivot, estimate + tail)
-                        break
-                results[position] = selection
+            with self.metrics.span("kernel_group_decode"):
+                bunch_rows: List[Optional[Dict[int, float]]] = [None] * k
+                for position in groups[s]:
+                    t = target_ids[position]
+                    if s == t:
+                        continue       # equality sentinel: stays None
+                    base = slot_of[t] * stride
+                    selection = no_hit
+                    for level in range(k):
+                        if level == 0:
+                            # level-0 pivot is the target itself
+                            pivot, tail = t, 0.0
+                        else:
+                            pivot = pivots[base + level - 1]
+                            if pivot < 0:      # NO_PIVOT
+                                continue
+                            tail = pivot_dists[base + level - 1]
+                        row = bunch_rows[level]
+                        if row is None:
+                            row = self._bunch_row(level, s)
+                            bunch_rows[level] = row
+                            decoded += 1
+                        estimate = row.get(pivot)
+                        if estimate is not None:
+                            selection = (level, pivot, estimate + tail)
+                            break
+                    results[position] = selection
         self.stats["batches"] += 1
         self.stats["pairs"] += len(pairs)
         self.stats["groups"] += len(groups)

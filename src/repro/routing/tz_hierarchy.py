@@ -44,6 +44,7 @@ from ..congest.metrics import CongestMetrics, merge_metrics
 from ..core.pde import PDEResult, solve_pde
 from ..graphs.distances import dijkstra, path_weight, shortest_path_diameter
 from ..graphs.weighted_graph import WeightedGraph
+from ..obs.metrics import NULL_REGISTRY
 from .cluster_trees import TreeFamily, build_destination_trees
 from .skeleton import skeleton_graph_from_pde
 from .tables import Label, RouteTrace, RoutingTable
@@ -262,6 +263,11 @@ class CompactRoutingHierarchy:
         #: the batch APIs can answer whole groups of pairs straight from the
         #: mapped record slices instead of per-pair dict probes.
         self._columnar_kernel = None
+        #: Telemetry registry for batch-query spans (``metrics`` is taken by
+        #: the paper-side :class:`CongestMetrics` accounting).  The no-op
+        #: singleton by default; the serving layer swaps in a live registry
+        #: via :meth:`set_metrics_registry` when telemetry is enabled.
+        self._obs_metrics = NULL_REGISTRY
 
     # ==================================================================
     # construction
@@ -568,6 +574,18 @@ class CompactRoutingHierarchy:
         misses/evictions) — surfaced through serving stats."""
         return self._pivot_row_cache.info()
 
+    def set_metrics_registry(self, registry) -> None:
+        """Attach a telemetry registry for batch-query spans.
+
+        Forwarded to the columnar kernel (per-group decode spans) when one
+        is attached.  Pass :data:`~repro.obs.metrics.NULL_REGISTRY` to
+        detach.  Called by the serving layer; harmless to leave at the
+        default no-op registry.
+        """
+        self._obs_metrics = registry
+        if self._columnar_kernel is not None:
+            self._columnar_kernel.metrics = registry
+
     def _select_level(self, source: Hashable, target: Hashable
                       ) -> Tuple[int, Hashable, float]:
         """The minimal level ``l`` with ``s'_l(target)`` in ``source``'s bunch."""
@@ -627,9 +645,11 @@ class CompactRoutingHierarchy:
         identical between the two paths.
         """
         kern = self.query_kernel(kernel)
-        if kern is None:
-            return [self.distance(s, t) for s, t in pairs]
-        return kern.distance_batch(pairs)
+        obs = getattr(self, "_obs_metrics", NULL_REGISTRY)
+        with obs.span("kernel_batch"):
+            if kern is None:
+                return [self.distance(s, t) for s, t in pairs]
+            return kern.distance_batch(pairs)
 
     def route_batch(self, pairs: List[Tuple[Hashable, Hashable]],
                     kernel: str = "auto") -> List[RouteTrace]:
@@ -640,23 +660,26 @@ class CompactRoutingHierarchy:
         :meth:`route`, so traces are identical between kernels.
         """
         kern = self.query_kernel(kernel)
-        if kern is None:
-            return [self.route(s, t) for s, t in pairs]
-        traces: List[Optional[RouteTrace]] = [None] * len(pairs)
-        selections = kern.select_batch(pairs)
-        for position, (source, target) in enumerate(pairs):
-            selection = selections[position]
-            if selection is None:      # source == target
-                traces[position] = RouteTrace(
-                    source=source, target=target, path=[source],
-                    delivered=True, weight=0.0, estimate=0.0)
-                continue
-            level, pivot_index, estimate = selection
-            pivot = (None if pivot_index is None
-                     else kern.node_label(pivot_index))
-            traces[position] = self._route_selected(source, target, level,
-                                                    pivot, estimate)
-        return traces
+        obs = getattr(self, "_obs_metrics", NULL_REGISTRY)
+        with obs.span("kernel_batch"):
+            if kern is None:
+                return [self.route(s, t) for s, t in pairs]
+            traces: List[Optional[RouteTrace]] = [None] * len(pairs)
+            selections = kern.select_batch(pairs)
+            for position, (source, target) in enumerate(pairs):
+                selection = selections[position]
+                if selection is None:      # source == target
+                    traces[position] = RouteTrace(
+                        source=source, target=target, path=[source],
+                        delivered=True, weight=0.0, estimate=0.0)
+                    continue
+                level, pivot_index, estimate = selection
+                pivot = (None if pivot_index is None
+                         else kern.node_label(pivot_index))
+                traces[position] = self._route_selected(source, target,
+                                                        level, pivot,
+                                                        estimate)
+            return traces
 
     def clear_runtime_caches(self) -> None:
         """Drop query-time caches (pivot rows, exact-path parents).

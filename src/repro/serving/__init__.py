@@ -31,6 +31,13 @@ The public surface (API v2) is one typed, policy-pluggable contract:
 * :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality /
   bursty query-stream generators;
 * :mod:`repro.serving.cli`       — the ``repro-serve`` console entry point.
+
+Telemetry (:mod:`repro.obs`) threads through the whole stack behind
+``ServingConfig.telemetry``: per-stage span histograms ride along in
+``ServingStats.extra["telemetry"]`` and merge additively across shard
+workers; trace capture/replay and the ``repro-experiment`` harness build
+on the same backends via :class:`~repro.obs.trace.TraceRecorder` and the
+registered ``trace`` workload.
 """
 
 from .artifacts import (

@@ -133,7 +133,8 @@ def open_service(config: ServingConfig,
             return build_or_load_service(
                 config.artifact_path, graph=graph, build=config.build,
                 cache=config.cache, save=config.save_artifact,
-                metadata=provenance, kernel=config.kernel)
+                metadata=provenance, kernel=config.kernel,
+                telemetry=config.telemetry)
         if graph is None:
             raise ValueError(
                 "open_service needs a graph to build from: pass one, set "
@@ -143,7 +144,7 @@ def open_service(config: ServingConfig,
         return RoutingService.build(
             graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
             mode=build.mode, engine=build.engine, cache_config=config.cache,
-            kernel=config.kernel)
+            kernel=config.kernel, telemetry=config.telemetry)
 
     if config.artifact_path is None:
         raise ValueError("sharded serving (workers > 1) requires "
@@ -184,4 +185,5 @@ def open_service(config: ServingConfig,
         cache_config=config.cache,
         sub_artifact_paths=sub_paths, start_method=config.start_method,
         warm_timeout=config.warm_timeout, reply_timeout=config.reply_timeout,
-        graph=graph, stats=stats, kernel=config.kernel)
+        graph=graph, stats=stats, kernel=config.kernel,
+        telemetry=config.telemetry)

@@ -26,6 +26,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterable, Optional
 
+from ..obs.metrics import Histogram, merge_exports
 from .registry import register_cache_policy
 
 __all__ = ["LRUCache", "LFUCache", "ServingStats"]
@@ -280,6 +281,10 @@ class ServingStats:
     build_seconds / load_seconds:
         Wall-clock cost of constructing the hierarchy or loading it from an
         artifact (whichever path produced this service).
+    warm_seconds:
+        Wall-clock cost of hot-pair precomputation (provisioning work paid
+        before the query stream starts; reported separately so warm-up is
+        never silently folded into serving throughput).
     artifact_bytes:
         Payload size of the artifact backing this service, if any.
     extra:
@@ -309,6 +314,7 @@ class ServingStats:
     hot_hits: int = 0
     build_seconds: Optional[float] = None
     load_seconds: Optional[float] = None
+    warm_seconds: Optional[float] = None
     artifact_bytes: Optional[int] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
@@ -335,6 +341,7 @@ class ServingStats:
             "hot_hits": self.hot_hits,
             "build_seconds": self.build_seconds,
             "load_seconds": self.load_seconds,
+            "warm_seconds": self.warm_seconds,
             "artifact_bytes": self.artifact_bytes,
             "extra": dict(self.extra),
         }
@@ -354,7 +361,8 @@ class ServingStats:
         """
         stats = list(stats)
         merged = cls()
-        seconds = {"build_seconds": [], "load_seconds": []}
+        seconds = {"build_seconds": [], "load_seconds": [],
+                   "warm_seconds": []}
         payload_bytes = []
         extra_values: Dict[str, list] = {}
         for item in stats:
@@ -378,6 +386,12 @@ class ServingStats:
             setattr(merged, key, sum(values) if values else None)
         merged.artifact_bytes = max(payload_bytes) if payload_bytes else None
         for key, values in extra_values.items():
+            if key == "telemetry":
+                # Per-worker metrics-registry exports: counters sum, gauges
+                # max, histograms merge bucket-for-bucket (associative and
+                # commutative, so worker ordering cannot change the result).
+                merged.extra[key] = merge_exports(values)
+                continue
             if key in cls.ADDITIVE_EXTRAS:
                 summed = _sum_additive(values)
                 if summed is not None:
@@ -407,8 +421,23 @@ class ServingStats:
             lines.append(f"hierarchy build    : {self.build_seconds:.3f}s")
         if self.load_seconds is not None:
             lines.append(f"artifact load      : {self.load_seconds:.3f}s")
+        if self.warm_seconds is not None:
+            lines.append(f"hot-pair warm-up   : {self.warm_seconds:.3f}s")
         if self.artifact_bytes is not None:
             lines.append(f"artifact payload   : {self.artifact_bytes} bytes")
         for key, value in self.extra.items():
+            if key == "telemetry" and isinstance(value, dict):
+                # The full export is for --json / run dirs; the operator
+                # summary shows each span histogram's count and p99.
+                parts = []
+                for name in sorted(value):
+                    payload = value[name]
+                    if payload.get("type") == "histogram" \
+                            and payload.get("count"):
+                        hist = Histogram.from_dict(payload)
+                        parts.append(f"{name} n={hist.count} "
+                                     f"p99={hist.quantile(0.99) * 1e3:.2f}ms")
+                lines.append(f"{key:<19}: " + ("; ".join(parts) or "(empty)"))
+                continue
             lines.append(f"{key:<19}: {value}")
         return "\n".join(lines)

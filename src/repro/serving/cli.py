@@ -24,8 +24,10 @@ import argparse
 import json
 import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from ..obs.metrics import Histogram
+from ..obs.trace import TraceRecorder
 from .backend import open_service
 from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
 from .policies import ExplicitHotSet
@@ -37,12 +39,11 @@ from .registry import (
     WORKLOADS,
 )
 from .service import answer_batch
-from .sharded import ShardedRoutingService
 from .specs import parse_graph_spec
 from .workloads import make_workload
 
 __all__ = ["parse_graph_spec", "FLAG_CONFIG_FIELDS", "build_parser",
-           "config_from_args", "main"]
+           "config_from_args", "run_serving_session", "main"]
 
 #: Which config field each ``repro-serve`` flag (by argparse dest) maps to.
 #: Paths are dotted from :class:`ServingConfig`; ``workload.params.<key>``
@@ -86,6 +87,9 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "sub_artifacts": "sub_artifacts",
     "workers": "workers",
     "partitioner": "partitioner",
+    "telemetry": "telemetry",
+    "trace_path": "workload.params.trace_path",
+    "trace_out": None,  # runtime capture target, not serving behaviour
     "json": None,       # output format, not serving behaviour
 }
 
@@ -98,6 +102,7 @@ _WORKLOAD_FLAG_SHAPES = {
     "burst_length": ("bursty",),
     "burst_intensity": ("bursty",),
     "drift_period": ("bursty",),
+    "trace_path": ("trace",),
 }
 
 
@@ -199,6 +204,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "sub-artifacts so each worker loads only its "
                              "partition's tables (--workers > 1, format-2 "
                              "artifact, source partitioning)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the per-stage telemetry registry: span "
+                             "histograms for artifact load, hierarchy build, "
+                             "cache probes/fills, kernel batches and sharded "
+                             "scatter/gather ride along in stats.extra"
+                             "['telemetry'] (off by default: the null "
+                             "registry costs nothing)")
+    parser.add_argument("--trace-path", default=None,
+                        help="trace artifact to replay "
+                             "(--workload trace only)")
+    parser.add_argument("--trace-out", default=None,
+                        help="capture the served query stream (pairs, kinds, "
+                             "batch boundaries, arrival offsets) into a "
+                             "trace artifact at PATH, replayable later with "
+                             "--workload trace --trace-path PATH")
     parser.add_argument("--json", action="store_true",
                         help="emit the result record as JSON on stdout")
     return parser
@@ -225,6 +245,9 @@ def config_from_args(args: argparse.Namespace,
                 f"(got --workload {args.workload})")
         workload_params[dest] = value
 
+    if args.workload == "trace" and args.trace_path is None:
+        parser.error("--workload trace requires --trace-path FILE "
+                     "(record one with --trace-out)")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     if args.workers > 1 and args.artifact is None:
@@ -267,6 +290,7 @@ def config_from_args(args: argparse.Namespace,
             batch_size=args.batch_size,
             kind=args.kind,
             kernel=args.kernel,
+            telemetry=args.telemetry,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
                               mode=args.mode, engine=args.engine,
                               artifact_format=args.artifact_format),
@@ -287,49 +311,91 @@ def config_from_args(args: argparse.Namespace,
         parser.error(str(exc))
 
 
-def _chunks(items, size):
-    for start in range(0, len(items), size):
-        yield items[start:start + size]
+def _round_ms(value: float) -> Optional[float]:
+    """Seconds → milliseconds, ``None`` for NaN (JSON has no NaN)."""
+    if value != value:
+        return None
+    return round(value * 1000.0, 3)
 
 
-def main(argv=None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    config = config_from_args(args, parser)
+def _round_opt(value: Optional[float], digits: int = 4) -> Optional[float]:
+    return None if value is None else round(value, digits)
 
+
+def run_serving_session(config: ServingConfig, hot: int = 0,
+                        trace_out: Optional[str] = None
+                        ) -> Tuple[Dict, object, bool]:
+    """Open the configured backend, replay its workload, return the record.
+
+    The shared session engine behind ``repro-serve`` and the
+    ``repro-experiment`` harness.  Returns ``(record, stats, ok)``:
+    ``record`` is the JSON-ready result dict (the ``--json`` schema),
+    ``stats`` the backend's final :class:`ServingStats` (for human-format
+    ``describe()``), and ``ok`` says whether every *route* query was
+    delivered — distance estimates may legitimately be infinite for pairs
+    the scheme's bunches never cover, so they never count against ``ok``.
+
+    Every session measures per-batch serving latency into a fixed-bucket
+    :class:`~repro.obs.metrics.Histogram` (always on: one ``observe`` per
+    batch is nothing next to the batch itself) and reports the
+    build/load/warm/query stage split under ``stage_seconds``.  Hot-pair
+    precompute (``hot > 0``) runs *before* the timed query window but is
+    not dropped on the floor: the service accounts it in
+    ``stats.warm_seconds``, surfaced as ``stage_seconds["warm"]``.  With
+    ``trace_out`` the query stream is captured through a
+    :class:`~repro.obs.trace.TraceRecorder` and saved as a replayable
+    trace artifact once the session completes.
+    """
     backend = open_service(config)
-    sharded = isinstance(backend, ShardedRoutingService)
-    workload_graph = backend.graph
-    workload = make_workload(config.workload.name, workload_graph,
+    workload = make_workload(config.workload.name, backend.graph,
                              config.workload.num_queries,
                              seed=config.workload_seed(),
                              **config.workload.params)
 
-    if args.hot > 0:
+    if hot > 0:
         counts: Dict[tuple, int] = {}
         for pair in workload.pairs:
             counts[pair] = counts.get(pair, 0) + 1
-        hottest = sorted(counts, key=lambda p: (-counts[p], repr(p)))[:args.hot]
-        # --hot implies workers == 1 (validated above), so the backend is a
-        # local RoutingService and install_hot_set — a local-service extra
-        # beyond the QueryBackend protocol — is available.
+        hottest = sorted(counts, key=lambda p: (-counts[p], repr(p)))[:hot]
+        # hot > 0 implies workers == 1 (the CLI validates this), so the
+        # backend is a local RoutingService and install_hot_set — a
+        # local-service extra beyond the QueryBackend protocol — is
+        # available.  The precompute time lands in stats.warm_seconds.
         backend.install_hot_set(ExplicitHotSet(pairs=hottest,
                                                kind=config.kind))
+
+    recorder = TraceRecorder(backend) if trace_out else None
+    target = recorder if recorder is not None else backend
+    latency = Histogram()
+    delivered = 0
+    route_total = route_delivered = 0
 
     with backend:
         # For sharded backends, entering the context spawns and warms the
         # workers outside the timed window, so the reported throughput is
         # serving cost, not one-time process start-up.
         start = time.perf_counter()
-        delivered = 0
-        for chunk in _chunks(workload.pairs, config.batch_size):
-            results = answer_batch(backend, config.kind, chunk)
-            if config.kind == "route":
-                delivered += sum(1 for trace in results if trace.delivered)
+        for batch_kind, chunk in workload.iter_batches(config.batch_size,
+                                                       config.kind):
+            batch_start = time.perf_counter()
+            results = answer_batch(target, batch_kind, chunk)
+            latency.observe(time.perf_counter() - batch_start)
+            if batch_kind == "route":
+                route_total += len(chunk)
+                good = sum(1 for trace in results if trace.delivered)
+                route_delivered += good
+                delivered += good
             else:
                 delivered += sum(1 for est in results if est != float("inf"))
         elapsed = time.perf_counter() - start
         stats = backend.query_stats()
+        if recorder is not None:
+            recorder.save(trace_out, meta={
+                "workload": workload.name,
+                "default_kind": config.kind,
+                "batch_size": config.batch_size,
+                "graph_spec": config.graph_spec,
+            })
     qps = len(workload) / elapsed if elapsed > 0 else float("inf")
 
     record = {
@@ -342,23 +408,58 @@ def main(argv=None) -> int:
         "delivered": delivered,
         "seconds": round(elapsed, 4),
         "queries_per_second": round(qps, 1),
+        "latency_ms": {
+            "p50": _round_ms(latency.quantile(0.50)),
+            "p95": _round_ms(latency.quantile(0.95)),
+            "p99": _round_ms(latency.quantile(0.99)),
+            "mean": _round_ms(latency.mean),
+            "max": _round_ms(latency.max if latency.count
+                             else float("nan")),
+            "batches": latency.count,
+        },
+        "stage_seconds": {
+            "build": _round_opt(stats.build_seconds),
+            "load": _round_opt(stats.load_seconds),
+            "warm": _round_opt(stats.warm_seconds),
+            "query": round(elapsed, 4),
+        },
         **workload.skew_summary(),
         **stats.as_dict(),
     }
+    return record, stats, route_delivered == route_total
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    config = config_from_args(args, parser)
+
+    record, stats, ok = run_serving_session(config, hot=args.hot,
+                                            trace_out=args.trace_out)
     if args.json:
         json.dump(record, sys.stdout, indent=2, default=str)
         print()
     else:
-        print(f"served {len(workload)} {config.kind} queries "
-              f"({workload.name} workload"
-              + (f", {config.workers} workers" if sharded else "")
-              + f") in {elapsed:.3f}s -> {qps:,.0f} q/s, "
-              f"{delivered} delivered")
+        p99 = record["latency_ms"]["p99"]
+        p99_text = f"{p99:.2f}" if p99 is not None else "n/a"
+        print(f"served {record['queries']} {config.kind} queries "
+              f"({record['workload']} workload"
+              + (f", {config.workers} workers" if config.workers > 1 else "")
+              + f") in {record['seconds']:.3f}s -> "
+              f"{record['queries_per_second']:,.0f} q/s "
+              f"(p99 {p99_text} ms/batch), "
+              f"{record['delivered']} delivered")
+        stage = record["stage_seconds"]
+        stage_text = "  ".join(
+            f"{name}={stage[name]:.3f}s"
+            for name in ("build", "load", "warm", "query")
+            if stage[name] is not None)
+        print(f"stages: {stage_text}")
         print(stats.describe())
-    # Routes must always deliver (the hierarchy has an exact-path fallback);
-    # distance estimates may legitimately be infinite for pairs the scheme's
-    # bunches never cover, so they do not affect the exit code.
-    return 0 if config.kind == "distance" or delivered == len(workload) else 1
+    # Routes must always deliver (the hierarchy has an exact-path
+    # fallback); trace replays may mix kinds per batch, so the check is
+    # per-batch, not on the configured default kind.
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -232,6 +232,10 @@ class ServingConfig:
     / ``auto`` built in) selecting how batch queries probe the routing
     tables; like ``partitioner`` it is validated against the registry when
     the service opens.
+    ``telemetry`` enables per-stage span recording (artifact load, cache
+    probes, kernel batches, scatter/gather) into a live metrics registry,
+    exported through ``query_stats().extra["telemetry"]``; off by default
+    so the hot path runs on the no-op registry.
     """
 
     artifact_path: Optional[str] = None
@@ -244,6 +248,7 @@ class ServingConfig:
     batch_size: int = 64
     kind: str = "route"
     kernel: str = "auto"
+    telemetry: bool = False
     start_method: Optional[str] = None
     warm_timeout: float = 120.0
     reply_timeout: float = 300.0
@@ -283,6 +288,7 @@ class ServingConfig:
             "batch_size": self.batch_size,
             "kind": self.kind,
             "kernel": self.kernel,
+            "telemetry": self.telemetry,
             "start_method": self.start_method,
             "warm_timeout": self.warm_timeout,
             "reply_timeout": self.reply_timeout,

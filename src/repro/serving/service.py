@@ -28,6 +28,7 @@ import warnings
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..graphs.weighted_graph import WeightedGraph
+from ..obs.metrics import make_registry
 from ..routing.compact import build_compact_routing
 from ..routing.tables import RouteTrace
 from ..routing.tz_hierarchy import CompactRoutingHierarchy
@@ -114,20 +115,34 @@ class RoutingService:
         queries probe the routing tables; answers are identical across
         kernels, so ``"auto"`` (columnar whenever the backing store is a
         v2 mmap artifact) is safe everywhere.
+    telemetry:
+        When true, per-stage spans (cache probes, kernel batches, group
+        decodes, warm-up) record into a live
+        :class:`~repro.obs.metrics.MetricsRegistry`, exported through
+        ``query_stats().extra["telemetry"]``.  Off by default: the no-op
+        registry keeps the hot path allocation-free.
+    metrics:
+        An explicit registry to record into (overrides ``telemetry``;
+        the factory constructors use it to capture build/load spans that
+        happen before the service object exists).
     """
 
     def __init__(self, hierarchy: CompactRoutingHierarchy,
                  cache_size: int = 4096,
                  stats: Optional[ServingStats] = None,
                  cache_config: Optional[CacheConfig] = None,
-                 kernel: str = "auto") -> None:
+                 kernel: str = "auto", telemetry: bool = False,
+                 metrics=None) -> None:
         if cache_config is None:
             cache_config = CacheConfig(capacity=cache_size)
         self.hierarchy = hierarchy
         self.cache_config = cache_config
         self.kernel = kernel
+        self.metrics = metrics if metrics is not None \
+            else make_registry(telemetry)
         self._kernel_active = resolve_query_kernel(kernel, hierarchy)
         hierarchy.set_pivot_row_cache_cap(cache_config.pivot_cache_cap)
+        hierarchy.set_metrics_registry(self.metrics)
         self.stats = stats if stats is not None else ServingStats()
         make_cache = get_cache_policy(cache_config.policy)
         self.route_cache = make_cache(cache_config.capacity)
@@ -156,20 +171,25 @@ class RoutingService:
               seed: int = 0, mode: str = "auto", engine: str = "batched",
               cache_size: int = 4096,
               cache_config: Optional[CacheConfig] = None,
-              kernel: str = "auto", **build_kwargs) -> "RoutingService":
+              kernel: str = "auto", telemetry: bool = False,
+              **build_kwargs) -> "RoutingService":
         """Build a hierarchy from scratch and wrap it in a service."""
         stats = ServingStats()
+        metrics = make_registry(telemetry)
         start = time.perf_counter()
-        hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon, seed=seed,
-                                          mode=mode, engine=engine, **build_kwargs)
+        with metrics.span("hierarchy_build"):
+            hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon,
+                                              seed=seed, mode=mode,
+                                              engine=engine, **build_kwargs)
         stats.build_seconds = time.perf_counter() - start
         return cls(hierarchy, cache_size=cache_size, stats=stats,
-                   cache_config=cache_config, kernel=kernel)
+                   cache_config=cache_config, kernel=kernel, metrics=metrics)
 
     @classmethod
     def load(cls, path: str, cache_size: int = 4096,
              cache_config: Optional[CacheConfig] = None,
-             kernel: str = "auto") -> "RoutingService":
+             kernel: str = "auto", telemetry: bool = False,
+             ) -> "RoutingService":
         """Load a persisted hierarchy artifact and serve from it.
 
         The artifact format decides the load path: format 1 unpickles the
@@ -179,8 +199,10 @@ class RoutingService:
         so ``repro-serve --json`` reports how this service got its tables.
         """
         stats = ServingStats()
+        metrics = make_registry(telemetry)
         start = time.perf_counter()
-        hierarchy, info = load_hierarchy(path)
+        with metrics.span("artifact_load"):
+            hierarchy, info = load_hierarchy(path)
         stats.load_seconds = time.perf_counter() - start
         stats.artifact_bytes = info.payload_bytes
         stats.extra["artifact_path"] = path
@@ -195,7 +217,7 @@ class RoutingService:
         if madvised is not None:
             stats.extra["madvise_sections"] = list(madvised)
         return cls(hierarchy, cache_size=cache_size, stats=stats,
-                   cache_config=cache_config, kernel=kernel)
+                   cache_config=cache_config, kernel=kernel, metrics=metrics)
 
     @classmethod
     def build_or_load(cls, path: str, graph: Optional[WeightedGraph] = None,
@@ -310,33 +332,35 @@ class RoutingService:
         resolved: Dict[_Pair, float] = {}
         misses: List[_Pair] = []
         pending = set()
-        for key in pairs:
-            if key in resolved or key in pending:
-                continue
-            hot = self._hot_distances.get(key, _MISS)
-            if hot is not _MISS:
-                self.stats.hot_hits += 1
-                if self._hot_policy is not None:
-                    self._hot_policy.on_hot_hit(self, key, "distance")
-                resolved[key] = hot
-                continue
-            cached = self.distance_cache.get(key, _MISS)
-            if cached is not _MISS:
-                self.stats.cache_hits += 1
-                if self._hot_policy is not None:
-                    self._hot_policy.on_cache_hit(self, key, "distance",
-                                                  cached)
-                resolved[key] = cached
-            else:
-                self.stats.cache_misses += 1
-                pending.add(key)
-                misses.append(key)
+        with self.metrics.span("cache_probe"):
+            for key in pairs:
+                if key in resolved or key in pending:
+                    continue
+                hot = self._hot_distances.get(key, _MISS)
+                if hot is not _MISS:
+                    self.stats.hot_hits += 1
+                    if self._hot_policy is not None:
+                        self._hot_policy.on_hot_hit(self, key, "distance")
+                    resolved[key] = hot
+                    continue
+                cached = self.distance_cache.get(key, _MISS)
+                if cached is not _MISS:
+                    self.stats.cache_hits += 1
+                    if self._hot_policy is not None:
+                        self._hot_policy.on_cache_hit(self, key, "distance",
+                                                      cached)
+                    resolved[key] = cached
+                else:
+                    self.stats.cache_misses += 1
+                    pending.add(key)
+                    misses.append(key)
         if misses:
-            answers = self.hierarchy.distance_batch(
-                misses, kernel=self._kernel_active)
-            for key, estimate in zip(misses, answers):
-                resolved[key] = estimate
-                self.distance_cache.put(key, estimate)
+            with self.metrics.span("cache_miss_fill"):
+                answers = self.hierarchy.distance_batch(
+                    misses, kernel=self._kernel_active)
+                for key, estimate in zip(misses, answers):
+                    resolved[key] = estimate
+                    self.distance_cache.put(key, estimate)
         return [resolved[key] for key in pairs]
 
     def route_batch(self, pairs: Sequence[_Pair]) -> List[RouteTrace]:
@@ -359,32 +383,35 @@ class RoutingService:
         resolved: Dict[_Pair, RouteTrace] = {}
         misses: List[_Pair] = []
         pending = set()
-        for key in pairs:
-            if key in resolved or key in pending:
-                continue
-            hot = self._hot_routes.get(key, _MISS)
-            if hot is not _MISS:
-                self.stats.hot_hits += 1
-                if self._hot_policy is not None:
-                    self._hot_policy.on_hot_hit(self, key, "route")
-                resolved[key] = hot
-                continue
-            cached = self.route_cache.get(key, _MISS)
-            if cached is not _MISS:
-                self.stats.cache_hits += 1
-                if self._hot_policy is not None:
-                    self._hot_policy.on_cache_hit(self, key, "route", cached)
-                resolved[key] = cached
-            else:
-                self.stats.cache_misses += 1
-                pending.add(key)
-                misses.append(key)
+        with self.metrics.span("cache_probe"):
+            for key in pairs:
+                if key in resolved or key in pending:
+                    continue
+                hot = self._hot_routes.get(key, _MISS)
+                if hot is not _MISS:
+                    self.stats.hot_hits += 1
+                    if self._hot_policy is not None:
+                        self._hot_policy.on_hot_hit(self, key, "route")
+                    resolved[key] = hot
+                    continue
+                cached = self.route_cache.get(key, _MISS)
+                if cached is not _MISS:
+                    self.stats.cache_hits += 1
+                    if self._hot_policy is not None:
+                        self._hot_policy.on_cache_hit(self, key, "route",
+                                                      cached)
+                    resolved[key] = cached
+                else:
+                    self.stats.cache_misses += 1
+                    pending.add(key)
+                    misses.append(key)
         if misses:
-            answers = self.hierarchy.route_batch(
-                misses, kernel=self._kernel_active)
-            for key, trace in zip(misses, answers):
-                resolved[key] = trace
-                self.route_cache.put(key, trace)
+            with self.metrics.span("cache_miss_fill"):
+                answers = self.hierarchy.route_batch(
+                    misses, kernel=self._kernel_active)
+                for key, trace in zip(misses, answers):
+                    resolved[key] = trace
+                    self.route_cache.put(key, trace)
         return [resolved[key] for key in pairs]
 
     # ==================================================================
@@ -426,17 +453,26 @@ class RoutingService:
         if kind not in ("route", "distance", "both"):
             raise ValueError(f"kind must be route/distance/both, got {kind!r}")
         count = 0
-        for source, target in pairs:
-            self._validate_node(source)
-            self._validate_node(target)
-            key = (source, target)
-            if kind in ("route", "both"):
-                self._hot_routes[key] = self.hierarchy.route(source, target)
-                self.route_cache.discard(key)
-            if kind in ("distance", "both"):
-                self._hot_distances[key] = self.hierarchy.distance(source, target)
-                self.distance_cache.discard(key)
-            count += 1
+        start = time.perf_counter()
+        with self.metrics.span("warmup"):
+            for source, target in pairs:
+                self._validate_node(source)
+                self._validate_node(target)
+                key = (source, target)
+                if kind in ("route", "both"):
+                    self._hot_routes[key] = self.hierarchy.route(source,
+                                                                 target)
+                    self.route_cache.discard(key)
+                if kind in ("distance", "both"):
+                    self._hot_distances[key] = self.hierarchy.distance(
+                        source, target)
+                    self.distance_cache.discard(key)
+                count += 1
+        # Warm-up is provisioning cost, not query traffic: it is recorded
+        # in its own stat (accumulating over repeated precomputes) so the
+        # CLI can report it separately from the serving window.
+        self.stats.warm_seconds = ((self.stats.warm_seconds or 0.0)
+                                   + time.perf_counter() - start)
         self.stats.extra["hot_pairs"] = {"route": len(self._hot_routes),
                                          "distance": len(self._hot_distances)}
         return count
@@ -537,6 +573,8 @@ class RoutingService:
         kern = self.hierarchy.query_kernel(self._kernel_active)
         if kern is not None:
             self.stats.extra["kernel_stats"] = dict(kern.stats)
+        if self.metrics.enabled:
+            self.stats.extra["telemetry"] = self.metrics.export()
         return self.stats
 
     def describe(self) -> str:
@@ -556,7 +594,7 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
                           cache: Optional[CacheConfig] = None,
                           save: bool = True,
                           metadata: Optional[Dict[str, Any]] = None,
-                          kernel: str = "auto",
+                          kernel: str = "auto", telemetry: bool = False,
                           **build_kwargs) -> RoutingService:
     """Load the artifact at ``path`` if it exists, else build (and save).
 
@@ -608,14 +646,15 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
                     + ", ".join(f"{key}={have!r} (requested {want!r})"
                                 for key, (have, want) in sorted(stale.items()))
                     + "; delete the artifact to rebuild")
-        return RoutingService.load(path, cache_config=cache, kernel=kernel)
+        return RoutingService.load(path, cache_config=cache, kernel=kernel,
+                                   telemetry=telemetry)
     if graph is None:
         raise ValueError(f"artifact {path!r} does not exist and no graph "
                          "was provided to build from")
     service = RoutingService.build(
         graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
         mode=build.mode, engine=build.engine, cache_config=cache,
-        kernel=kernel, **build_kwargs)
+        kernel=kernel, telemetry=telemetry, **build_kwargs)
     if save:
         info = service.save(path, metadata=metadata,
                             format=build.artifact_format)

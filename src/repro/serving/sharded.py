@@ -44,6 +44,7 @@ import warnings
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs.weighted_graph import WeightedGraph
+from ..obs.metrics import make_registry, merge_exports
 from .cache import ServingStats
 from .config import BuildConfig, CacheConfig
 from .partitioners import make_partitioner
@@ -70,7 +71,7 @@ class ShardError(RuntimeError):
 
 
 def _shard_worker(worker_id: int, artifact_path: str,
-                  cache_config: CacheConfig, kernel: str,
+                  cache_config: CacheConfig, kernel: str, telemetry: bool,
                   task_queue, result_queue) -> None:
     """Worker main loop (module-level so it stays picklable under spawn).
 
@@ -95,7 +96,7 @@ def _shard_worker(worker_id: int, artifact_path: str,
     try:
         service = RoutingService.load(artifact_path,
                                       cache_config=cache_config,
-                                      kernel=kernel)
+                                      kernel=kernel, telemetry=telemetry)
     except BaseException as exc:
         result_queue.put(("failed", worker_id,
                           f"{type(exc).__name__}: {exc}"))
@@ -197,7 +198,7 @@ class ShardedRoutingService:
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
                  stats: Optional[ServingStats] = None,
-                 kernel: str = "auto") -> None:
+                 kernel: str = "auto", telemetry: bool = False) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         # Resolving the partitioner up front also validates the name (the
@@ -242,6 +243,11 @@ class ShardedRoutingService:
         self.cache_size = cache_config.capacity
         self.sub_artifact_paths = sub_artifact_paths
         self.kernel = kernel
+        self.telemetry = telemetry
+        #: Front-end registry: scatter/gather spans live here; per-worker
+        #: span histograms live in the workers and merge through
+        #: ``ServingStats.merge`` (see :meth:`merged_stats`).
+        self.metrics = make_registry(telemetry)
         self.graph = graph
         self.stats = stats if stats is not None else ServingStats()
         self.stats.extra.setdefault("workers", num_workers)
@@ -361,7 +367,8 @@ class ShardedRoutingService:
             process = self._ctx.Process(
                 target=_shard_worker,
                 args=(worker_id, worker_artifact, self.cache_config,
-                      self.kernel, task_queue, self._result_queue),
+                      self.kernel, self.telemetry, task_queue,
+                      self._result_queue),
                 daemon=True, name=f"repro-shard-{worker_id}")
             process.start()
             self._workers.append(_WorkerHandle(worker_id, process, task_queue))
@@ -504,28 +511,30 @@ class ShardedRoutingService:
         self.stats.batched_queries += len(pairs)
         if not pairs:
             return []
-        shards = self._partitioner.partition(pairs)
-        self._request_counter += 1
-        request_id = self._request_counter
-        pending = set()
-        for handle, shard in zip(self._workers, shards):
-            if shard:
-                handle.task_queue.put(("query", request_id, kind, shard))
-                pending.add(handle.worker_id)
+        with self.metrics.span("scatter"):
+            shards = self._partitioner.partition(pairs)
+            self._request_counter += 1
+            request_id = self._request_counter
+            pending = set()
+            for handle, shard in zip(self._workers, shards):
+                if shard:
+                    handle.task_queue.put(("query", request_id, kind, shard))
+                    pending.add(handle.worker_id)
         results: List = [None] * len(pairs)
-        while pending:
-            message = self._collect()
-            tag = message[0]
-            if tag == "error":
-                summary, worker_traceback = message[3], message[4]
-                self._abort()
-                raise ShardError(
-                    f"worker {message[1]} failed answering {kind} batch: "
-                    f"{summary}", worker_traceback=worker_traceback)
-            if tag == "ok" and message[2] == request_id:
-                for index, value in message[3]:
-                    results[index] = value
-                pending.discard(message[1])
+        with self.metrics.span("gather"):
+            while pending:
+                message = self._collect()
+                tag = message[0]
+                if tag == "error":
+                    summary, worker_traceback = message[3], message[4]
+                    self._abort()
+                    raise ShardError(
+                        f"worker {message[1]} failed answering {kind} batch: "
+                        f"{summary}", worker_traceback=worker_traceback)
+                if tag == "ok" and message[2] == request_id:
+                    for index, value in message[3]:
+                        results[index] = value
+                    pending.discard(message[1])
         if (self._partitioner.wants_feedback
                 and self.stats.batches % self._partitioner.feedback_every == 0):
             # Adaptive partitioners rebalance on observed per-worker hit
@@ -592,6 +601,11 @@ class ShardedRoutingService:
         merged.extra["artifact_path"] = self.artifact_path
         merged.extra["sub_artifacts"] = self.sub_artifact_paths is not None
         merged.extra["scatter_batches"] = self.stats.batches
+        if self.metrics.enabled:
+            # Fold the front-end's own spans (scatter/gather) into the
+            # per-worker telemetry the merge already summed.
+            merged.extra["telemetry"] = merge_exports(
+                [merged.extra.get("telemetry", {}), self.metrics.export()])
         merged.extra.update(self._partitioner.describe())
         if self._undrained_workers:
             merged.extra["undrained_workers"] = list(self._undrained_workers)

@@ -58,17 +58,55 @@ __all__ = [
 
 @dataclass
 class QueryWorkload:
-    """A named stream of ``(source, target)`` queries plus its parameters."""
+    """A named stream of ``(source, target)`` queries plus its parameters.
+
+    Most workloads are an unshaped stream: the driver chunks ``pairs`` by
+    its own batch size and issues every batch with one query kind.
+    Replayed traces carry their *recorded* shape instead: when
+    ``batch_sizes`` (and optionally per-batch ``batch_kinds``) are set,
+    :meth:`iter_batches` yields exactly those batches, so a recorded
+    session replays batch-for-batch rather than being re-chunked.
+    """
 
     name: str
     pairs: List[Tuple[Hashable, Hashable]]
     params: Dict[str, object] = field(default_factory=dict)
+    #: Recorded batch shaping (trace replay); ``None`` = driver chooses.
+    batch_sizes: Optional[List[int]] = None
+    #: Per-batch query kinds, parallel to ``batch_sizes``.
+    batch_kinds: Optional[List[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.batch_sizes is not None:
+            if sum(self.batch_sizes) != len(self.pairs):
+                raise ValueError(
+                    f"batch_sizes sum to {sum(self.batch_sizes)} but the "
+                    f"workload holds {len(self.pairs)} pairs")
+            if (self.batch_kinds is not None
+                    and len(self.batch_kinds) != len(self.batch_sizes)):
+                raise ValueError(
+                    f"{len(self.batch_kinds)} batch_kinds for "
+                    f"{len(self.batch_sizes)} batches")
+        elif self.batch_kinds is not None:
+            raise ValueError("batch_kinds requires batch_sizes")
 
     def __len__(self) -> int:
         return len(self.pairs)
 
     def __iter__(self):
         return iter(self.pairs)
+
+    def iter_batches(self, default_batch_size: int, default_kind: str):
+        """Yield ``(kind, pairs)`` batches, honouring any recorded shape."""
+        if self.batch_sizes is None:
+            for start in range(0, len(self.pairs), default_batch_size):
+                yield default_kind, self.pairs[start:start + default_batch_size]
+            return
+        kinds = self.batch_kinds or [default_kind] * len(self.batch_sizes)
+        cursor = 0
+        for size, kind in zip(self.batch_sizes, kinds):
+            yield kind, self.pairs[cursor:cursor + size]
+            cursor += size
 
     def distinct_pairs(self) -> int:
         return len(set(self.pairs))
@@ -298,14 +336,48 @@ register_workload(
         bursty_workload(graph.nodes(), num_queries, seed=seed, **params))
 
 
+@register_workload("trace")
+def _trace_workload(graph: WeightedGraph, num_queries: int, seed: int = 0,
+                    trace_path: Optional[str] = None) -> QueryWorkload:
+    """Replay a recorded serving session (``repro-serve --trace-out``).
+
+    The trace fully determines the stream — pairs, kinds, and batch
+    boundaries — so ``num_queries`` and ``seed`` are intentionally
+    ignored (the recorded session *is* the workload).  Every recorded
+    node must exist in the graph being served, otherwise the trace
+    belongs to a different graph and replay would be meaningless.
+    """
+    if not trace_path:
+        raise ValueError("the trace workload requires trace_path= "
+                         "(repro-serve --trace-path FILE)")
+    # Call-time import keeps repro.obs a dependency leaf of this package.
+    from ..obs.trace import load_trace
+
+    trace = load_trace(trace_path)
+    known = set(graph.nodes())
+    for s, t in trace.pairs():
+        if s not in known or t not in known:
+            raise ValueError(
+                f"trace {trace_path!r} references node(s) {(s, t)!r} "
+                f"absent from the served graph — recorded against a "
+                f"different graph?")
+    return trace.to_workload()
+
+
 def workload_names() -> Tuple[str, ...]:
     """Currently registered workload names (includes custom registrations)."""
     return WORKLOADS.names()
 
 
-#: The built-in shapes, snapshotted at import time.  Use
-#: :func:`workload_names` to also see shapes registered later.
-WORKLOAD_NAMES = workload_names()
+#: The built-in *generator* shapes, snapshotted at import time: every name
+#: here produces ``num_queries`` pairs from a seed alone.  The ``trace``
+#: workload is registered but deliberately excluded — it replays a
+#: recorded session (requires ``trace_path=``), so generator contracts
+#: (determinism from seed, length == num_queries) don't apply to it.  Use
+#: :func:`workload_names` for the full registry, including shapes
+#: registered later.
+WORKLOAD_NAMES = tuple(name for name in workload_names()
+                       if name != "trace")
 
 PARTITION_STRATEGIES = ("round_robin", "hash_pair", "hash_source")
 

@@ -1,0 +1,204 @@
+"""Trace capture/replay: artifact format, recorder, and workload identity."""
+
+import json
+
+import pytest
+
+from repro import graphs
+from repro.obs.trace import (
+    SessionTrace,
+    TraceBatch,
+    TraceError,
+    TraceRecorder,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
+from repro.serving import (
+    BuildConfig,
+    CacheConfig,
+    ServingConfig,
+    open_service,
+)
+from repro.serving.cli import main as serve_main
+
+
+def _graph(seed=2):
+    return graphs.erdos_renyi_graph(24, 0.25,
+                                    graphs.uniform_weights(1, 20),
+                                    seed=seed)
+
+
+def _sample_trace():
+    return SessionTrace(batches=[
+        TraceBatch(kind="route", pairs=((0, 5), (1, 6), (2, 7)),
+                   offset_seconds=0.0),
+        TraceBatch(kind="distance", pairs=((3, 8),), offset_seconds=0.1),
+        TraceBatch(kind="route", pairs=((4, 9), (0, 9)),
+                   offset_seconds=0.25),
+    ], meta={"note": "sample"})
+
+
+class TestTraceFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "s.trace")
+        trace = _sample_trace()
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_queries == 6
+        assert loaded.pairs() == trace.pairs()
+        assert loaded.batch_sizes() == [3, 1, 2]
+        assert loaded.kinds() == ["route", "distance", "route"]
+        assert loaded.meta["note"] == "sample"
+        assert [b.offset_seconds for b in loaded.batches] \
+            == [0.0, 0.1, 0.25]
+
+    def test_checksum_tamper_detected(self, tmp_path):
+        path = str(tmp_path / "s.trace")
+        save_trace(_sample_trace(), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            header, body = handle.read().split("\n", 1)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(header + "\n" + body.replace('"route"',
+                                                      '"distance"', 1))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.trace")
+        path_obj = tmp_path / "bogus.trace"
+        path_obj.write_text("NOT-A-TRACE v9\n{}")
+        with pytest.raises(TraceError):
+            load_trace(str(path))
+
+    def test_non_json_safe_nodes_rejected(self, tmp_path):
+        trace = SessionTrace(batches=[
+            TraceBatch(kind="route", pairs=(((1, 2), 3),),
+                       offset_seconds=0.0)])
+        with pytest.raises(TraceError):
+            save_trace(trace, str(tmp_path / "bad.trace"))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBatch(kind="teleport", pairs=((0, 1),), offset_seconds=0.0)
+
+
+class TestTraceWorkload:
+    def test_to_workload_preserves_batch_shape(self):
+        workload = _sample_trace().to_workload()
+        assert workload.name == "trace"
+        assert len(workload) == 6
+        batches = list(workload.iter_batches(default_batch_size=64,
+                                             default_kind="route"))
+        # recorded shape wins over the defaults
+        assert [(kind, len(pairs)) for kind, pairs in batches] \
+            == [("route", 3), ("distance", 1), ("route", 2)]
+        flat = [pair for _, pairs in batches for pair in pairs]
+        assert flat == _sample_trace().pairs()
+
+    def test_plain_workload_batches_by_default_size(self):
+        from repro.serving.workloads import uniform_workload
+        workload = uniform_workload(list(_graph().nodes()), 10, seed=1)
+        batches = list(workload.iter_batches(default_batch_size=4,
+                                             default_kind="distance"))
+        assert [(kind, len(pairs)) for kind, pairs in batches] \
+            == [("distance", 4), ("distance", 4), ("distance", 2)]
+
+
+class TestRecordReplayIdentity:
+    def _record(self, backend, graph):
+        nodes = sorted(graph.nodes())
+        recorder = TraceRecorder(backend)
+        answers = []
+        answers.append(recorder.route_batch(
+            [(nodes[0], nodes[-1]), (nodes[1], nodes[-2])]))
+        answers.append(recorder.distance_batch(
+            [(nodes[2], nodes[-3]), (nodes[0], nodes[-1]),
+             (nodes[3], nodes[5])]))
+        answers.append(recorder.route_batch([(nodes[4], nodes[-4])]))
+        flat = [a for batch in answers for a in batch]
+        return recorder, flat
+
+    def test_local_replay_is_identical(self, tmp_path):
+        graph = _graph()
+        config = ServingConfig(build=BuildConfig(k=2, seed=3),
+                               cache=CacheConfig(capacity=16))
+        path = str(tmp_path / "local.trace")
+        with open_service(config, graph=graph) as backend:
+            recorder, original = self._record(backend, graph)
+            recorder.save(path, meta={"scenario": "local"})
+            replayed = replay_trace(backend, load_trace(path))
+            assert replayed == original
+
+    def test_sharded_replay_matches_local_recording(self, tmp_path):
+        graph = _graph()
+        artifact = str(tmp_path / "shard.artifact")
+        local = ServingConfig(artifact_path=artifact,
+                              build=BuildConfig(k=2, seed=3),
+                              cache=CacheConfig(capacity=16))
+        path = str(tmp_path / "shard.trace")
+        with open_service(local, graph=graph) as backend:
+            recorder, original = self._record(backend, graph)
+            recorder.save(path)
+        trace = load_trace(path)
+        sharded = ServingConfig(artifact_path=artifact, workers=2,
+                                build=BuildConfig(k=2, seed=3),
+                                cache=CacheConfig(capacity=16))
+        with open_service(sharded, graph=graph) as backend:
+            assert replay_trace(backend, trace) == original
+
+    def test_recorder_delegates_backend_surface(self):
+        graph = _graph()
+        config = ServingConfig(build=BuildConfig(k=2, seed=3))
+        with open_service(config, graph=graph) as backend:
+            with TraceRecorder(backend) as recorder:
+                recorder.route_batch([(sorted(graph.nodes())[0],
+                                       sorted(graph.nodes())[-1])])
+                assert recorder.graph is backend.graph
+                assert recorder.query_stats().queries == 1
+                # non-protocol extras pass through
+                assert recorder.hierarchy is backend.hierarchy
+
+
+class TestCliTraceFlow:
+    def test_record_then_replay_via_cli(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "cli.trace")
+        base = ["--graph", "er:n=25,p=0.2,seed=2,weights=uniform:1:20",
+                "--k", "2"]
+        assert serve_main(base + ["--workload", "bursty", "--queries",
+                                  "120", "--batch-size", "30",
+                                  "--trace-out", trace_path,
+                                  "--json"]) == 0
+        recorded = json.loads(capsys.readouterr().out)
+        assert serve_main(base + ["--workload", "trace",
+                                  "--trace-path", trace_path,
+                                  "--json"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["workload"] == "trace"
+        assert replayed["queries"] == recorded["queries"]
+        assert replayed["delivered"] == recorded["delivered"]
+        # batch shaping survived the round trip
+        assert replayed["batches"] == recorded["batches"]
+        meta = load_trace(trace_path).meta
+        assert meta["workload"] == "bursty"
+        assert meta["batch_size"] == 30
+
+    def test_trace_workload_requires_trace_path(self):
+        with pytest.raises(SystemExit):
+            serve_main(["--graph", "grid:rows=4,cols=4",
+                        "--workload", "trace"])
+
+    def test_trace_path_rejected_off_trace_workload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            serve_main(["--graph", "grid:rows=4,cols=4",
+                        "--workload", "zipf",
+                        "--trace-path", str(tmp_path / "x.trace")])
+
+    def test_trace_replay_rejects_foreign_nodes(self, tmp_path):
+        trace_path = str(tmp_path / "foreign.trace")
+        save_trace(SessionTrace(batches=[
+            TraceBatch(kind="route", pairs=((900, 901),),
+                       offset_seconds=0.0)]), trace_path)
+        with pytest.raises(ValueError, match="absent from the served graph"):
+            serve_main(["--graph", "grid:rows=4,cols=4", "--k", "2",
+                        "--workload", "trace", "--trace-path", trace_path])

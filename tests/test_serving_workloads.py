@@ -46,6 +46,11 @@ class TestCommonProperties:
     def test_builtin_names_registered(self):
         assert set(WORKLOAD_NAMES) == {"uniform", "zipf", "locality",
                                        "bursty"}
+        # the trace replay workload is registered but is not a generator
+        # shape, so it stays out of the WORKLOAD_NAMES snapshot
+        from repro.serving.workloads import workload_names
+        assert "trace" in workload_names()
+        assert "trace" not in WORKLOAD_NAMES
 
     def test_too_few_nodes_rejected(self):
         tiny = graphs.path_graph(1)
