@@ -31,7 +31,6 @@ first answer; sub-artifacts smaller per worker) hold.
 """
 
 import argparse
-import json
 import multiprocessing
 import os
 import tempfile
@@ -40,6 +39,7 @@ import time
 import pytest
 
 from repro import graphs
+from repro.obs.experiment import record_benchmark_run
 from repro.routing import build_compact_routing
 from repro.serving import (
     RoutingService,
@@ -240,6 +240,10 @@ def main(argv=None) -> int:
                         help="exit non-zero unless sub-artifacts shrink mean "
                              "per-worker table bytes by this factor")
     parser.add_argument("--out", default="BENCH_artifact_load.json")
+    parser.add_argument("--run-dir", default=None,
+                        help="run directory to write (repro-experiment "
+                             "layout; default runs/bench_artifact_load/"
+                             "<utc-timestamp>-<pid>)")
     args = parser.parse_args(argv)
 
     records = []
@@ -277,9 +281,12 @@ def main(argv=None) -> int:
                     "Zipf batch answered per probe",
         "records": records,
     }
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"wrote {args.out}")
+    record_benchmark_run(
+        "bench_artifact_load", payload,
+        {"n": args.n, "seed": args.seed, "k": args.k,
+         "queries": args.queries, "workers": args.workers,
+         "kind": args.kind},
+        out_path=args.out, run_dir=args.run_dir)
 
     final = records[-1]
     if args.min_ttfa_speedup is not None \

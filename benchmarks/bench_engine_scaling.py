@@ -20,7 +20,6 @@ small smoke configuration and asserts the speedup.
 """
 
 import argparse
-import json
 import math
 import time
 
@@ -28,6 +27,7 @@ import pytest
 
 from repro import graphs
 from repro.core import solve_pde
+from repro.obs.experiment import record_benchmark_run
 
 
 def make_workload(n: int, seed: int = 0):
@@ -117,6 +117,10 @@ def main(argv=None) -> int:
     parser.add_argument("--logical-cutoff", type=int, default=1000,
                         help="skip the per-source engine above this n")
     parser.add_argument("--out", default="BENCH_engine_scaling.json")
+    parser.add_argument("--run-dir", default=None,
+                        help="run directory to write (repro-experiment "
+                             "layout; default runs/bench_engine_scaling/"
+                             "<utc-timestamp>-<pid>)")
     args = parser.parse_args(argv)
 
     records = []
@@ -138,9 +142,11 @@ def main(argv=None) -> int:
         "workload": "ER avg-degree-6, weights 1..32, |S|=ceil(sqrt(n) ln n)",
         "records": records,
     }
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"wrote {args.out}")
+    record_benchmark_run(
+        "bench_engine_scaling", payload,
+        {"sizes": args.sizes, "seed": args.seed, "epsilon": args.epsilon,
+         "logical_cutoff": args.logical_cutoff},
+        out_path=args.out, run_dir=args.run_dir)
 
     mismatches = [r for r in records if r["lists_identical"] is False]
     return 1 if mismatches else 0

@@ -21,7 +21,18 @@ scatter/gather path — IPC costs included — and on multi-core hosts the cold
 (first-pass) numbers additionally scale with cores.  ``cpu_count`` is
 recorded so the two effects can be told apart when comparing records.
 
-Run as a script to produce the JSON artifact consumed by CI:
+Since the PR-8 transport refactor the front-end's scatter/gather is
+**pipelined** (``submit_batch`` / ``wait_batch`` with per-worker in-flight
+windows), and this benchmark records that axis too: the same warm stream
+driven strictly sequentially (submit, wait, submit, ...) vs pipelined
+(up to ``window`` batches in flight).  Small batches make the sequential
+path round-trip-latency-bound — the submitter sleeps through every IPC
+hop while the workers idle — which is precisely what the pipeline hides;
+the effect needs no spare cores, so it also holds on 1-CPU runners.
+
+Run as a script to produce the JSON artifact consumed by CI (the flat
+JSON is derived from a ``repro-experiment``-layout run directory, so
+every invocation is also a ``repro-experiment compare`` citizen):
 
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py \\
         --n 500 --workers 1 2 4 --out BENCH_shard_scaling.json
@@ -32,14 +43,15 @@ sharded answers are list-for-list identical to single-process serving.
 
 import argparse
 import dataclasses
-import json
 import os
 import tempfile
 import time
+from collections import deque
 
 import pytest
 
 from repro import graphs
+from repro.obs.experiment import record_benchmark_run
 from repro.serving import (
     BuildConfig,
     CacheConfig,
@@ -62,6 +74,87 @@ def _timed_pass(service, chunks) -> float:
     for chunk in chunks:
         service.route_batch(chunk)
     return time.perf_counter() - start
+
+
+def _timed_pipelined_pass(service, chunks, window: int) -> float:
+    """Replay the stream keeping up to ``window`` batches in flight."""
+    start = time.perf_counter()
+    tickets = deque()
+    for chunk in chunks:
+        while len(tickets) >= window:
+            service.wait_batch(tickets.popleft())
+        tickets.append(service.submit_batch("route", chunk))
+    while tickets:
+        service.wait_batch(tickets.popleft())
+    return time.perf_counter() - start
+
+
+def run_pipeline_comparison(n: int, workers: int = 4, seed: int = 0,
+                            k: int = 3, epsilon: float = 0.25,
+                            num_queries: int = 6000, batch_size: int = 20,
+                            window: int = 12, passes: int = 3) -> dict:
+    """Pipelined vs sequential scatter/gather on one warm sharded front-end.
+
+    Small batches + a warm cache put the sequential path in the regime
+    where per-batch IPC round-trip latency dominates; the pipelined driver
+    replays the *same* stream with up to ``window`` tickets in flight.
+    Each driver runs ``passes`` times and keeps its best pass (steady
+    state, minimal scheduler noise).  Answers are asserted identical
+    between the two drivers — pipelining reorders work, never answers.
+    """
+    graph = make_serving_graph(n, seed=seed)
+    workload = uniform_workload(graph.nodes(), num_queries, seed=seed)
+    chunks = [workload.pairs[lo:lo + batch_size]
+              for lo in range(0, len(workload.pairs), batch_size)]
+
+    with tempfile.TemporaryDirectory(prefix="repro-pipe-bench-") as tmp:
+        artifact = os.path.join(tmp, "hierarchy.artifact")
+        open_service(ServingConfig(
+            artifact_path=artifact,
+            build=BuildConfig(k=k, epsilon=epsilon, seed=seed),
+            cache=CacheConfig(capacity=0)), graph=graph)
+        with ShardedRoutingService(
+                artifact, num_workers=workers,
+                cache_config=CacheConfig(capacity=2 * num_queries),
+                pipeline_depth=2 * window, max_inflight=window,
+                graph=graph) as sharded:
+            # One unmeasured pass warms every worker cache: both drivers
+            # then replay an all-hit stream, so the comparison isolates
+            # scatter/gather overhead rather than routing compute.
+            _timed_pass(sharded, chunks)
+            sequential = [trace for chunk in chunks
+                          for trace in sharded.route_batch(chunk)]
+            tickets = [sharded.submit_batch("route", chunk)
+                       for chunk in chunks[:window]]
+            pipelined = []
+            for chunk in chunks[window:]:
+                pipelined.extend(sharded.wait_batch(tickets.pop(0)))
+                tickets.append(sharded.submit_batch("route", chunk))
+            for ticket in tickets:
+                pipelined.extend(sharded.wait_batch(ticket))
+            identical = ([t.path for t in pipelined]
+                         == [t.path for t in sequential])
+            seq_seconds = min(_timed_pass(sharded, chunks)
+                              for _ in range(passes))
+            pipe_seconds = min(_timed_pipelined_pass(sharded, chunks, window)
+                               for _ in range(passes))
+    return {
+        "n": n,
+        "workers": workers,
+        "num_queries": num_queries,
+        "batch_size": batch_size,
+        "batches": len(chunks),
+        "window": window,
+        "passes": passes,
+        "cpu_count": os.cpu_count(),
+        "sequential_qps": round(num_queries / seq_seconds, 1)
+                          if seq_seconds > 0 else float("inf"),
+        "pipelined_qps": round(num_queries / pipe_seconds, 1)
+                         if pipe_seconds > 0 else float("inf"),
+        "pipelined_speedup": round(seq_seconds / pipe_seconds, 2)
+                             if pipe_seconds > 0 else float("inf"),
+        "identical_answers": identical,
+    }
 
 
 def run_shard_scaling(n: int, worker_counts=(1, 2, 4), seed: int = 0,
@@ -183,6 +276,23 @@ def test_shard_scaling_smoke(benchmark):
     assert hit_rates[-1] > hit_rates[0]
 
 
+@pytest.mark.benchmark(group="sharding")
+def test_pipelined_scatter_gather_smoke(benchmark):
+    record = benchmark.pedantic(
+        lambda: run_pipeline_comparison(80, workers=2, num_queries=800,
+                                        batch_size=20, window=8, passes=2),
+        iterations=1, rounds=1)
+    print()
+    print(f"sequential {record['sequential_qps']:>10} q/s  "
+          f"pipelined {record['pipelined_qps']:>10} q/s  "
+          f"({record['pipelined_speedup']}x, window {record['window']})")
+    # Pipelining reorders work, never answers.
+    assert record["identical_answers"] is True
+    # No throughput floor at smoke scale (CI runners are noisy); the full
+    # run gates on --min-pipeline-speedup instead.
+    assert record["pipelined_qps"] > 0
+
+
 # ----------------------------------------------------------------------
 # CLI entry point (full scale, JSON artifact)
 # ----------------------------------------------------------------------
@@ -200,7 +310,23 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="exit non-zero unless the largest worker count "
                              "reaches this steady-state speedup over 1 worker")
+    parser.add_argument("--pipeline-workers", type=int, default=4,
+                        help="worker count for the pipelined-vs-sequential "
+                             "comparison (0 skips it)")
+    parser.add_argument("--pipeline-queries", type=int, default=6000)
+    parser.add_argument("--pipeline-batch-size", type=int, default=20,
+                        help="small on purpose: the sequential driver must "
+                             "be round-trip-latency-bound for the pipeline "
+                             "to have anything to hide")
+    parser.add_argument("--pipeline-window", type=int, default=12)
+    parser.add_argument("--min-pipeline-speedup", type=float, default=None,
+                        help="exit non-zero unless pipelined scatter/gather "
+                             "beats sequential by this factor")
     parser.add_argument("--out", default="BENCH_shard_scaling.json")
+    parser.add_argument("--run-dir", default=None,
+                        help="run directory to write (repro-experiment "
+                             "layout; default runs/bench_shard_scaling/"
+                             "<utc-timestamp>-<pid>)")
     args = parser.parse_args(argv)
 
     record = run_shard_scaling(args.n, worker_counts=tuple(args.workers),
@@ -219,6 +345,21 @@ def main(argv=None) -> int:
               f"(hit rate {entry['steady_cache_hit_rate']:.0%}, "
               f"speedup {entry['steady_speedup']}x)")
 
+    pipeline_record = None
+    if args.pipeline_workers > 0:
+        pipeline_record = run_pipeline_comparison(
+            args.n, workers=args.pipeline_workers, seed=args.seed, k=args.k,
+            num_queries=args.pipeline_queries,
+            batch_size=args.pipeline_batch_size,
+            window=args.pipeline_window)
+        print(f"pipeline ({pipeline_record['workers']} workers, "
+              f"batch {pipeline_record['batch_size']}, "
+              f"window {pipeline_record['window']}): "
+              f"sequential {pipeline_record['sequential_qps']:>10} q/s  "
+              f"pipelined {pipeline_record['pipelined_qps']:>10} q/s  "
+              f"speedup {pipeline_record['pipelined_speedup']}x  "
+              f"identical={pipeline_record['identical_answers']}")
+
     payload = {
         "benchmark": "shard_scaling",
         "description": "ShardedRoutingService aggregate route-query "
@@ -232,17 +373,45 @@ def main(argv=None) -> int:
                     "query stream replayed after one warming pass",
         "records": [record],
     }
-    with open(args.out, "w") as fh:
-        json.dump(payload, fh, indent=2)
-    print(f"wrote {args.out}")
+    if pipeline_record is not None:
+        payload["pipeline"] = {
+            "description": "pipelined vs sequential scatter/gather on one "
+                           "warm sharded front-end: the same small-batch "
+                           "stream driven submit/wait strictly in turn vs "
+                           "with a bounded in-flight window; the speedup "
+                           "is hidden IPC round-trip latency, so it holds "
+                           "on single-core hosts (answers asserted "
+                           "identical between drivers)",
+            "records": [pipeline_record],
+        }
+    record_benchmark_run(
+        "bench_shard_scaling", payload,
+        {"n": args.n, "workers": args.workers, "seed": args.seed,
+         "k": args.k, "queries": args.queries,
+         "batch_size": args.batch_size, "cache": args.cache,
+         "pipeline_workers": args.pipeline_workers,
+         "pipeline_queries": args.pipeline_queries,
+         "pipeline_batch_size": args.pipeline_batch_size,
+         "pipeline_window": args.pipeline_window},
+        out_path=args.out, run_dir=args.run_dir)
 
+    failed = False
     if args.min_speedup is not None:
         achieved = record["scaling"][-1]["steady_speedup"]
         if achieved < args.min_speedup:
             print(f"FAIL: steady speedup {achieved}x < "
                   f"required {args.min_speedup}x")
-            return 1
-    return 0
+            failed = True
+    if args.min_pipeline_speedup is not None and pipeline_record is not None:
+        achieved = pipeline_record["pipelined_speedup"]
+        if not pipeline_record["identical_answers"]:
+            print("FAIL: pipelined answers differ from sequential")
+            failed = True
+        if achieved < args.min_pipeline_speedup:
+            print(f"FAIL: pipelined speedup {achieved}x < "
+                  f"required {args.min_pipeline_speedup}x")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ __all__ = [
     "path_graph",
     "cycle_graph",
     "grid_graph",
+    "road_grid_graph",
     "complete_graph",
     "star_graph",
     "random_tree",
@@ -140,6 +141,76 @@ def grid_graph(rows: int, cols: int, weights: Optional[WeightStrategy] = None,
             if r + 1 < rows:
                 edges.append((node, node + cols))
     return _apply_weights(edges, range(rows * cols), weights, rng)
+
+
+def road_grid_graph(rows: int, cols: int, highway_every: int = 4,
+                    highway_weight: int = 1, street_low: int = 5,
+                    street_high: int = 12, shortcut_fraction: float = 0.02,
+                    seed: int = 0) -> WeightedGraph:
+    """Road-network-like grid: fast highway corridors over slow streets.
+
+    A ``rows x cols`` grid (node ``(r, c)`` numbered ``r * cols + c``,
+    like :func:`grid_graph`) whose edge weights mimic a road hierarchy:
+
+    * every ``highway_every``-th row and column is a *highway corridor* —
+      edges along it cost ``highway_weight``;
+    * all other edges are *local streets* with weights drawn uniformly
+      from ``[street_low, street_high]``;
+    * a ``shortcut_fraction`` of nodes additionally gets one random
+      diagonal shortcut (a bridge/tunnel) to a node two steps away,
+      weighted like a street.
+
+    The result has the signature structure of road networks that makes
+    them a distinct serving workload from ER/BA graphs: low degree,
+    large weighted diameter, and shortest weighted paths that detour
+    many hops along corridors instead of going metrically straight —
+    exactly the hop-vs-weight tension partial distance estimation is
+    about.  Deterministic given ``seed``.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError(f"road_grid_graph needs rows, cols >= 2, "
+                         f"got {rows}x{cols}")
+    if highway_every < 2:
+        raise ValueError(f"highway_every must be >= 2, got {highway_every}")
+    if not 1 <= highway_weight:
+        raise ValueError(f"highway_weight must be >= 1, "
+                         f"got {highway_weight}")
+    if not 1 <= street_low <= street_high:
+        raise ValueError(f"need 1 <= street_low <= street_high, "
+                         f"got {street_low}..{street_high}")
+    if not 0.0 <= shortcut_fraction <= 1.0:
+        raise ValueError(f"shortcut_fraction must be in [0, 1], "
+                         f"got {shortcut_fraction}")
+    rng = random.Random(seed)
+    graph = WeightedGraph()
+    for node in range(rows * cols):
+        graph.add_node(node)
+
+    def street_weight() -> int:
+        return rng.randint(street_low, street_high)
+
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                # Horizontal edge rides row r: a highway iff the row is a
+                # corridor.
+                weight = (highway_weight if r % highway_every == 0
+                          else street_weight())
+                graph.add_edge(node, node + 1, weight)
+            if r + 1 < rows:
+                weight = (highway_weight if c % highway_every == 0
+                          else street_weight())
+                graph.add_edge(node, node + cols, weight)
+    if shortcut_fraction > 0.0:
+        for r in range(rows - 2):
+            for c in range(cols - 2):
+                if rng.random() < shortcut_fraction:
+                    node = r * cols + c
+                    target = (r + 2) * cols + (c + 2)
+                    if not graph.has_edge(node, target):
+                        graph.add_edge(node, target, street_weight())
+    return graph
 
 
 def complete_graph(n: int, weights: Optional[WeightStrategy] = None,

@@ -48,6 +48,7 @@ __all__ = [
     "DEFAULT_THRESHOLDS",
     "environment_provenance",
     "write_run_directory",
+    "record_benchmark_run",
     "load_run",
     "compare_runs",
     "main",
@@ -198,6 +199,31 @@ def write_run_directory(run_dir: str, record: Mapping, config: Mapping,
     _write_json(os.path.join(run_dir, "environment.json"),
                 environment if environment is not None
                 else environment_provenance())
+    return run_dir
+
+
+def record_benchmark_run(name: str, payload: Mapping, config: Mapping,
+                         out_path: Optional[str] = None,
+                         run_dir: Optional[str] = None) -> str:
+    """Persist one benchmark result through the run-directory flow.
+
+    The one wiring every ``benchmarks/bench_*.py`` CLI shares: the payload
+    lands in a run directory (``runs/<name>/<utc-timestamp>-<pid>`` unless
+    ``run_dir`` names one), making it a first-class ``repro-experiment
+    compare`` citizen, and the flat CI artifact (``out_path``) is *derived*
+    from that directory by reading it back — one source of truth, two
+    consumers.  Returns the run directory path.
+    """
+    if run_dir is None:
+        run_id = (time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+                  + f"-{os.getpid()}")
+        run_dir = os.path.join("runs", name, run_id)
+    write_run_directory(run_dir, payload, dict(config, name=name))
+    print(f"wrote run directory {run_dir}")
+    if out_path is not None:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(load_run(run_dir)["metrics"], handle, indent=2)
+        print(f"wrote {out_path}")
     return run_dir
 
 

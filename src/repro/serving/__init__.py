@@ -30,6 +30,13 @@ The public surface (API v2) is one typed, policy-pluggable contract:
   stable-hash, and hit-rate-adaptive);
 * :mod:`repro.serving.workloads` — reproducible uniform / Zipf / locality /
   bursty query-stream generators;
+* :mod:`repro.serving.wire`      — the framed message layer for networked
+  serving (versioned frames, canonical JSON, typed wire errors);
+* :mod:`repro.serving.session`   — :class:`ServerSession` /
+  :class:`ClientSession`: the :class:`QueryBackend` protocol spoken over
+  any byte stream, with a pipelined client window;
+* :mod:`repro.serving.server`    — :class:`RoutingServer`, the long-lived
+  TCP front-end behind ``repro-serve --serve``;
 * :mod:`repro.serving.cli`       — the ``repro-serve`` console entry point.
 
 Telemetry (:mod:`repro.obs`) threads through the whole stack behind
@@ -94,6 +101,22 @@ from .partitioners import (
     make_partitioner,
 )
 from .backend import QueryBackend, open_service
+from .wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    BackpressureError,
+    FrameError,
+    ProtocolVersionError,
+    RemoteError,
+    SessionClosedError,
+    WireError,
+    parse_endpoint,
+    read_frame,
+    write_frame,
+)
+from .session import ClientSession, ServerSession
+from .server import RoutingServer
 from .specs import parse_graph_spec
 from .workloads import (
     PARTITION_STRATEGIES,
@@ -171,6 +194,22 @@ __all__ = [
     "execute_query_shard",
     "ShardedRoutingService",
     "ShardError",
+    # transport: wire protocol, sessions, server
+    "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "FrameError",
+    "ProtocolVersionError",
+    "SessionClosedError",
+    "BackpressureError",
+    "RemoteError",
+    "read_frame",
+    "write_frame",
+    "parse_endpoint",
+    "ServerSession",
+    "ClientSession",
+    "RoutingServer",
     # workloads
     "QueryWorkload",
     "WORKLOAD_NAMES",

@@ -107,6 +107,11 @@ def open_service(config: ServingConfig,
       built in memory (no artifact path), or built-or-loaded from
       ``config.artifact_path`` with the freshness contract of
       :func:`~repro.serving.service.build_or_load_service`;
+    * ``config.connect`` set returns a
+      :class:`~repro.serving.session.ClientSession` speaking the wire
+      protocol to a running ``repro-serve --serve`` server — remote, but
+      indistinguishable from a local backend at this interface (answers
+      are list-for-list identical);
     * ``workers > 1`` returns a :class:`ShardedRoutingService` over the
       artifact (required: workers load the hierarchy by path), building it
       first in the parent when missing.  The front-end is *not* started —
@@ -124,6 +129,16 @@ def open_service(config: ServingConfig,
     ``serving_config`` metadata key, so the artifact carries the provenance
     of the session that created it.
     """
+    if config.connect is not None:
+        # Remote backend: the server owns the graph, artifact and cache;
+        # this session only needs the wire knobs.  Imported lazily so the
+        # common local path never touches the socket machinery.
+        from .session import ClientSession
+
+        return ClientSession.connect(
+            config.connect, reply_timeout=config.reply_timeout,
+            window=config.pipeline_depth, telemetry=config.telemetry)
+
     if graph is None and config.graph_spec is not None:
         graph = parse_graph_spec(config.graph_spec)
     provenance = {"serving_config": config.to_dict()}
@@ -183,6 +198,9 @@ def open_service(config: ServingConfig,
         partitioner=config.partitioner,
         partitioner_params=config.partitioner_params,
         cache_config=config.cache,
+        pipeline_depth=config.pipeline_depth,
+        max_inflight=config.max_inflight,
+        admission=config.admission,
         sub_artifact_paths=sub_paths, start_method=config.start_method,
         warm_timeout=config.warm_timeout, reply_timeout=config.reply_timeout,
         graph=graph, stats=stats, kernel=config.kernel,

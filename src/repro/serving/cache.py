@@ -347,6 +347,29 @@ class ServingStats:
         }
 
     @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServingStats":
+        """Rebuild a stats object from its :meth:`as_dict` form.
+
+        The inverse used by the wire protocol (server snapshots travel as
+        JSON).  ``cache_hit_rate`` is derived, so it is ignored on the way
+        back in; unknown keys raise instead of being silently dropped —
+        a malformed stats frame should fail loudly, not half-apply.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"ServingStats.from_dict expects a dict, "
+                             f"got {type(data).__name__}")
+        known = {"queries", "route_queries", "distance_queries", "batches",
+                 "batched_queries", "cache_hits", "cache_misses",
+                 "hot_hits", "build_seconds", "load_seconds",
+                 "warm_seconds", "artifact_bytes", "extra"}
+        unknown = sorted(set(data) - known - {"cache_hit_rate"})
+        if unknown:
+            raise ValueError(f"unknown ServingStats key(s) {unknown}")
+        fields = {key: data[key] for key in known if key in data}
+        fields["extra"] = dict(fields.get("extra") or {})
+        return cls(**fields)
+
+    @classmethod
     def merge(cls, stats: Iterable["ServingStats"]) -> "ServingStats":
         """Aggregate several stats objects (one per shard worker) into one.
 

@@ -43,7 +43,9 @@ from .specs import parse_graph_spec
 from .workloads import make_workload
 
 __all__ = ["parse_graph_spec", "FLAG_CONFIG_FIELDS", "build_parser",
-           "config_from_args", "run_serving_session", "main"]
+           "config_from_args", "run_serving_session", "advertised_config",
+           "run_server_mode",
+           "main"]
 
 #: Which config field each ``repro-serve`` flag (by argparse dest) maps to.
 #: Paths are dotted from :class:`ServingConfig`; ``workload.params.<key>``
@@ -88,6 +90,12 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "workers": "workers",
     "partitioner": "partitioner",
     "telemetry": "telemetry",
+    "connect": "connect",
+    "pipeline_depth": "pipeline_depth",
+    "max_inflight": "max_inflight",
+    "admission": "admission",
+    "serve": None,      # runtime deployment mode: where to bind, not what
+                        # to serve — every serving field stays declarative
     "trace_path": "workload.params.trace_path",
     "trace_out": None,  # runtime capture target, not serving behaviour
     "json": None,       # output format, not serving behaviour
@@ -211,6 +219,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "scatter/gather ride along in stats.extra"
                              "['telemetry'] (off by default: the null "
                              "registry costs nothing)")
+    parser.add_argument("--serve", default=None, metavar="HOST:PORT",
+                        help="serve the opened backend on a TCP endpoint "
+                             "instead of replaying a workload; port 0 binds "
+                             "an ephemeral port (printed on stdout). "
+                             "Shut down gracefully with SIGINT/SIGTERM")
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="replay the workload against a running --serve "
+                             "server instead of opening a backend "
+                             "in-process (graph/artifact/cache flags then "
+                             "belong to the server)")
+    parser.add_argument("--pipeline-depth", type=int, default=8,
+                        help="max batches in flight through the pipelined "
+                             "scatter/gather (also the --connect client's "
+                             "in-flight window)")
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="max outstanding batches per shard worker "
+                             "(--workers > 1)")
+    parser.add_argument("--admission", default="block",
+                        choices=["block", "reject"],
+                        help="at the pipeline bounds: 'block' delays "
+                             "submitters, 'reject' raises BackpressureError")
     parser.add_argument("--trace-path", default=None,
                         help="trace artifact to replay "
                              "(--workload trace only)")
@@ -227,8 +256,32 @@ def build_parser() -> argparse.ArgumentParser:
 def config_from_args(args: argparse.Namespace,
                      parser: argparse.ArgumentParser) -> ServingConfig:
     """Validate flags and assemble the :class:`ServingConfig` they describe."""
-    if args.graph is None and args.artifact is None:
+    if args.connect is not None:
+        if args.serve is not None:
+            parser.error("--serve and --connect are mutually exclusive "
+                         "(one process is either the server or a client)")
+        if args.graph is not None or args.artifact is not None:
+            parser.error("--connect sessions take the graph and artifact "
+                         "from the server; drop --graph/--artifact")
+        if args.workers > 1:
+            parser.error("--connect keeps --workers 1: the *server* owns "
+                         "the deployment shape (start it with --workers N)")
+        if args.sub_artifacts:
+            parser.error("--sub-artifacts is a server-side flag; it does "
+                         "not combine with --connect")
+        if args.hot > 0:
+            parser.error("--hot pins pairs into an in-process cache; it "
+                         "does not combine with --connect")
+    elif args.graph is None and args.artifact is None:
         parser.error("provide --graph, --artifact, or both")
+    if args.serve is not None:
+        if args.trace_out is not None:
+            parser.error("--trace-out captures a replayed workload; a "
+                         "--serve process replays none (capture on the "
+                         "client instead)")
+        if args.hot > 0:
+            parser.error("--hot derives its pin set from a replayed "
+                         "workload; a --serve process replays none")
 
     # Workload parameters are validated here instead of silently ignored:
     # a flag that does not apply to the chosen shape is an error.
@@ -291,6 +344,10 @@ def config_from_args(args: argparse.Namespace,
             kind=args.kind,
             kernel=args.kernel,
             telemetry=args.telemetry,
+            connect=args.connect,
+            pipeline_depth=args.pipeline_depth,
+            max_inflight=args.max_inflight,
+            admission=args.admission,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
                               mode=args.mode, engine=args.engine,
                               artifact_format=args.artifact_format),
@@ -347,6 +404,14 @@ def run_serving_session(config: ServingConfig, hot: int = 0,
     trace artifact once the session completes.
     """
     backend = open_service(config)
+    if backend.graph is None:
+        backend.close()
+        raise ValueError(
+            f"the backend exposes no graph to generate the "
+            f"{config.workload.name!r} workload from — a --connect "
+            f"session needs the server to advertise a graph spec (start "
+            f"it with --graph, or from an artifact whose header records "
+            f"the spec that built it)")
     workload = make_workload(config.workload.name, backend.graph,
                              config.workload.num_queries,
                              seed=config.workload_seed(),
@@ -429,10 +494,78 @@ def run_serving_session(config: ServingConfig, hot: int = 0,
     return record, stats, route_delivered == route_total
 
 
+def advertised_config(config: ServingConfig) -> ServingConfig:
+    """The config a server advertises in its ``welcome`` frames.
+
+    A server started from ``--artifact`` alone still tells clients the
+    graph spec (they need it to generate workloads locally): the artifact
+    header stores the ``ServingConfig`` that built it, so the spec is
+    recovered from there.  Only the advertisement changes — the config
+    that opens the backend stays untouched, so an artifact-only load is
+    not silently turned into a build-parameter-checked build-or-load.
+    """
+    if config.graph_spec is not None or config.artifact_path is None:
+        return config
+    import dataclasses
+
+    from .artifacts import artifact_info
+    built_by = artifact_info(config.artifact_path).metadata.get(
+        "serving_config") or {}
+    if not built_by.get("graph_spec"):
+        return config
+    return dataclasses.replace(config, graph_spec=built_by["graph_spec"])
+
+
+def run_server_mode(config: ServingConfig, endpoint: str) -> int:
+    """``--serve``: open the backend and serve it until SIGINT/SIGTERM.
+
+    Prints one ``listening on HOST:PORT`` line (flushed, so wrappers that
+    bind port 0 can scrape the real endpoint) and then blocks.  Shutdown
+    is graceful: the server drains in-flight batches before the process
+    exits, and the backend is closed cleanly (shard workers drain and
+    report their final stats).
+    """
+    import os
+    import signal
+    import threading
+
+    from .server import RoutingServer
+    from .wire import PROTOCOL_VERSION
+
+    advertised = advertised_config(config)
+    backend = open_service(config)
+    with backend:
+        if hasattr(backend, "start"):
+            # Warm shard workers before accepting the first client; a local
+            # RoutingService is ready the moment it is built/loaded.
+            backend.start()
+        with RoutingServer(backend, endpoint, config=advertised,
+                           telemetry=config.telemetry) as server:
+            shutdown = threading.Event()
+
+            def _request_shutdown(signum, frame):
+                shutdown.set()
+
+            signal.signal(signal.SIGTERM, _request_shutdown)
+            signal.signal(signal.SIGINT, _request_shutdown)
+            print(f"repro-serve listening on {server.address} "
+                  f"(protocol v{PROTOCOL_VERSION}, pid {os.getpid()})",
+                  flush=True)
+            while not shutdown.is_set():
+                shutdown.wait(0.2)
+            server.close(drain=True)
+            print(f"repro-serve on {server.address} shut down after "
+                  f"{server.sessions_served} session(s)", flush=True)
+    return 0
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     config = config_from_args(args, parser)
+
+    if args.serve is not None:
+        return run_server_mode(config, args.serve)
 
     record, stats, ok = run_serving_session(config, hot=args.hot,
                                             trace_out=args.trace_out)

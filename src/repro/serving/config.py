@@ -236,6 +236,16 @@ class ServingConfig:
     probes, kernel batches, scatter/gather) into a live metrics registry,
     exported through ``query_stats().extra["telemetry"]``; off by default
     so the hot path runs on the no-op registry.
+    ``connect`` points the session at a running ``repro-serve --serve``
+    server (``HOST:PORT``) instead of opening a backend in-process: the
+    build/cache/artifact fields then belong to the server, so they must
+    stay at their defaults, and ``workers`` must be 1 (the server owns the
+    deployment shape).
+    ``pipeline_depth`` / ``max_inflight`` / ``admission`` bound the
+    pipelined scatter/gather (and, for ``connect`` sessions, the client's
+    in-flight window): at the bound, ``admission="block"`` delays
+    submitters and ``admission="reject"`` raises
+    :class:`~repro.serving.wire.BackpressureError`.
     """
 
     artifact_path: Optional[str] = None
@@ -249,6 +259,10 @@ class ServingConfig:
     kind: str = "route"
     kernel: str = "auto"
     telemetry: bool = False
+    connect: Optional[str] = None
+    pipeline_depth: int = 8
+    max_inflight: int = 4
+    admission: str = "block"
     start_method: Optional[str] = None
     warm_timeout: float = 120.0
     reply_timeout: float = 300.0
@@ -259,6 +273,24 @@ class ServingConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, "
+                             f"got {self.pipeline_depth}")
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, "
+                             f"got {self.max_inflight}")
+        if self.admission not in ("block", "reject"):
+            raise ValueError(f"admission must be 'block' or 'reject', "
+                             f"got {self.admission!r}")
+        if self.connect is not None:
+            if self.workers != 1:
+                raise ValueError(
+                    "connect sessions must keep workers=1 — the server "
+                    "owns the deployment shape (its own workers flag)")
+            if self.artifact_path is not None or self.graph_spec is not None:
+                raise ValueError(
+                    "connect sessions take the graph and artifact from the "
+                    "server; drop artifact_path/graph_spec")
         if self.sub_artifacts and self.workers < 2:
             raise ValueError("sub_artifacts=True requires workers > 1 "
                              "(slicing exists to shrink per-worker tables)")
@@ -289,6 +321,10 @@ class ServingConfig:
             "kind": self.kind,
             "kernel": self.kernel,
             "telemetry": self.telemetry,
+            "connect": self.connect,
+            "pipeline_depth": self.pipeline_depth,
+            "max_inflight": self.max_inflight,
+            "admission": self.admission,
             "start_method": self.start_method,
             "warm_timeout": self.warm_timeout,
             "reply_timeout": self.reply_timeout,

@@ -1,0 +1,480 @@
+"""Session layer: the ``QueryBackend`` protocol over any byte stream.
+
+Layer two of the transport refactor (:mod:`repro.serving.wire` is the
+frame layer below, :mod:`repro.serving.server` the socket server above):
+
+* :class:`ServerSession` drives one connected client — handshake, query
+  dispatch into a real :class:`~repro.serving.backend.QueryBackend`,
+  stats snapshots, graceful close — over a pair of binary streams.
+* :class:`ClientSession` is the mirror image and *is itself* a
+  :class:`~repro.serving.backend.QueryBackend`: ``route_batch`` /
+  ``distance_batch`` / ``query_stats`` / ``close`` plus context
+  management, so code written against the protocol cannot tell a remote
+  backend from a local one (and the acceptance tests pin that remote
+  answers are list-for-list identical).
+
+Both ends are transport-agnostic: anything with blocking ``read`` /
+``write`` / ``flush`` works (socket makefiles in production,
+``io.BytesIO`` pairs in tests).
+
+The client pipelines: up to ``window`` query frames may be in flight
+before it insists on reading answers back, overlapping serialization of
+the next batch with the server's work on the previous ones.  Answers are
+matched by request id (the server answers in arrival order), and the
+time spent blocked on a full window is recorded under the
+``inflight_wait`` telemetry span.
+
+Config negotiation: the server's ``welcome`` frame carries its resolved
+:class:`~repro.serving.config.ServingConfig` (``to_dict`` form), so the
+client learns the graph spec, batch shaping and cache posture of the
+backend it is talking to; :attr:`ClientSession.graph` regenerates the
+served graph locally from that spec for workload generation.
+
+Shutdown mirrors the PR-4 resource contract: a :class:`ClientSession`
+that is garbage-collected while still connected emits a
+:class:`ResourceWarning` naming the endpoint, exactly like an unclosed
+``ShardedRoutingService`` names its workers.
+"""
+
+from __future__ import annotations
+
+import socket
+import warnings
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..graphs.weighted_graph import WeightedGraph
+from ..obs.metrics import make_registry, merge_exports
+from .cache import ServingStats
+from .config import ServingConfig
+from .wire import (
+    PROTOCOL_VERSION,
+    BackpressureError,
+    FrameError,
+    ProtocolVersionError,
+    RemoteError,
+    SessionClosedError,
+    WireError,
+    check_hello,
+    decode_answers,
+    encode_answers,
+    hello_message,
+    pack_pairs,
+    parse_endpoint,
+    read_frame,
+    unpack_pairs,
+    write_frame,
+)
+
+__all__ = ["ServerSession", "ClientSession"]
+
+_Pair = Tuple[Hashable, Hashable]
+
+
+class ServerSession:
+    """One client's lifetime on the server side.
+
+    Parameters
+    ----------
+    backend:
+        The :class:`QueryBackend` answering this session's batches.
+    rfile / wfile:
+        Blocking binary streams (typically ``socket.makefile``).
+    answer:
+        Optional override for how a batch is answered — the network
+        server passes a callable that serialises access to a shared local
+        backend (or rides the sharded front-end's pipelined submit/wait
+        path); defaults to calling the backend directly.
+    config:
+        The resolved :class:`ServingConfig` advertised to the client in
+        the ``welcome`` frame (config negotiation).
+    peer:
+        Label for diagnostics (``"host:port"`` of the client).
+    """
+
+    def __init__(self, backend, rfile, wfile, *,
+                 answer: Optional[Callable[[str, Sequence[_Pair]], List]] = None,
+                 config: Optional[ServingConfig] = None,
+                 server_name: str = "repro-serve", peer: str = "?",
+                 telemetry: bool = False) -> None:
+        self.backend = backend
+        self.rfile = rfile
+        self.wfile = wfile
+        self.config = config
+        self.server_name = server_name
+        self.peer = peer
+        self.metrics = make_registry(telemetry)
+        self._answer = answer if answer is not None else self._answer_direct
+        #: Queries/batches answered by this session (ride along in every
+        #: ``answers`` frame as the incremental ServingStats block).
+        self.served_queries = 0
+        self.served_batches = 0
+        #: True exactly while a batch is being answered — the server's
+        #: graceful close waits for busy sessions to finish their batch.
+        self.busy = False
+
+    def _answer_direct(self, kind: str, pairs: Sequence[_Pair]) -> List:
+        if kind == "route":
+            return self.backend.route_batch(pairs)
+        return self.backend.distance_batch(pairs)
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        write_frame(self.wfile, message, self.metrics)
+
+    def _stats_dict(self) -> Dict[str, Any]:
+        stats = self.backend.query_stats()
+        return stats.as_dict()
+
+    def handshake(self) -> bool:
+        """Run the hello/welcome exchange; False when the client was
+        rejected (an ``error`` frame has then already been sent)."""
+        hello = read_frame(self.rfile, self.metrics)
+        problem = check_hello(hello)
+        if problem is not None:
+            code = ("protocol-version"
+                    if "protocol version" in problem else "bad-hello")
+            self._send({"type": "error", "code": code, "message": problem})
+            return False
+        welcome: Dict[str, Any] = {
+            "type": "welcome",
+            "protocol": PROTOCOL_VERSION,
+            "server": self.server_name,
+            "config": self.config.to_dict() if self.config else None,
+        }
+        self._send(welcome)
+        return True
+
+    def serve(self) -> None:
+        """Serve until the client closes (``close`` frame or disconnect).
+
+        Bad requests are answered with per-request ``error`` frames and
+        the session survives; only transport failures end it.
+        """
+        if not self.handshake():
+            return
+        while True:
+            try:
+                message = read_frame(self.rfile, self.metrics)
+            except SessionClosedError:
+                return  # client went away without a close frame
+            kind = message.get("type")
+            if kind == "close":
+                self._send({"type": "bye", "stats": self._stats_dict(),
+                            "served": {"queries": self.served_queries,
+                                       "batches": self.served_batches}})
+                return
+            if kind == "stats":
+                self._send({"type": "stats_reply",
+                            "stats": self._stats_dict()})
+                continue
+            if kind != "query":
+                self._send({"type": "error", "code": "bad-request",
+                            "message": f"unknown message type {kind!r}"})
+                continue
+            self._handle_query(message)
+
+    def _handle_query(self, message: Dict[str, Any]) -> None:
+        request_id = message.get("id")
+        query_kind = message.get("kind")
+        if query_kind not in ("route", "distance"):
+            self._send({"type": "error", "id": request_id,
+                        "code": "bad-request",
+                        "message": f"unknown query kind {query_kind!r}"})
+            return
+        try:
+            pairs = unpack_pairs(message.get("pairs", []))
+        except FrameError as exc:
+            self._send({"type": "error", "id": request_id,
+                        "code": "bad-request", "message": str(exc)})
+            return
+        self.busy = True
+        try:
+            values = self._answer(query_kind, pairs)
+        except BackpressureError as exc:
+            self._send({"type": "error", "id": request_id,
+                        "code": "backpressure", "message": str(exc)})
+            return
+        except Exception as exc:
+            self._send({"type": "error", "id": request_id, "code": "backend",
+                        "message": f"{type(exc).__name__}: {exc}"})
+            return
+        finally:
+            self.busy = False
+        self.served_queries += len(pairs)
+        self.served_batches += 1
+        self._send({"type": "answers", "id": request_id, "kind": query_kind,
+                    "values": encode_answers(query_kind, values),
+                    "served": {"queries": self.served_queries,
+                               "batches": self.served_batches}})
+
+
+class ClientSession:
+    """A remote :class:`QueryBackend` over a byte-stream transport.
+
+    Open one with :meth:`connect` (TCP) or construct directly over any
+    stream pair (tests use in-memory pipes).  Satisfies the full backend
+    protocol; ``window`` bounds how many query frames may be in flight
+    before :meth:`submit` blocks reading answers (``window=1`` degenerates
+    to strict request/reply).
+    """
+
+    def __init__(self, rfile, wfile, *, endpoint: str = "stream",
+                 client_name: str = "repro-client", window: int = 8,
+                 telemetry: bool = False,
+                 sock: Optional[socket.socket] = None) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.rfile = rfile
+        self.wfile = wfile
+        self.endpoint = endpoint
+        self.window = window
+        self.metrics = make_registry(telemetry)
+        self._sock = sock
+        self._closed = False
+        self._next_id = 0
+        #: request_id -> query kind, in submission order (the server
+        #: answers in arrival order, so the head is always next).
+        self._pending: "OrderedDict[int, str]" = OrderedDict()
+        self._results: Dict[int, Any] = {}
+        self._served: Dict[str, int] = {"queries": 0, "batches": 0}
+        self._final_stats: Optional[ServingStats] = None
+        self._graph: Optional[WeightedGraph] = None
+        self.remote_config: Optional[Dict[str, Any]] = None
+        self.protocol = PROTOCOL_VERSION
+        self.server_name: Optional[str] = None
+        write_frame(self.wfile, hello_message(client_name), self.metrics)
+        welcome = self._read_message()
+        if welcome.get("type") == "error":
+            self._teardown()
+            if welcome.get("code") == "protocol-version":
+                raise ProtocolVersionError(welcome.get("message", ""))
+            raise RemoteError(welcome.get("code", "error"),
+                              welcome.get("message", ""))
+        if welcome.get("type") != "welcome":
+            self._teardown()
+            raise FrameError(f"expected welcome, got "
+                             f"{welcome.get('type')!r}")
+        self.protocol = welcome.get("protocol", PROTOCOL_VERSION)
+        self.server_name = welcome.get("server")
+        self.remote_config = welcome.get("config")
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(cls, endpoint: str, *, timeout: float = 10.0,
+                reply_timeout: float = 300.0,
+                client_name: str = "repro-client", window: int = 8,
+                telemetry: bool = False) -> "ClientSession":
+        """Open a TCP session to ``"host:port"``.
+
+        ``timeout`` bounds connection establishment; ``reply_timeout``
+        bounds any single blocking read afterwards, so a dead server
+        raises instead of hanging forever.
+        """
+        host, port = parse_endpoint(endpoint)
+        sock = socket.create_connection((host or "127.0.0.1", port),
+                                        timeout=timeout)
+        sock.settimeout(reply_timeout)
+        try:
+            return cls(sock.makefile("rb"), sock.makefile("wb"),
+                       endpoint=endpoint, client_name=client_name,
+                       window=window, telemetry=telemetry, sock=sock)
+        except BaseException:
+            sock.close()
+            raise
+
+    def _teardown(self) -> None:
+        self._closed = True
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Graceful end of session (idempotent): drain in-flight answers,
+        send ``close``, keep the server's final stats from its ``bye``."""
+        if self._closed:
+            return
+        try:
+            while self._pending:
+                self._read_answer()
+            write_frame(self.wfile, {"type": "close"}, self.metrics)
+            bye = self._read_message()
+            if bye.get("type") == "bye" and isinstance(bye.get("stats"),
+                                                       dict):
+                self._final_stats = ServingStats.from_dict(bye["stats"])
+        except (WireError, OSError):
+            pass  # the peer may already be gone; close is best-effort
+        finally:
+            self._teardown()
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Same contract as an unclosed ShardedRoutingService: implicit
+        # teardown of a live session is a caller bug — name the endpoint
+        # so the leak is findable.
+        try:
+            if not self._closed:
+                warnings.warn(
+                    f"unclosed ClientSession to {self.endpoint}: call "
+                    f"close() or use it as a context manager",
+                    ResourceWarning, source=self, stacklevel=2)
+                self._teardown()
+        except BaseException:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "connected"
+        return (f"ClientSession(endpoint={self.endpoint!r}, "
+                f"window={self.window}, {state})")
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+    def _read_message(self) -> Dict[str, Any]:
+        try:
+            return read_frame(self.rfile, self.metrics)
+        except socket.timeout:
+            self._teardown()
+            raise WireError(f"no reply from {self.endpoint} within the "
+                            f"socket timeout") from None
+        except SessionClosedError:
+            self._teardown()
+            raise SessionClosedError(
+                f"server at {self.endpoint} closed the connection "
+                f"mid-session") from None
+
+    def _read_answer(self) -> None:
+        """Consume one reply frame, resolving the oldest pending request."""
+        message = self._read_message()
+        kind = message.get("type")
+        if kind == "answers":
+            request_id = message.get("id")
+            pending_kind = self._pending.pop(request_id, None)
+            if pending_kind is None:
+                raise FrameError(f"answers for unknown request "
+                                 f"{request_id!r}")
+            served = message.get("served")
+            if isinstance(served, dict):
+                # Incremental ServingStats: the session-so-far counters
+                # ride along in every answers frame.
+                self._served.update({key: int(value)
+                                     for key, value in served.items()})
+            self._results[request_id] = decode_answers(
+                pending_kind, message.get("values", []))
+            return
+        if kind == "error":
+            request_id = message.get("id")
+            code = message.get("code", "error")
+            exc: WireError
+            if code == "backpressure":
+                exc = BackpressureError(message.get("message", ""))
+            else:
+                exc = RemoteError(code, message.get("message", ""))
+            if request_id is not None and request_id in self._pending:
+                self._pending.pop(request_id)
+                self._results[request_id] = exc
+                return
+            self._teardown()
+            raise exc
+        raise FrameError(f"unexpected reply type {kind!r}")
+
+    # ------------------------------------------------------------------
+    # pipelined query surface
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, pairs: Sequence[_Pair]) -> int:
+        """Send one query batch; returns its request id without waiting.
+
+        Blocks (reading answers) only when ``window`` requests are
+        already in flight — that wait is the ``inflight_wait`` span.
+        """
+        if self._closed:
+            raise SessionClosedError(
+                f"session to {self.endpoint} is closed")
+        if kind not in ("route", "distance"):
+            raise ValueError(f"kind must be route or distance, got {kind!r}")
+        with self.metrics.span("inflight_wait"):
+            while len(self._pending) >= self.window:
+                self._read_answer()
+        self._next_id += 1
+        request_id = self._next_id
+        write_frame(self.wfile, {"type": "query", "id": request_id,
+                                 "kind": kind, "pairs": pack_pairs(pairs)},
+                    self.metrics)
+        self._pending[request_id] = kind
+        return request_id
+
+    def gather(self, request_id: int) -> List:
+        """Results for one submitted batch (blocking until they arrive)."""
+        while request_id not in self._results:
+            if self._closed:
+                raise SessionClosedError(
+                    f"session to {self.endpoint} is closed")
+            self._read_answer()
+        outcome = self._results.pop(request_id)
+        if isinstance(outcome, WireError):
+            raise outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    # QueryBackend protocol
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Optional[WeightedGraph]:
+        """The served graph, regenerated locally from the negotiated
+        ``graph_spec`` (``None`` when the server did not advertise one)."""
+        if self._graph is None:
+            spec = (self.remote_config or {}).get("graph_spec")
+            if spec:
+                from .specs import parse_graph_spec
+                self._graph = parse_graph_spec(spec)
+        return self._graph
+
+    def route_batch(self, pairs: Sequence[_Pair]) -> List:
+        return self.gather(self.submit("route", pairs))
+
+    def distance_batch(self, pairs: Sequence[_Pair]) -> List[float]:
+        return self.gather(self.submit("distance", pairs))
+
+    def query_stats(self) -> ServingStats:
+        """The server backend's stats, with this session's wire telemetry
+        folded into ``extra`` (``wire`` counters + client-side spans)."""
+        if self._closed:
+            stats = (self._final_stats if self._final_stats is not None
+                     else ServingStats())
+        else:
+            while self._pending:   # stats_reply follows pending answers
+                self._read_answer()
+            write_frame(self.wfile, {"type": "stats"}, self.metrics)
+            reply = self._read_message()
+            if reply.get("type") != "stats_reply":
+                raise FrameError(f"expected stats_reply, got "
+                                 f"{reply.get('type')!r}")
+            stats = ServingStats.from_dict(reply.get("stats", {}))
+        wire: Dict[str, Any] = {"endpoint": self.endpoint,
+                                "protocol": self.protocol,
+                                "window": self.window,
+                                "session_queries": self._served["queries"],
+                                "session_batches": self._served["batches"]}
+        if self.metrics.enabled:
+            export = self.metrics.export()
+            for name in ("wire_frames_sent", "wire_bytes_sent",
+                         "wire_frames_received", "wire_bytes_received"):
+                if name in export:
+                    wire[name] = export[name]["value"]
+            stats.extra["telemetry"] = merge_exports(
+                [stats.extra.get("telemetry", {}), export])
+        stats.extra["wire"] = wire
+        return stats

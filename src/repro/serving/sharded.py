@@ -25,12 +25,29 @@ Sharding buys two things:
   cache can fit entirely in the sharded caches
   (``benchmarks/bench_shard_scaling.py`` measures exactly this regime).
 
+Scatter/gather is **pipelined** (the PR-8 transport refactor): the
+front-end may keep several batches in flight at once.  :meth:`submit_batch`
+partitions a batch, applies admission control, and enqueues the shards
+without waiting; a background *collector* thread drains the shared reply
+queue and completes tickets as workers answer; :meth:`wait_batch` blocks on
+one ticket.  ``route_batch`` / ``distance_batch`` stay strictly synchronous
+(submit + wait), so sequential callers see exactly the old behaviour, while
+pipelined drivers (the network server's concurrent sessions, the
+benchmarks) overlap batch serialization with worker compute and keep every
+worker's task queue non-empty.  Two knobs bound the pipeline:
+``pipeline_depth`` caps front-end-wide outstanding batches and
+``max_inflight`` caps per-worker outstanding batches; at either bound
+``admission="block"`` delays the submitter (the ``inflight_wait`` telemetry
+span) and ``admission="reject"`` raises
+:class:`~repro.serving.wire.BackpressureError` instead.
+
 Worker lifecycle: spawn → warm (load the artifact, signal ready) → serve
 query batches (order-preserving scatter/gather) → drain and shut down, each
 worker returning its final :class:`~repro.serving.cache.ServingStats`, which
 :meth:`ServingStats.merge` folds into one aggregate.  Workers are daemonic;
 an unexpected worker exception fail-stops the whole front-end (all workers
-are shut down, the caller gets a :class:`ShardError`).
+are shut down, every in-flight ticket completes with a
+:class:`ShardError`).
 """
 
 from __future__ import annotations
@@ -38,9 +55,11 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 import traceback
 import warnings
+import weakref
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..graphs.weighted_graph import WeightedGraph
@@ -49,8 +68,9 @@ from .cache import ServingStats
 from .config import BuildConfig, CacheConfig
 from .partitioners import make_partitioner
 from .service import RoutingService, answer_batch, build_or_load_service
+from .wire import BackpressureError
 
-__all__ = ["ShardedRoutingService", "ShardError"]
+__all__ = ["ShardedRoutingService", "ShardError", "BackpressureError"]
 
 _Pair = Tuple[Hashable, Hashable]
 
@@ -89,6 +109,10 @@ def _shard_worker(worker_id: int, artifact_path: str,
       ``("error", worker_id, request_id, summary, traceback_text)``
     * in  ``("stats",)``    → out ``("stats", worker_id, ServingStats)``
     * in  ``("shutdown",)`` → out ``("bye", worker_id, ServingStats)``, exit
+
+    The task queue is FIFO, so several ``query`` messages may be queued at
+    once (the front-end's per-worker in-flight window); the worker simply
+    answers them in order — pipelining needs no worker-side changes.
 
     Warm-up emits ``("ready", worker_id, load_seconds)`` on success or
     ``("failed", worker_id, summary)`` if the artifact cannot be loaded.
@@ -132,6 +156,33 @@ def _shard_worker(worker_id: int, artifact_path: str,
                            in zip(indexed_pairs, values)]))
 
 
+def _collector_main(service_ref, stop: threading.Event,
+                    result_queue) -> None:
+    """Collector thread body (module-level, weakref-based on purpose).
+
+    The thread must not pin the front-end alive: a bound-method target
+    would hold a strong reference forever and ``__del__`` — the unclosed-
+    service ``ResourceWarning`` contract — could never fire.  The service
+    is re-derefed only for the microseconds a message is dispatched; while
+    blocked on the queue the thread holds nothing but the queue itself.
+    """
+    while not stop.is_set():
+        try:
+            message = result_queue.get(timeout=0.1)
+        except (queue_module.Empty, OSError, ValueError):
+            service = service_ref()
+            if service is None:
+                return
+            service._check_liveness()
+            del service
+            continue
+        service = service_ref()
+        if service is None:
+            return
+        service._dispatch(message)
+        del service
+
+
 class _WorkerHandle:
     """Parent-side record of one worker: its process and private task queue."""
 
@@ -141,6 +192,24 @@ class _WorkerHandle:
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
+
+
+class _BatchTicket:
+    """One in-flight batch: filled in by the collector, awaited by callers."""
+
+    __slots__ = ("request_id", "kind", "results", "pending_workers",
+                 "done", "error")
+
+    def __init__(self, request_id: int, kind: str, size: int,
+                 worker_ids) -> None:
+        self.request_id = request_id
+        self.kind = kind
+        self.results: List = [None] * size
+        self.pending_workers = set(worker_ids)
+        self.done = threading.Event()
+        self.error: Optional[ShardError] = None
+        if not self.pending_workers:
+            self.done.set()
 
 
 class ShardedRoutingService:
@@ -159,8 +228,8 @@ class ShardedRoutingService:
         :mod:`repro.serving.partitioners`); ``partitioner_params`` are
         forwarded to the partitioner factory.  A partitioner that declares
         ``wants_feedback`` is handed fresh per-worker stats every
-        ``feedback_every`` batches so it can rebalance on observed hit
-        rates.
+        ``feedback_every`` completed batches so it can rebalance on
+        observed hit rates.
     cache_size:
         Per-worker LRU result-cache capacity (each worker caches only its
         own partition, so aggregate capacity is ``num_workers * cache_size``).
@@ -178,6 +247,16 @@ class ShardedRoutingService:
         (``partitions_by_source``, e.g. ``"hash_source"``) — the slices
         are only complete for those queries, and the identity invariant
         would otherwise break.
+    pipeline_depth:
+        Maximum batches in flight front-end-wide; :meth:`submit_batch`
+        past this bound blocks or rejects per ``admission``.
+    max_inflight:
+        Maximum outstanding batches per worker (the in-flight window that
+        overlaps batch serialization with worker compute).
+    admission:
+        ``"block"`` delays submitters at the bounds (recorded in the
+        ``inflight_wait`` span); ``"reject"`` raises
+        :class:`~repro.serving.wire.BackpressureError` immediately.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default).
     graph:
@@ -194,6 +273,8 @@ class ShardedRoutingService:
                  cache_config: Optional[CacheConfig] = None,
                  partitioner_params: Optional[Dict[str, object]] = None,
                  sub_artifact_paths: Optional[Sequence[str]] = None,
+                 pipeline_depth: int = 8, max_inflight: int = 4,
+                 admission: str = "block",
                  start_method: Optional[str] = None,
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
@@ -201,6 +282,15 @@ class ShardedRoutingService:
                  kernel: str = "auto", telemetry: bool = False) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1, "
+                             f"got {pipeline_depth}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, "
+                             f"got {max_inflight}")
+        if admission not in ("block", "reject"):
+            raise ValueError(f"admission must be 'block' or 'reject', "
+                             f"got {admission!r}")
         # Resolving the partitioner up front also validates the name (the
         # registry raises "unknown partition strategy ..." for typos).
         self._partitioner = make_partitioner(partitioner, num_workers,
@@ -242,11 +332,16 @@ class ShardedRoutingService:
         self.cache_config = cache_config
         self.cache_size = cache_config.capacity
         self.sub_artifact_paths = sub_artifact_paths
+        self.pipeline_depth = pipeline_depth
+        self.max_inflight = max_inflight
+        self.admission = admission
         self.kernel = kernel
         self.telemetry = telemetry
-        #: Front-end registry: scatter/gather spans live here; per-worker
-        #: span histograms live in the workers and merge through
-        #: ``ServingStats.merge`` (see :meth:`merged_stats`).
+        #: Front-end registry: scatter/gather/inflight_wait spans and the
+        #: queue-depth histogram live here; per-worker span histograms live
+        #: in the workers and merge through ``ServingStats.merge`` (see
+        #: :meth:`merged_stats`).  Recording happens under ``_lock`` — the
+        #: registry itself is not thread-safe, the pipeline is.
         self.metrics = make_registry(telemetry)
         self.graph = graph
         self.stats = stats if stats is not None else ServingStats()
@@ -266,6 +361,20 @@ class ShardedRoutingService:
         self._closed = False
         self._final_worker_stats: List[ServingStats] = []
         self._undrained_workers: List[int] = []
+        # Pipeline state: one lock/condition guards tickets, per-worker
+        # in-flight counts, stats waiters, the partitioner and the metrics
+        # registry; the collector thread completes tickets and notifies.
+        self._lock = threading.RLock()
+        self._can_submit = threading.Condition(self._lock)
+        self._tickets: Dict[int, _BatchTicket] = {}
+        self._inflight: Dict[int, int] = {}
+        self._stats_waiters: List[Dict] = []
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+        self._failure: Optional[ShardError] = None
+        self._completed_batches = 0
+        self._next_feedback = self._partitioner.feedback_every
+        self._close_lock = threading.Lock()
 
     @staticmethod
     def _validate_sub_artifacts(artifact_path: str,
@@ -395,6 +504,14 @@ class ShardedRoutingService:
                     load_seconds.append(message[2])
         if load_seconds:
             self.stats.extra["worker_load_seconds_max"] = max(load_seconds)
+        self._inflight = {h.worker_id: 0 for h in self._workers}
+        self._collector_stop.clear()
+        self._collector = threading.Thread(
+            target=_collector_main,
+            args=(weakref.ref(self), self._collector_stop,
+                  self._result_queue),
+            name="repro-shard-collector", daemon=True)
+        self._collector.start()
         self._started = True
         return self
 
@@ -402,57 +519,87 @@ class ShardedRoutingService:
               timeout: float = 30.0) -> List[ServingStats]:
         """Shut the workers down; returns their final stats when drained.
 
-        With ``drain=True`` each live worker finishes its queued work, sends
-        a final stats snapshot, and exits; stragglers past ``timeout`` are
-        terminated.  ``drain=False`` terminates immediately (the fail-stop
-        path).  Idempotent; after closing, queries raise :class:`ShardError`.
+        With ``drain=True`` the front-end first waits for every in-flight
+        ticket to complete (no submitted batch is abandoned), then each
+        live worker finishes its queued work, sends a final stats
+        snapshot, and exits; stragglers past ``timeout`` are terminated.
+        ``drain=False`` terminates immediately (the fail-stop path).
+        Idempotent; after closing, queries raise :class:`ShardError`.
         """
-        if self._closed:
-            return list(self._final_worker_stats)
-        self._closed = True
-        if not self._started:
-            return []
-        final_stats: List[ServingStats] = []
-        if drain:
-            expecting = set()
-            for handle in self._workers:
-                if handle.process.is_alive():
-                    try:
-                        handle.task_queue.put(("shutdown",))
-                        expecting.add(handle.worker_id)
-                    except (OSError, ValueError):
-                        pass
+        with self._close_lock:
+            if self._closed:
+                return list(self._final_worker_stats)
+            self._closed = True
+            if not self._started:
+                return []
             deadline = time.monotonic() + timeout
-            while expecting and time.monotonic() < deadline:
-                try:
-                    message = self._result_queue.get(timeout=0.05)
-                except queue_module.Empty:
-                    continue
-                # Late "ok"/"stats" replies from interrupted requests are
-                # skipped; only the final per-worker snapshot is kept.
-                if message[0] == "bye":
-                    final_stats.append(message[2])
-                    expecting.discard(message[1])
-            # Stragglers past the deadline get terminated below and their
-            # final snapshots are lost; record who, so merged_stats can say
-            # its totals are incomplete instead of silently under-counting.
-            self._undrained_workers = sorted(expecting)
-        if not drain:
-            # Fail-stop path: nobody was asked to exit, so don't wait for it.
+            if drain:
+                # In-flight tickets complete through the collector before
+                # any worker is asked to exit.
+                with self._can_submit:
+                    while (self._tickets and self._failure is None
+                           and time.monotonic() < deadline):
+                        self._can_submit.wait(timeout=0.1)
+            self._stop_collector()
+            final_stats: List[ServingStats] = []
+            if drain:
+                expecting = set()
+                for handle in self._workers:
+                    if handle.process.is_alive():
+                        try:
+                            handle.task_queue.put(("shutdown",))
+                            expecting.add(handle.worker_id)
+                        except (OSError, ValueError):
+                            pass
+                while expecting and time.monotonic() < deadline:
+                    try:
+                        message = self._result_queue.get(timeout=0.05)
+                    except queue_module.Empty:
+                        continue
+                    # Late "ok"/"stats" replies from interrupted requests
+                    # are skipped; only the final per-worker snapshot is
+                    # kept.
+                    if message[0] == "bye":
+                        final_stats.append(message[2])
+                        expecting.discard(message[1])
+                # Stragglers past the deadline get terminated below and
+                # their final snapshots are lost; record who, so
+                # merged_stats can say its totals are incomplete instead
+                # of silently under-counting.
+                self._undrained_workers = sorted(expecting)
+            if not drain:
+                # Fail-stop path: nobody was asked to exit, so don't wait.
+                for handle in self._workers:
+                    if handle.process.is_alive():
+                        handle.process.terminate()
             for handle in self._workers:
+                handle.process.join(timeout=5.0)
                 if handle.process.is_alive():
                     handle.process.terminate()
-        for handle in self._workers:
-            handle.process.join(timeout=5.0)
-            if handle.process.is_alive():
-                handle.process.terminate()
-                handle.process.join(timeout=5.0)
-        self._final_worker_stats = final_stats
-        for handle in self._workers:
-            handle.task_queue.close()
-        if self._result_queue is not None:
-            self._result_queue.close()
-        return list(final_stats)
+                    handle.process.join(timeout=5.0)
+            self._final_worker_stats = final_stats
+            for handle in self._workers:
+                handle.task_queue.close()
+            if self._result_queue is not None:
+                self._result_queue.close()
+            # Wake anyone still blocked in submit/wait with a clear error.
+            with self._can_submit:
+                if self._tickets and self._failure is None:
+                    self._failure = ShardError(
+                        "sharded service closed with batches in flight")
+                for ticket in self._tickets.values():
+                    ticket.error = self._failure
+                    ticket.done.set()
+                self._tickets.clear()
+                self._can_submit.notify_all()
+            return list(final_stats)
+
+    def _stop_collector(self) -> None:
+        self._collector_stop.set()
+        if (self._collector is not None
+                and self._collector is not threading.current_thread()):
+            self._collector.join(timeout=5.0)
+        self._collector = None
 
     def _abort(self) -> None:
         """Fail-stop: kill every worker without draining."""
@@ -486,102 +633,240 @@ class ShardedRoutingService:
                 and all(h.process.is_alive() for h in self._workers))
 
     # ==================================================================
-    # queries (order-preserving scatter/gather)
+    # collector: completes tickets from the shared reply queue
+    # ==================================================================
+    def _check_liveness(self) -> None:
+        """Notice workers that died without replying (OOM kill, segfault)."""
+        with self._lock:
+            waiting = bool(self._tickets) or bool(self._stats_waiters)
+        if not waiting:
+            return
+        dead = [h.worker_id for h in self._workers
+                if not h.process.is_alive()]
+        if not dead:
+            return
+        # Grace read: the worker may have replied just before dying and
+        # the message may still be in flight through the pipe.
+        try:
+            message = self._result_queue.get(timeout=0.5)
+        except (queue_module.Empty, OSError, ValueError):
+            self._latch_failure(ShardError(
+                f"worker(s) {dead} died without replying"))
+            return
+        self._dispatch(message)
+
+    def _dispatch(self, message) -> None:
+        tag = message[0]
+        if tag == "ok":
+            _, worker_id, request_id, indexed = message
+            with self._can_submit:
+                ticket = self._tickets.get(request_id)
+                if ticket is None or worker_id not in ticket.pending_workers:
+                    return  # late reply from an aborted request
+                for index, value in indexed:
+                    ticket.results[index] = value
+                ticket.pending_workers.discard(worker_id)
+                self._inflight[worker_id] = max(
+                    0, self._inflight.get(worker_id, 0) - 1)
+                if not ticket.pending_workers:
+                    del self._tickets[request_id]
+                    self._completed_batches += 1
+                    ticket.done.set()
+                self._can_submit.notify_all()
+            return
+        if tag == "error":
+            _, worker_id, request_id, summary, worker_tb = message
+            self._latch_failure(ShardError(
+                f"worker {worker_id} failed answering batch: {summary}",
+                worker_traceback=worker_tb))
+            return
+        if tag == "stats":
+            _, worker_id, snapshot = message
+            with self._can_submit:
+                # Stats requests enqueue one ("stats",) per worker and
+                # workers reply FIFO, so a reply belongs to the oldest
+                # waiter still missing this worker.
+                for waiter in self._stats_waiters:
+                    if worker_id in waiter["remaining"]:
+                        waiter["remaining"].discard(worker_id)
+                        waiter["snapshots"][worker_id] = snapshot
+                        if not waiter["remaining"]:
+                            self._stats_waiters.remove(waiter)
+                            waiter["done"].set()
+                        break
+            return
+        # "ready"/"failed" replays or stray "bye" frames: nothing to do.
+
+    def _latch_failure(self, error: ShardError) -> None:
+        """Fail-stop latch: every current and future caller sees ``error``."""
+        with self._can_submit:
+            if self._failure is None:
+                self._failure = error
+            for ticket in self._tickets.values():
+                ticket.error = self._failure
+                ticket.done.set()
+            self._tickets.clear()
+            for waiter in self._stats_waiters:
+                waiter["error"] = self._failure
+                waiter["done"].set()
+            self._stats_waiters.clear()
+            self._can_submit.notify_all()
+
+    # ==================================================================
+    # queries (order-preserving scatter/gather, pipelined)
     # ==================================================================
     def route_batch(self, pairs: Sequence[_Pair]) -> List:
         """Route a batch; answers come back in input order."""
-        return self._query_batch("route", pairs)
+        return self.wait_batch(self.submit_batch("route", pairs))
 
     def distance_batch(self, pairs: Sequence[_Pair]) -> List[float]:
         """Distance estimates for a batch; answers in input order."""
-        return self._query_batch("distance", pairs)
+        return self.wait_batch(self.submit_batch("distance", pairs))
 
-    def _query_batch(self, kind: str, pairs: Sequence[_Pair]) -> List:
+    def submit_batch(self, kind: str, pairs: Sequence[_Pair]) -> _BatchTicket:
+        """Scatter one batch without waiting for its answers.
+
+        Returns a ticket for :meth:`wait_batch`.  Applies admission
+        control first: when ``pipeline_depth`` batches are already in
+        flight, or any target worker is at its ``max_inflight`` window,
+        the call blocks (``admission="block"``, timed into the
+        ``inflight_wait`` span) or raises
+        :class:`~repro.serving.wire.BackpressureError`
+        (``admission="reject"``).  Thread-safe: the network server's
+        sessions submit concurrently.
+        """
         if self._closed:
             raise ShardError("sharded service is closed")
         if not self._started:
             self.start()
         pairs = list(pairs)
-        self.stats.queries += len(pairs)
-        if kind == "route":
-            self.stats.route_queries += len(pairs)
-        else:
-            self.stats.distance_queries += len(pairs)
-        self.stats.batches += 1
-        self.stats.batched_queries += len(pairs)
-        if not pairs:
-            return []
-        with self.metrics.span("scatter"):
+        deadline = time.monotonic() + self._reply_timeout
+        with self._can_submit:
+            if self._failure is not None:
+                raise self._failure
+            self.stats.queries += len(pairs)
+            if kind == "route":
+                self.stats.route_queries += len(pairs)
+            else:
+                self.stats.distance_queries += len(pairs)
+            self.stats.batches += 1
+            self.stats.batched_queries += len(pairs)
+            if not pairs:
+                self._completed_batches += 1
+                return _BatchTicket(0, kind, 0, ())
+            scatter_start = time.perf_counter()
             shards = self._partitioner.partition(pairs)
+            partition_seconds = time.perf_counter() - scatter_start
+            targets = [handle.worker_id
+                       for handle, shard in zip(self._workers, shards)
+                       if shard]
+            wait_start = time.perf_counter()
+            while True:
+                if self._failure is not None:
+                    raise self._failure
+                if self._closed:
+                    raise ShardError("sharded service is closed")
+                depth_ok = len(self._tickets) < self.pipeline_depth
+                window_ok = all(self._inflight[w] < self.max_inflight
+                                for w in targets)
+                if depth_ok and window_ok:
+                    break
+                if self.admission == "reject":
+                    raise BackpressureError(
+                        f"pipeline full ({len(self._tickets)}/"
+                        f"{self.pipeline_depth} batches in flight, "
+                        f"per-worker window {self.max_inflight}); retry "
+                        f"later or use admission='block'")
+                if not self._can_submit.wait(timeout=0.2) \
+                        and time.monotonic() >= deadline:
+                    raise ShardError(
+                        f"admission control made no progress within "
+                        f"{self._reply_timeout}s")
+            waited = time.perf_counter() - wait_start
             self._request_counter += 1
             request_id = self._request_counter
-            pending = set()
+            ticket = _BatchTicket(request_id, kind, len(pairs), targets)
+            self._tickets[request_id] = ticket
+            enqueue_start = time.perf_counter()
             for handle, shard in zip(self._workers, shards):
                 if shard:
+                    self._inflight[handle.worker_id] += 1
                     handle.task_queue.put(("query", request_id, kind, shard))
-                    pending.add(handle.worker_id)
-        results: List = [None] * len(pairs)
-        with self.metrics.span("gather"):
-            while pending:
-                message = self._collect()
-                tag = message[0]
-                if tag == "error":
-                    summary, worker_traceback = message[3], message[4]
-                    self._abort()
-                    raise ShardError(
-                        f"worker {message[1]} failed answering {kind} batch: "
-                        f"{summary}", worker_traceback=worker_traceback)
-                if tag == "ok" and message[2] == request_id:
-                    for index, value in message[3]:
-                        results[index] = value
-                    pending.discard(message[1])
-        if (self._partitioner.wants_feedback
-                and self.stats.batches % self._partitioner.feedback_every == 0):
-            # Adaptive partitioners rebalance on observed per-worker hit
-            # rates; the stats round trip is only paid when asked for.
-            self._partitioner.observe(self.worker_stats())
-        return results
+            if self.metrics.enabled:
+                # scatter = partition + enqueue; the admission wait is its
+                # own span so backpressure is visible, not folded in.
+                self.metrics.histogram("scatter").observe(
+                    partition_seconds
+                    + (time.perf_counter() - enqueue_start))
+                self.metrics.histogram("inflight_wait").observe(waited)
+                self.metrics.histogram("queue_depth", lo=1.0,
+                                       hi=4096.0).observe(len(self._tickets))
+        return ticket
 
-    def _collect(self):
-        # Poll in short slices so a worker that died without replying (OOM
-        # kill, segfault) is noticed immediately, not after reply_timeout.
+    def wait_batch(self, ticket: _BatchTicket) -> List:
+        """Block until one submitted batch completes; results in input
+        order.  Worker failures and reply timeouts fail-stop the service,
+        exactly as on the sequential path."""
         deadline = time.monotonic() + self._reply_timeout
-        while True:
-            try:
-                return self._result_queue.get(timeout=0.2)
-            except queue_module.Empty:
-                pass
-            dead = [h.worker_id for h in self._workers
-                    if not h.process.is_alive()]
-            if dead:
-                # Grace read: the worker may have replied just before dying
-                # and the message may still be in flight through the pipe.
-                try:
-                    return self._result_queue.get(timeout=0.5)
-                except queue_module.Empty:
-                    self._abort()
-                    raise ShardError(
-                        f"worker(s) {dead} died without replying")
+        gather_start = time.perf_counter()
+        while not ticket.done.wait(timeout=0.2):
             if time.monotonic() >= deadline:
+                self._latch_failure(ShardError(
+                    f"no worker reply within {self._reply_timeout}s"))
                 self._abort()
-                raise ShardError(
-                    f"no worker reply within {self._reply_timeout}s")
+                raise self._failure
+        if ticket.error is not None:
+            error = ticket.error
+            self._abort()
+            raise error
+        if self.metrics.enabled:
+            with self._lock:
+                self.metrics.histogram("gather").observe(
+                    time.perf_counter() - gather_start)
+        if self._partitioner.wants_feedback:
+            with self._lock:
+                due = self._completed_batches >= self._next_feedback
+                if due:
+                    self._next_feedback = (self._completed_batches
+                                           + self._partitioner.feedback_every)
+            if due and not self._closed:
+                # Adaptive partitioners rebalance on observed per-worker
+                # hit rates; the stats round trip is only paid when asked
+                # for.
+                self._partitioner.observe(self.worker_stats())
+        return ticket.results
 
     # ==================================================================
     # stats
     # ==================================================================
     def worker_stats(self) -> List[ServingStats]:
-        """Per-worker stats snapshots (final snapshots once closed)."""
+        """Per-worker stats snapshots (final snapshots once closed).
+
+        Safe while batches are in flight: the request is tagged through
+        the collector, so replies cannot be confused with query answers.
+        """
         if self._closed or not self._started:
             return list(self._final_worker_stats)
+        waiter = {"remaining": {h.worker_id for h in self._workers},
+                  "snapshots": {}, "done": threading.Event(), "error": None}
+        with self._can_submit:
+            if self._failure is not None:
+                raise self._failure
+            self._stats_waiters.append(waiter)
         for handle in self._workers:
             handle.task_queue.put(("stats",))
-        snapshots = {}
-        while len(snapshots) < len(self._workers):
-            message = self._collect()
-            if message[0] == "stats":
-                snapshots[message[1]] = message[2]
-        return [snapshots[h.worker_id] for h in self._workers]
+        deadline = time.monotonic() + self._reply_timeout
+        while not waiter["done"].wait(timeout=0.2):
+            if time.monotonic() >= deadline:
+                self._latch_failure(ShardError(
+                    f"no stats reply within {self._reply_timeout}s"))
+                self._abort()
+                raise self._failure
+        if waiter["error"] is not None:
+            error = waiter["error"]
+            self._abort()
+            raise error
+        return [waiter["snapshots"][h.worker_id] for h in self._workers]
 
     def merged_stats(self) -> ServingStats:
         """One aggregate :class:`ServingStats` over all workers.
@@ -589,7 +874,8 @@ class ShardedRoutingService:
         Counters are the sums of the per-worker counters
         (:meth:`ServingStats.merge`); ``build_seconds`` is the parent's (the
         workers only ever load), and the front-end provenance (worker count,
-        partitioner, artifact path) is folded into ``extra``.
+        partitioner, artifact path, pipeline knobs) is folded into
+        ``extra``.
         """
         merged = ServingStats.merge(self.worker_stats())
         if merged.build_seconds is None:
@@ -601,11 +887,17 @@ class ShardedRoutingService:
         merged.extra["artifact_path"] = self.artifact_path
         merged.extra["sub_artifacts"] = self.sub_artifact_paths is not None
         merged.extra["scatter_batches"] = self.stats.batches
+        merged.extra["pipeline"] = {"depth": self.pipeline_depth,
+                                    "max_inflight": self.max_inflight,
+                                    "admission": self.admission}
         if self.metrics.enabled:
-            # Fold the front-end's own spans (scatter/gather) into the
-            # per-worker telemetry the merge already summed.
+            # Fold the front-end's own spans (scatter/gather/inflight_wait
+            # and the queue-depth histogram) into the per-worker telemetry
+            # the merge already summed.
+            with self._lock:
+                front_end = self.metrics.export()
             merged.extra["telemetry"] = merge_exports(
-                [merged.extra.get("telemetry", {}), self.metrics.export()])
+                [merged.extra.get("telemetry", {}), front_end])
         merged.extra.update(self._partitioner.describe())
         if self._undrained_workers:
             merged.extra["undrained_workers"] = list(self._undrained_workers)

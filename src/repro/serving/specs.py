@@ -7,6 +7,7 @@ so a serving session is fully reproducible from its config alone::
     er:n=200,p=0.05,seed=3,weights=uniform:1:100
     grid:rows=10,cols=12          ba:n=150,m=2
     geometric:n=120,radius=0.18   tree:n=100        path:n=64
+    road:rows=16,cols=16,highway_every=4,shortcut_fraction=0.03
 
 The optional ``weights=...`` key selects a weight distribution: ``unit``,
 ``uniform:LO:HI``, ``mixed``, or ``heavy``.
@@ -72,6 +73,20 @@ def parse_graph_spec(spec: str) -> WeightedGraph:
         graph = graphs.random_geometric_graph(want("n", int),
                                               want("radius", float),
                                               weights, seed=seed)
+    elif name == "road":
+        if weights is not None:
+            raise ValueError(
+                f"the road family owns its weights (highway corridors vs "
+                f"local streets); drop 'weights=' from {spec!r} and tune "
+                f"highway_weight/street_low/street_high instead")
+        graph = graphs.road_grid_graph(
+            want("rows", int), want("cols", int),
+            highway_every=want("highway_every", int, 4),
+            highway_weight=want("highway_weight", int, 1),
+            street_low=want("street_low", int, 5),
+            street_high=want("street_high", int, 12),
+            shortcut_fraction=want("shortcut_fraction", float, 0.02),
+            seed=seed)
     elif name == "tree":
         graph = graphs.random_tree(want("n", int), weights, seed=seed)
     elif name == "path":

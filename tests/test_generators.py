@@ -75,6 +75,47 @@ class TestTopologies:
         assert connected.is_connected()
 
 
+class TestRoadGrid:
+    def test_connected_and_sized(self):
+        g = graphs.road_grid_graph(8, 10, seed=3)
+        assert g.num_nodes == 80
+        assert g.is_connected()
+        # grid edges plus at most the diagonal shortcuts
+        grid_edges = 8 * 9 + 10 * 7
+        assert grid_edges <= g.num_edges <= grid_edges + 6 * 8
+
+    def test_highway_corridors_are_cheap(self):
+        g = graphs.road_grid_graph(9, 9, highway_every=4, highway_weight=1,
+                                   street_low=5, street_high=12, seed=0)
+        cols = 9
+        for r in (0, 4, 8):             # corridor rows
+            for c in range(cols - 1):
+                node = r * cols + c
+                assert g.weight(node, node + 1) == 1
+        # a non-corridor horizontal edge is a street
+        assert 5 <= g.weight(1 * cols + 0, 1 * cols + 1) <= 12
+
+    def test_deterministic_given_seed(self):
+        a = graphs.road_grid_graph(6, 6, shortcut_fraction=0.2, seed=7)
+        b = graphs.road_grid_graph(6, 6, shortcut_fraction=0.2, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_shortcut_fraction_adds_diagonals(self):
+        none = graphs.road_grid_graph(10, 10, shortcut_fraction=0.0, seed=1)
+        some = graphs.road_grid_graph(10, 10, shortcut_fraction=1.0, seed=1)
+        assert some.num_edges > none.num_edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graphs.road_grid_graph(1, 5)
+        with pytest.raises(ValueError):
+            graphs.road_grid_graph(5, 5, highway_every=1)
+        with pytest.raises(ValueError):
+            graphs.road_grid_graph(5, 5, street_low=9, street_high=3)
+        with pytest.raises(ValueError):
+            graphs.road_grid_graph(5, 5, shortcut_fraction=1.5)
+
+
 class TestWeightStrategies:
     def test_unit_weights(self):
         g = graphs.path_graph(5, graphs.unit_weights())

@@ -408,11 +408,24 @@ class TestCli:
         grid = parse_graph_spec("grid:rows=3,cols=4")
         assert grid.num_nodes == 12
 
+    def test_parse_road_spec(self):
+        road = parse_graph_spec(
+            "road:rows=8,cols=8,highway_every=4,shortcut_fraction=0.1,seed=2")
+        assert road.num_nodes == 64
+        assert road.is_connected()
+        # corridor row 0 rides at highway weight 1
+        assert road.weight(0, 1) == 1
+        from repro.graphs import road_grid_graph
+        expected = road_grid_graph(8, 8, highway_every=4,
+                                   shortcut_fraction=0.1, seed=2)
+        assert sorted(road.edges()) == sorted(expected.edges())
+
     @pytest.mark.parametrize("bad_spec", [
         "mystery:n=10",            # unknown family
         "er:n=10",                 # missing p
         "er:n=10,p=0.5,extra=1",   # unused key
         "er:n,p=0.5",              # malformed item
+        "road:rows=4,cols=4,weights=unit",  # road family owns its weights
     ])
     def test_bad_graph_specs_rejected(self, bad_spec):
         with pytest.raises(ValueError):
