@@ -28,6 +28,8 @@ __all__ = [
     "cycle_graph",
     "grid_graph",
     "road_grid_graph",
+    "powerlaw_graph",
+    "fat_tree_graph",
     "complete_graph",
     "star_graph",
     "random_tree",
@@ -210,6 +212,105 @@ def road_grid_graph(rows: int, cols: int, highway_every: int = 4,
                     target = (r + 2) * cols + (c + 2)
                     if not graph.has_edge(node, target):
                         graph.add_edge(node, target, street_weight())
+    return graph
+
+
+def powerlaw_graph(n: int, exponent: float = 2.5, min_degree: int = 1,
+                   weights: Optional[WeightStrategy] = None, seed: int = 0,
+                   connect: bool = True) -> WeightedGraph:
+    """Random graph with a power-law degree sequence (configuration model).
+
+    Degrees are drawn from a continuous Pareto tail ``P(k) ~ k^-exponent``
+    truncated to ``[min_degree, n-1]`` (inverse-transform sampling), then
+    realised by stub matching: each node contributes ``degree`` stubs, the
+    shuffled stub list is paired off, and self-loops / duplicate edges are
+    dropped.  The result has the heavy-tailed degree distribution of web /
+    social / AS-level graphs — a few massive hubs over a sea of low-degree
+    nodes — which stresses serving very differently from ER graphs: hub
+    sources dominate Zipf-style query streams, so per-shard load is skewed
+    by construction.  Deterministic given ``seed``; ``connect`` patches
+    disconnected leftovers like :func:`erdos_renyi_graph` does.
+    """
+    if n < 3:
+        raise ValueError(f"powerlaw_graph needs n >= 3, got {n}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must be > 1 (the tail must be "
+                         f"normalisable), got {exponent}")
+    if not 1 <= min_degree < n:
+        raise ValueError(f"need 1 <= min_degree < n, got {min_degree}")
+    rng = random.Random(seed)
+    max_degree = n - 1
+    degrees = []
+    for _ in range(n):
+        raw = min_degree * (1.0 - rng.random()) ** (-1.0 / (exponent - 1.0))
+        degrees.append(max(min_degree, min(max_degree, int(raw))))
+    if sum(degrees) % 2:
+        degrees[0] += 1 if degrees[0] < max_degree else -1
+    stubs = [node for node, degree in enumerate(degrees)
+             for _ in range(degree)]
+    rng.shuffle(stubs)
+    edges = list(zip(stubs[0::2], stubs[1::2]))
+    graph = _apply_weights(edges, range(n), weights, rng)
+    if connect:
+        graph = make_connected(graph, weights, rng)
+    return graph
+
+
+def fat_tree_graph(k: int = 4, hosts_per_edge: Optional[int] = None,
+                   core_weight: int = 1, aggregation_weight: int = 2,
+                   host_weight: int = 10, seed: int = 0) -> WeightedGraph:
+    """k-ary fat-tree datacenter topology (Clos network).
+
+    The standard three-tier fabric: ``(k/2)^2`` core switches, ``k`` pods
+    of ``k/2`` aggregation + ``k/2`` edge switches each, and
+    ``hosts_per_edge`` hosts under every edge switch (default ``k/2``, the
+    canonical oversubscription-free fill).  Core switch ``a*(k/2)+c``
+    connects to aggregation switch ``a`` of every pod, every aggregation
+    switch connects to every edge switch in its pod, and edge switches
+    connect their hosts.  Node names are strings (``"core3"``,
+    ``"pod1-agg0"``, ``"pod1-edge1-host2"``) so traces stay readable.
+
+    Each link tier has one weight knob, faster higher in the fabric:
+    core↔aggregation links cost ``core_weight``, aggregation↔edge links
+    ``aggregation_weight``, edge↔host links ``host_weight`` — so shortest
+    weighted paths between pods climb to the core the way datacenter
+    routing does.  Like the ``road:`` family, the topology owns its
+    weights.  Every parameter is structural, so the graph is fully
+    deterministic — ``seed`` is accepted for generator-interface
+    uniformity but unused.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat_tree_graph needs an even k >= 2, got {k}")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0:
+        raise ValueError(f"hosts_per_edge must be >= 0, "
+                         f"got {hosts_per_edge}")
+    for name, value in (("core_weight", core_weight),
+                        ("aggregation_weight", aggregation_weight),
+                        ("host_weight", host_weight)):
+        if value < 1:
+            raise ValueError(f"{name} must be >= 1, got {value}")
+    graph = WeightedGraph()
+    cores = [f"core{i}" for i in range(half * half)]
+    for core in cores:
+        graph.add_node(core)
+    for pod in range(k):
+        aggs = [f"pod{pod}-agg{a}" for a in range(half)]
+        edges = [f"pod{pod}-edge{e}" for e in range(half)]
+        for switch in aggs + edges:
+            graph.add_node(switch)
+        for a, agg in enumerate(aggs):
+            for c in range(half):
+                graph.add_edge(cores[a * half + c], agg, core_weight)
+            for edge in edges:
+                graph.add_edge(agg, edge, aggregation_weight)
+        for e, edge in enumerate(edges):
+            for h in range(hosts_per_edge):
+                host = f"pod{pod}-edge{e}-host{h}"
+                graph.add_node(host)
+                graph.add_edge(edge, host, host_weight)
     return graph
 
 

@@ -214,6 +214,13 @@ class Histogram:
             "total": self.total,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            # Derived on export (and recomputed after merges), not stored:
+            # from_dict rebuilds them from the bucket counts, so two exports
+            # of the same distribution always agree.  None (not NaN) when
+            # empty — the export must stay JSON-round-trippable.
+            "p50": self.quantile(0.50) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
             # JSON object keys are strings; sorted for deterministic dumps.
             "counts": {str(i): self.counts[i] for i in sorted(self.counts)},
         }

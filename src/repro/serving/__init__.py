@@ -22,6 +22,11 @@ The public surface (API v2) is one typed, policy-pluggable contract:
 * :mod:`repro.serving.sharded`   — the :class:`ShardedRoutingService`
   backend: one query stream scattered across N worker processes, each
   serving its partition from the same artifact;
+* :mod:`repro.serving.fleet`     — the :class:`FleetSupervisor` elastic
+  layer over the sharded backend (``ServingConfig.fleet``): heartbeat
+  liveness, worker respawn with sibling cover, windowed load rebalancing
+  through an epoch-versioned routing table, and queue-depth-driven
+  scaling between ``min_workers`` and ``max_workers``;
 * :mod:`repro.serving.cache`     — LRU result caching and the
   :class:`ServingStats` counters;
 * :mod:`repro.serving.policies`  — hot-set policies (explicit
@@ -67,17 +72,20 @@ from .cache import LFUCache, LRUCache, ServingStats
 from .config import BuildConfig, CacheConfig, ServingConfig, WorkloadConfig
 from .registry import (
     CACHE_POLICIES,
+    GRAPH_FAMILIES,
     HOT_SET_POLICIES,
     PARTITIONERS,
     QUERY_KERNELS,
     WORKLOADS,
     Registry,
     get_cache_policy,
+    get_graph_family,
     get_hot_set_policy,
     get_partitioner,
     get_query_kernel,
     get_workload,
     register_cache_policy,
+    register_graph_family,
     register_hot_set_policy,
     register_partitioner,
     register_query_kernel,
@@ -92,10 +100,12 @@ from .service import (
     resolve_query_kernel,
 )
 from .sharded import ShardError, ShardedRoutingService
+from .fleet import FleetConfig, FleetError, FleetSupervisor, RoutingEpoch
 from .partitioners import (
     AdaptivePartitioner,
     HashPairPartitioner,
     HashSourcePartitioner,
+    HitRateWindow,
     Partitioner,
     RoundRobinPartitioner,
     make_partitioner,
@@ -163,16 +173,19 @@ __all__ = [
     "HOT_SET_POLICIES",
     "WORKLOADS",
     "QUERY_KERNELS",
+    "GRAPH_FAMILIES",
     "register_partitioner",
     "register_cache_policy",
     "register_hot_set_policy",
     "register_workload",
     "register_query_kernel",
+    "register_graph_family",
     "get_partitioner",
     "get_cache_policy",
     "get_hot_set_policy",
     "get_workload",
     "get_query_kernel",
+    "get_graph_family",
     "resolve_query_kernel",
     # policies and partitioners
     "HotSetPolicy",
@@ -183,6 +196,7 @@ __all__ = [
     "HashPairPartitioner",
     "HashSourcePartitioner",
     "AdaptivePartitioner",
+    "HitRateWindow",
     "make_partitioner",
     # backends
     "LRUCache",
@@ -194,6 +208,10 @@ __all__ = [
     "execute_query_shard",
     "ShardedRoutingService",
     "ShardError",
+    "FleetConfig",
+    "FleetError",
+    "FleetSupervisor",
+    "RoutingEpoch",
     # transport: wire protocol, sessions, server
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",

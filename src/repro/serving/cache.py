@@ -299,10 +299,12 @@ class ServingStats:
     #: sub-artifact slicing shrinks).  ``kernel_stats`` (columnar batch /
     #: group / row-decode counts) and ``pivot_row_cache`` (hits / misses /
     #: evictions) are per-worker dict-of-scalar counters, so their merged
-    #: values are fleet totals too.
+    #: values are fleet totals too; ``cover_queries`` counts queries a
+    #: sliced worker answered for a dead sibling from its full-artifact
+    #: cover.
     ADDITIVE_EXTRAS = ("hot_promotions", "hot_demotions", "hot_pairs",
                        "loaded_table_bytes", "kernel_stats",
-                       "pivot_row_cache")
+                       "pivot_row_cache", "cover_queries")
 
     queries: int = 0
     route_queries: int = 0

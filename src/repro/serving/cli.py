@@ -94,6 +94,11 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "pipeline_depth": "pipeline_depth",
     "max_inflight": "max_inflight",
     "admission": "admission",
+    "fleet": "fleet",
+    "min_workers": "min_workers",
+    "max_workers": "max_workers",
+    "heartbeat_interval": "heartbeat_interval",
+    "respawn_limit": "respawn_limit",
     "serve": None,      # runtime deployment mode: where to bind, not what
                         # to serve — every serving field stays declarative
     "trace_path": "workload.params.trace_path",
@@ -240,6 +245,25 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["block", "reject"],
                         help="at the pipeline bounds: 'block' delays "
                              "submitters, 'reject' raises BackpressureError")
+    parser.add_argument("--fleet", action="store_true",
+                        help="supervise the shard workers as an elastic "
+                             "fleet: dead workers are respawned while "
+                             "siblings cover their partition, and the "
+                             "worker count scales between --min-workers "
+                             "and --max-workers on sustained queue depth "
+                             "(--workers > 1; answers stay identical)")
+    parser.add_argument("--min-workers", type=int, default=None,
+                        help="fleet scale-down floor (--fleet; default 1)")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="fleet scale-up ceiling (--fleet; default "
+                             "--workers)")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.5,
+                        help="fleet supervisor beat period in seconds "
+                             "(--fleet): liveness checks, respawns and "
+                             "scaling decisions happen on this cadence")
+    parser.add_argument("--respawn-limit", type=int, default=3,
+                        help="worker respawns tolerated before the fleet "
+                             "degrades to a FleetError (--fleet)")
     parser.add_argument("--trace-path", default=None,
                         help="trace artifact to replay "
                              "(--workload trace only)")
@@ -329,9 +353,24 @@ def config_from_args(args: argparse.Namespace,
             parser.error("--sub-artifacts requires source partitioning "
                          "(--partitioner hash_source): workers only hold "
                          "their own sources' tables")
+    if args.fleet:
+        if args.workers <= 1:
+            parser.error("--fleet requires --workers > 1 (siblings cover "
+                         "a dead worker's partition)")
+        if args.connect is not None:
+            parser.error("--fleet is a deployment-side flag; it does not "
+                         "combine with --connect")
+        if args.partitioner not in (None, "hash_source"):
+            parser.error("--fleet routes by source hash (the epoch table "
+                         "must agree with sub-artifact slicing); use "
+                         "--partitioner hash_source or omit it")
+    elif args.min_workers is not None or args.max_workers is not None:
+        parser.error("--min-workers/--max-workers apply with --fleet only")
     partitioner = args.partitioner
     if partitioner is None:
-        partitioner = "hash_source" if args.sub_artifacts else "round_robin"
+        partitioner = ("hash_source"
+                       if args.sub_artifacts or args.fleet
+                       else "round_robin")
 
     try:
         return ServingConfig(
@@ -348,6 +387,11 @@ def config_from_args(args: argparse.Namespace,
             pipeline_depth=args.pipeline_depth,
             max_inflight=args.max_inflight,
             admission=args.admission,
+            fleet=args.fleet,
+            min_workers=args.min_workers,
+            max_workers=args.max_workers,
+            heartbeat_interval=args.heartbeat_interval,
+            respawn_limit=args.respawn_limit,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
                               mode=args.mode, engine=args.engine,
                               artifact_format=args.artifact_format),

@@ -246,6 +246,14 @@ class ServingConfig:
     in-flight window): at the bound, ``admission="block"`` delays
     submitters and ``admission="reject"`` raises
     :class:`~repro.serving.wire.BackpressureError`.
+    ``fleet`` puts the sharded front-end under a
+    :class:`~repro.serving.fleet.FleetSupervisor`: dead workers are
+    respawned (``respawn_limit`` deaths tolerated, checked every
+    ``heartbeat_interval`` seconds) while siblings cover their partition,
+    and the worker count scales between ``min_workers`` and
+    ``max_workers`` on sustained queue depth.  Fleet mode requires
+    ``workers >= 2`` and a source-partitioning strategy
+    (``partitioner="hash_source"``).
     """
 
     artifact_path: Optional[str] = None
@@ -266,6 +274,11 @@ class ServingConfig:
     start_method: Optional[str] = None
     warm_timeout: float = 120.0
     reply_timeout: float = 300.0
+    fleet: bool = False
+    min_workers: Optional[int] = None
+    max_workers: Optional[int] = None
+    heartbeat_interval: float = 0.5
+    respawn_limit: int = 3
     build: BuildConfig = field(default_factory=BuildConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
@@ -300,6 +313,36 @@ class ServingConfig:
         if self.kind not in ("route", "distance"):
             raise ValueError(f"kind must be route or distance, "
                              f"got {self.kind!r}")
+        if self.heartbeat_interval <= 0:
+            raise ValueError(f"heartbeat_interval must be > 0, "
+                             f"got {self.heartbeat_interval}")
+        if self.respawn_limit < 0:
+            raise ValueError(f"respawn_limit must be >= 0, "
+                             f"got {self.respawn_limit}")
+        if self.fleet:
+            if self.workers < 2:
+                raise ValueError(
+                    "fleet=True requires workers >= 2 (siblings cover a "
+                    "dead worker's partition)")
+            if self.connect is not None:
+                raise ValueError("fleet=True is a deployment-side option; "
+                                 "connect sessions cannot request it")
+            if self.min_workers is not None and self.min_workers < 1:
+                raise ValueError(f"min_workers must be >= 1, "
+                                 f"got {self.min_workers}")
+            if self.min_workers is not None \
+                    and self.min_workers > self.workers:
+                raise ValueError(
+                    f"min_workers ({self.min_workers}) must be <= workers "
+                    f"({self.workers})")
+            if self.max_workers is not None \
+                    and self.max_workers < (self.min_workers or 1):
+                raise ValueError(
+                    f"max_workers ({self.max_workers}) must be >= "
+                    f"min_workers ({self.min_workers or 1})")
+        elif self.min_workers is not None or self.max_workers is not None:
+            raise ValueError("min_workers/max_workers only apply with "
+                             "fleet=True")
         for name, value in (("build", self.build), ("cache", self.cache),
                             ("workload", self.workload)):
             expected = {"build": BuildConfig, "cache": CacheConfig,
@@ -328,6 +371,11 @@ class ServingConfig:
             "start_method": self.start_method,
             "warm_timeout": self.warm_timeout,
             "reply_timeout": self.reply_timeout,
+            "fleet": self.fleet,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "heartbeat_interval": self.heartbeat_interval,
+            "respawn_limit": self.respawn_limit,
             "build": self.build.to_dict(),
             "cache": self.cache.to_dict(),
             "workload": self.workload.to_dict(),

@@ -29,7 +29,7 @@ Partitioner``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .cache import ServingStats
 from .registry import register_partitioner
@@ -41,11 +41,73 @@ __all__ = [
     "HashPairPartitioner",
     "HashSourcePartitioner",
     "AdaptivePartitioner",
+    "HitRateWindow",
     "make_partitioner",
 ]
 
 _Pair = Tuple[Hashable, Hashable]
 _Shards = List[List[Tuple[int, _Pair]]]
+
+
+class HitRateWindow:
+    """Per-shard cache hit rates over the window since the last evaluation.
+
+    The windowed-feedback core shared by :class:`AdaptivePartitioner` and
+    the fleet supervisor's rebalancer: given fresh per-worker
+    :class:`~repro.serving.cache.ServingStats` snapshots, compute each
+    shard's hit rate over the *delta* since the last evaluated window.
+    Sub-threshold windows (fewer than ``min_window`` probes in total)
+    return ``None`` without advancing the baseline, so small windows
+    accumulate across observations instead of being consumed and
+    discarded.  Hot-store hits count as hits — a promoted pair is the
+    cache working as intended, not a sign of overload.
+    """
+
+    __slots__ = ("num_shards", "min_window", "_last_hits", "_last_misses")
+
+    def __init__(self, num_shards: int, min_window: int = 64) -> None:
+        self.num_shards = num_shards
+        self.min_window = min_window
+        self._last_hits = [0] * num_shards
+        self._last_misses = [0] * num_shards
+
+    def resize(self, num_shards: int) -> None:
+        """Grow the baseline for newly added shards (fleet scale-up)."""
+        while len(self._last_hits) < num_shards:
+            self._last_hits.append(0)
+            self._last_misses.append(0)
+        self.num_shards = num_shards
+
+    def reset_shard(self, shard: int) -> None:
+        """Zero one shard's baseline (its worker restarted from scratch)."""
+        if 0 <= shard < len(self._last_hits):
+            self._last_hits[shard] = 0
+            self._last_misses[shard] = 0
+
+    def rates(self, worker_stats: Sequence[ServingStats],
+              ) -> Optional[List[float]]:
+        """Windowed hit rates, or ``None`` when the window is too small."""
+        if len(worker_stats) != self.num_shards:
+            return None
+        total_hits = [stats.cache_hits + stats.hot_hits
+                      for stats in worker_stats]
+        total_misses = [stats.cache_misses for stats in worker_stats]
+        deltas = []
+        for shard in range(self.num_shards):
+            d_hits = total_hits[shard] - self._last_hits[shard]
+            d_misses = total_misses[shard] - self._last_misses[shard]
+            if d_hits < 0 or d_misses < 0:
+                # The worker restarted (counters reset); its lifetime totals
+                # ARE the window.
+                d_hits, d_misses = total_hits[shard], total_misses[shard]
+            deltas.append((d_hits, d_misses))
+        if sum(d_hits + d_misses for d_hits, d_misses in deltas) \
+                < self.min_window:
+            return None
+        self._last_hits = total_hits
+        self._last_misses = total_misses
+        return [d_hits / (d_hits + d_misses) if d_hits + d_misses else 1.0
+                for d_hits, d_misses in deltas]
 
 
 class Partitioner:
@@ -164,8 +226,7 @@ class AdaptivePartitioner(Partitioner):
         self.migrations = 0
         self.rebalances = 0
         self._assigned: Dict[_Pair, int] = {}
-        self._last_hits = [0] * num_shards
-        self._last_misses = [0] * num_shards
+        self._window = HitRateWindow(num_shards, min_window=min_window)
 
     def shard_of(self, pair: _Pair) -> int:
         """Current shard assignment for ``pair`` (assigning it if new)."""
@@ -184,26 +245,9 @@ class AdaptivePartitioner(Partitioner):
     def observe(self, worker_stats: Sequence[ServingStats]) -> None:
         if len(worker_stats) != self.num_shards or self.num_shards < 2:
             return
-        # Hot-store hits count as hits: a promoted pair is the cache
-        # working exactly as intended, not a sign of overload.
-        total_hits = [stats.cache_hits + stats.hot_hits
-                      for stats in worker_stats]
-        total_misses = [stats.cache_misses for stats in worker_stats]
-        deltas = [(total_hits[shard] - self._last_hits[shard],
-                   total_misses[shard] - self._last_misses[shard])
-                  for shard in range(self.num_shards)]
-        # Don't rebalance off a handful of queries — tiny windows make hit
-        # rates pure noise.  The baseline only advances once a window is
-        # actually evaluated, so sub-threshold windows accumulate across
-        # observations instead of being consumed and discarded.
-        if sum(d_hits + d_misses for d_hits, d_misses in deltas) \
-                < self.min_window:
+        window_rates = self._window.rates(worker_stats)
+        if window_rates is None:
             return
-        self._last_hits = total_hits
-        self._last_misses = total_misses
-        window_rates = [d_hits / (d_hits + d_misses)
-                        if d_hits + d_misses else 1.0
-                        for d_hits, d_misses in deltas]
         worst = min(range(self.num_shards), key=lambda s: window_rates[s])
         best = max(range(self.num_shards), key=lambda s: window_rates[s])
         if worst == best or window_rates[best] - window_rates[worst] < self.min_gap:

@@ -16,7 +16,12 @@ by downstream code — without the call sites knowing the concrete class:
   **params)`` producing a :class:`~repro.serving.workloads.QueryWorkload`;
 * :data:`QUERY_KERNELS`     — ``name -> resolver(hierarchy)`` returning the
   concrete kernel name (``"dict"`` or ``"columnar"``) to use for batch
-  queries against that hierarchy.
+  queries against that hierarchy;
+* :data:`GRAPH_FAMILIES`    — ``name -> builder(want, weights, seed, spec)``
+  turning a parsed ``name:key=value,...`` graph spec into a
+  :class:`~repro.graphs.weighted_graph.WeightedGraph` (see
+  :func:`~repro.serving.specs.parse_graph_spec`, which supplies the
+  ``want`` parameter accessor).
 
 Built-in strategies register themselves when their defining module is
 imported (importing :mod:`repro.serving` imports them all).  Downstream code
@@ -46,16 +51,19 @@ __all__ = [
     "HOT_SET_POLICIES",
     "WORKLOADS",
     "QUERY_KERNELS",
+    "GRAPH_FAMILIES",
     "register_partitioner",
     "register_cache_policy",
     "register_hot_set_policy",
     "register_workload",
     "register_query_kernel",
+    "register_graph_family",
     "get_partitioner",
     "get_cache_policy",
     "get_hot_set_policy",
     "get_workload",
     "get_query_kernel",
+    "get_graph_family",
 ]
 
 
@@ -120,6 +128,7 @@ CACHE_POLICIES = Registry("cache policy")
 HOT_SET_POLICIES = Registry("hot-set policy")
 WORKLOADS = Registry("workload")
 QUERY_KERNELS = Registry("query kernel")
+GRAPH_FAMILIES = Registry("graph family")
 
 
 def register_partitioner(name: str, factory: Optional[Callable] = None, *,
@@ -152,6 +161,12 @@ def register_query_kernel(name: str, factory: Optional[Callable] = None, *,
     return QUERY_KERNELS.register(name, factory, replace=replace)
 
 
+def register_graph_family(name: str, factory: Optional[Callable] = None, *,
+                          replace: bool = False) -> Callable:
+    """Register a graph-spec builder ``(want, weights, seed, spec) -> graph``."""
+    return GRAPH_FAMILIES.register(name, factory, replace=replace)
+
+
 def get_partitioner(name: str) -> Callable:
     return PARTITIONERS.get(name)
 
@@ -170,3 +185,7 @@ def get_workload(name: str) -> Callable:
 
 def get_query_kernel(name: str) -> Callable:
     return QUERY_KERNELS.get(name)
+
+
+def get_graph_family(name: str) -> Callable:
+    return GRAPH_FAMILIES.get(name)

@@ -28,9 +28,10 @@ Sharding buys two things:
 Scatter/gather is **pipelined** (the PR-8 transport refactor): the
 front-end may keep several batches in flight at once.  :meth:`submit_batch`
 partitions a batch, applies admission control, and enqueues the shards
-without waiting; a background *collector* thread drains the shared reply
-queue and completes tickets as workers answer; :meth:`wait_batch` blocks on
-one ticket.  ``route_batch`` / ``distance_batch`` stay strictly synchronous
+without waiting; a background *collector* thread multiplexes the
+per-worker reply pipes (kill-safe by construction: no cross-process lock a
+dying worker could poison) and completes tickets as workers answer;
+:meth:`wait_batch` blocks on one ticket.  ``route_batch`` / ``distance_batch`` stay strictly synchronous
 (submit + wait), so sequential callers see exactly the old behaviour, while
 pipelined drivers (the network server's concurrent sessions, the
 benchmarks) overlap batch serialization with worker compute and keep every
@@ -52,9 +53,12 @@ are shut down, every in-flight ticket completes with a
 
 from __future__ import annotations
 
+import collections
+import dataclasses
 import multiprocessing
 import os
-import queue as queue_module
+import pickle
+import select
 import threading
 import time
 import traceback
@@ -69,6 +73,7 @@ from .config import BuildConfig, CacheConfig
 from .partitioners import make_partitioner
 from .service import RoutingService, answer_batch, build_or_load_service
 from .wire import BackpressureError
+from .workloads import stable_node_hash
 
 __all__ = ["ShardedRoutingService", "ShardError", "BackpressureError"]
 
@@ -80,19 +85,134 @@ class ShardError(RuntimeError):
 
     ``worker_traceback`` carries the remote traceback text when the failure
     originated from an exception inside a worker (empty otherwise).
+    ``pending_request_ids`` records which submitted batches (the
+    ``request_id`` of their tickets) were still in flight when the failure
+    latched, so callers — and the fleet supervisor — can retry precisely
+    instead of guessing which answers were lost.
     """
 
-    def __init__(self, message: str, worker_traceback: str = "") -> None:
+    def __init__(self, message: str, worker_traceback: str = "",
+                 pending_request_ids: Sequence[int] = ()) -> None:
         if worker_traceback:
             message = (f"{message}\n--- worker traceback ---\n"
                        f"{worker_traceback.rstrip()}")
         super().__init__(message)
         self.worker_traceback = worker_traceback
+        self.pending_request_ids: Tuple[int, ...] = tuple(pending_request_ids)
+
+
+class _ResultWriter:
+    """Worker end of its private result pipe: length-framed pickles.
+
+    Each worker owns one pipe to the parent, written only by the worker's
+    main thread — there is no lock to poison.  A shared
+    ``multiprocessing.Queue`` is *not* kill-safe here: a SIGKILL landing
+    while a worker's queue-feeder thread holds the queue's cross-process
+    write lock leaves that lock acquired forever, silently wedging every
+    sibling's replies — the exact failure mode the fleet supervisor
+    exists to survive.  With one single-writer pipe per worker, a kill
+    mid-write can only truncate that worker's own final frame, which the
+    parent discards along with the dead worker's channel.
+    """
+
+    __slots__ = ("_conn",)
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def put(self, message) -> None:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        data = len(payload).to_bytes(4, "big") + payload
+        fd = self._conn.fileno()
+        view = memoryview(data)
+        while view:
+            view = view[os.write(fd, view):]
+
+
+class _ResultChannel:
+    """Parent end of one worker's result pipe (single reader, no locks).
+
+    ``read_ready`` drains whatever bytes the pipe holds *without ever
+    blocking* (it is only called after ``select`` reports readability) and
+    returns the complete messages parsed from them; a partial frame — a
+    worker killed mid-write — just stays in the buffer until the channel
+    is discarded with its dead worker.
+    """
+
+    __slots__ = ("_conn", "_buffer", "exhausted")
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+        self._buffer = bytearray()
+        self.exhausted = False
+
+    def fileno(self) -> int:
+        return self._conn.fileno()
+
+    def read_ready(self) -> List:
+        messages: List = []
+        try:
+            chunk = os.read(self._conn.fileno(), 1 << 16)
+        except (OSError, ValueError):
+            self.exhausted = True
+            return messages
+        if not chunk:
+            # EOF: every copy of the write end is gone; nothing more can
+            # arrive, so drop the channel from the select set.
+            self.exhausted = True
+        self._buffer.extend(chunk)
+        while len(self._buffer) >= 4:
+            size = int.from_bytes(self._buffer[:4], "big")
+            if len(self._buffer) - 4 < size:
+                break
+            payload = bytes(self._buffer[4:4 + size])
+            del self._buffer[:4 + size]
+            messages.append(pickle.loads(payload))
+        return messages
+
+    def close(self) -> None:
+        self.exhausted = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+def _poll_channels(channels, backlog, timeout: float):
+    """The next message from ``channels`` into/out of ``backlog``, or None.
+
+    Module-level on purpose: the collector thread blocks here holding
+    only the channel list and the backlog deque — never the service —
+    so dropping the last external service reference still triggers
+    ``__del__`` promptly (the unclosed-service ``ResourceWarning``
+    contract).  Multiplexes with ``select`` and parses frames without
+    ever blocking on a single pipe, so a worker killed mid-write can
+    never wedge the caller (complete messages parse; its half-written
+    frame dies with its channel).
+    """
+    if backlog:
+        return backlog.popleft()
+    if not channels:
+        time.sleep(min(timeout, 0.05))
+        return None
+    try:
+        ready, _, _ = select.select(channels, [], [], timeout)
+    except (OSError, ValueError):
+        # A channel was closed under us (worker respawn swapped it
+        # out); the caller retries against a fresh snapshot.
+        return None
+    for channel in ready:
+        backlog.extend(channel.read_ready())
+    if backlog:
+        return backlog.popleft()
+    return None
 
 
 def _shard_worker(worker_id: int, artifact_path: str,
                   cache_config: CacheConfig, kernel: str, telemetry: bool,
-                  task_queue, result_queue) -> None:
+                  task_queue, result_conn,
+                  cover_artifact_path: Optional[str] = None,
+                  slice_spec: Optional[Tuple[int, int]] = None) -> None:
     """Worker main loop (module-level so it stays picklable under spawn).
 
     Each worker applies the :class:`CacheConfig` locally — cache policy,
@@ -108,15 +228,30 @@ def _shard_worker(worker_id: int, artifact_path: str,
       out ``("ok", worker_id, request_id, [(index, result), ...])`` or
       ``("error", worker_id, request_id, summary, traceback_text)``
     * in  ``("stats",)``    → out ``("stats", worker_id, ServingStats)``
+    * in  ``("ping", seq)`` → out ``("pong", worker_id, seq)``
     * in  ``("shutdown",)`` → out ``("bye", worker_id, ServingStats)``, exit
 
     The task queue is FIFO, so several ``query`` messages may be queued at
     once (the front-end's per-worker in-flight window); the worker simply
-    answers them in order — pipelining needs no worker-side changes.
+    answers them in order — pipelining needs no worker-side changes, and
+    the front-end relies on the FIFO order to know *which* queries a dead
+    worker had not yet answered.
+
+    ``slice_spec = (shard, workers)`` says ``artifact_path`` is the
+    sub-artifact slice covering sources whose stable hash maps to
+    ``shard`` of ``workers``.  Queries outside that slice (possible only
+    in fleet mode, where siblings cover a dead worker's partition) are
+    answered from ``cover_artifact_path`` — the full parent artifact,
+    loaded lazily on the first out-of-slice query so the common all-alive
+    path never pays for it.  Both services share one artifact build, so a
+    covered answer is bit-identical to the home shard's.
 
     Warm-up emits ``("ready", worker_id, load_seconds)`` on success or
     ``("failed", worker_id, summary)`` if the artifact cannot be loaded.
+    Replies travel over ``result_conn``, this worker's private pipe to the
+    parent (see :class:`_ResultWriter` for why it is not a shared queue).
     """
+    result_queue = _ResultWriter(result_conn)
     try:
         service = RoutingService.load(artifact_path,
                                       cache_config=cache_config,
@@ -126,6 +261,41 @@ def _shard_worker(worker_id: int, artifact_path: str,
                           f"{type(exc).__name__}: {exc}"))
         return
     service.stats.extra["worker_id"] = worker_id
+    cover_service: Optional[RoutingService] = None
+    own_shard, own_workers = slice_spec if slice_spec else (None, None)
+
+    def split(indexed_pairs):
+        """(own, other) — other is non-empty only for out-of-slice sources."""
+        if own_shard is None or cover_artifact_path is None:
+            return indexed_pairs, []
+        own, other = [], []
+        for item in indexed_pairs:
+            if stable_node_hash(item[1][0]) % own_workers == own_shard:
+                own.append(item)
+            else:
+                other.append(item)
+        return own, other
+
+    def snapshot() -> ServingStats:
+        stats = service.query_stats()
+        if cover_service is None:
+            return stats
+        # Fold the cover service's counters into a copy (never the live
+        # stats object — repeated snapshots must not compound).
+        cover = cover_service.query_stats()
+        merged = dataclasses.replace(stats, extra=dict(stats.extra))
+        for name in ("queries", "route_queries", "distance_queries",
+                     "batches", "batched_queries", "cache_hits",
+                     "cache_misses", "hot_hits"):
+            setattr(merged, name, getattr(merged, name)
+                    + getattr(cover, name))
+        merged.extra["cover_queries"] = cover.queries
+        if telemetry:
+            merged.extra["telemetry"] = merge_exports(
+                [stats.extra.get("telemetry", {}),
+                 cover.extra.get("telemetry", {})])
+        return merged
+
     result_queue.put(("ready", worker_id, service.stats.load_seconds))
     while True:
         message = task_queue.get()
@@ -133,10 +303,13 @@ def _shard_worker(worker_id: int, artifact_path: str,
         if tag == "shutdown":
             # query_stats() refreshes the hierarchy-level snapshots (pivot
             # cache, kernel groups) so the merged stats see final values.
-            result_queue.put(("bye", worker_id, service.query_stats()))
+            result_queue.put(("bye", worker_id, snapshot()))
             return
         if tag == "stats":
-            result_queue.put(("stats", worker_id, service.query_stats()))
+            result_queue.put(("stats", worker_id, snapshot()))
+            continue
+        if tag == "ping":
+            result_queue.put(("pong", worker_id, message[1]))
             continue
         if tag != "query":
             result_queue.put(("error", worker_id, None,
@@ -144,71 +317,113 @@ def _shard_worker(worker_id: int, artifact_path: str,
             continue
         _, request_id, kind, indexed_pairs = message
         try:
-            values = answer_batch(service, kind,
-                                  [pair for _, pair in indexed_pairs])
+            own, other = split(indexed_pairs)
+            indexed_values = []
+            if own:
+                values = answer_batch(service, kind,
+                                      [pair for _, pair in own])
+                indexed_values.extend(
+                    (index, value) for (index, _), value in zip(own, values))
+            if other:
+                if cover_service is None:
+                    cover_service = RoutingService.load(
+                        cover_artifact_path, cache_config=cache_config,
+                        kernel=kernel, telemetry=telemetry)
+                values = answer_batch(cover_service, kind,
+                                      [pair for _, pair in other])
+                indexed_values.extend(
+                    (index, value) for (index, _), value
+                    in zip(other, values))
         except Exception as exc:
             result_queue.put(("error", worker_id, request_id,
                               f"{type(exc).__name__}: {exc}",
                               traceback.format_exc()))
             continue
-        result_queue.put(("ok", worker_id, request_id,
-                          [(index, value) for (index, _), value
-                           in zip(indexed_pairs, values)]))
+        result_queue.put(("ok", worker_id, request_id, indexed_values))
 
 
-def _collector_main(service_ref, stop: threading.Event,
-                    result_queue) -> None:
+def _collector_main(service_ref, stop: threading.Event) -> None:
     """Collector thread body (module-level, weakref-based on purpose).
 
     The thread must not pin the front-end alive: a bound-method target
     would hold a strong reference forever and ``__del__`` — the unclosed-
     service ``ResourceWarning`` contract — could never fire.  The service
-    is re-derefed only for the microseconds a message is dispatched; while
-    blocked on the queue the thread holds nothing but the queue itself.
+    is re-derefed only for the microseconds a snapshot is taken or a
+    message dispatched; while blocked in ``select`` the thread holds
+    nothing but the channel list and the backlog deque.
     """
     while not stop.is_set():
-        try:
-            message = result_queue.get(timeout=0.1)
-        except (queue_module.Empty, OSError, ValueError):
-            service = service_ref()
-            if service is None:
-                return
-            service._check_liveness()
-            del service
-            continue
         service = service_ref()
         if service is None:
             return
-        service._dispatch(message)
+        backlog = service._result_backlog
+        with service._lock:
+            channels = [h.channel for h in service._workers
+                        if h.channel is not None and not h.channel.exhausted]
+        del service
+        message = _poll_channels(channels, backlog, timeout=0.1)
+        service = service_ref()
+        if service is None:
+            return
+        if message is None:
+            service._check_liveness()
+        else:
+            service._dispatch(message)
         del service
 
 
 class _WorkerHandle:
-    """Parent-side record of one worker: its process and private task queue."""
+    """Parent-side record of one worker: its process, private task queue,
+    and the parent end of its private result pipe (``channel``).
 
-    __slots__ = ("worker_id", "process", "task_queue")
+    ``state`` is the supervisor's slot lifecycle (always ``"alive"``
+    outside fleet mode): ``alive`` → serving; ``warming`` → respawned,
+    loading its artifact; ``dead`` → exited unexpectedly, awaiting respawn;
+    ``parked`` → scaled down deliberately (its final stats survive in
+    ``final_stats``).
+    """
 
-    def __init__(self, worker_id, process, task_queue):
+    __slots__ = ("worker_id", "process", "task_queue", "channel", "state",
+                 "final_stats")
+
+    def __init__(self, worker_id, process, task_queue, channel=None):
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
+        self.channel: Optional[_ResultChannel] = channel
+        self.state = "alive"
+        self.final_stats: Optional[ServingStats] = None
+
+
+#: Pseudo worker id holding shards that could not be routed because no
+#: worker was alive at retry time; the supervisor re-dispatches them when
+#: a respawn completes.  Never collides with real ids (always >= 0).
+_DEFERRED_SLOT = -1
 
 
 class _BatchTicket:
-    """One in-flight batch: filled in by the collector, awaited by callers."""
+    """One in-flight batch: filled in by the collector, awaited by callers.
 
-    __slots__ = ("request_id", "kind", "results", "pending_workers",
+    ``outstanding`` maps ``worker_id -> [shard, ...]`` where each shard is
+    the ``[(index, pair), ...]`` list sent in one ``("query", ...)``
+    message, oldest first.  Workers answer their queue in FIFO order, so
+    an ``"ok"`` always retires the *first* shard in its worker's list —
+    and on worker death the shards still listed are exactly the
+    unanswered ones, ready to be re-scattered verbatim to siblings.
+    """
+
+    __slots__ = ("request_id", "kind", "results", "outstanding",
                  "done", "error")
 
     def __init__(self, request_id: int, kind: str, size: int,
-                 worker_ids) -> None:
+                 outstanding: Optional[Dict[int, List]] = None) -> None:
         self.request_id = request_id
         self.kind = kind
         self.results: List = [None] * size
-        self.pending_workers = set(worker_ids)
+        self.outstanding: Dict[int, List] = outstanding or {}
         self.done = threading.Event()
         self.error: Optional[ShardError] = None
-        if not self.pending_workers:
+        if not self.outstanding:
             self.done.set()
 
 
@@ -279,7 +494,8 @@ class ShardedRoutingService:
                  warm_timeout: float = 120.0, reply_timeout: float = 300.0,
                  graph: Optional[WeightedGraph] = None,
                  stats: Optional[ServingStats] = None,
-                 kernel: str = "auto", telemetry: bool = False) -> None:
+                 kernel: str = "auto", telemetry: bool = False,
+                 fleet=None) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if pipeline_depth < 1:
@@ -355,7 +571,13 @@ class ShardedRoutingService:
         self._warm_timeout = warm_timeout
         self._reply_timeout = reply_timeout
         self._workers: List[_WorkerHandle] = []
-        self._result_queue = None
+        # Parsed-but-undelivered worker messages; consumed by exactly one
+        # thread at a time (warm-up, then the collector, then the drain).
+        self._result_backlog: collections.deque = collections.deque()
+        # Channels of respawn-replaced workers: kept open (but out of the
+        # select set) until close(), so their fd numbers cannot be reused
+        # while the collector might still hold a stale reference.
+        self._retired_channels: List[_ResultChannel] = []
         self._request_counter = 0
         self._started = False
         self._closed = False
@@ -375,6 +597,30 @@ class ShardedRoutingService:
         self._completed_batches = 0
         self._next_feedback = self._partitioner.feedback_every
         self._close_lock = threading.Lock()
+        # Fleet mode: a FleetSupervisor owns the worker set — liveness,
+        # respawn, rebalancing and scaling — and replaces the static
+        # partitioner with its epoch-versioned routing table.  Imported
+        # lazily so the base sharded path never touches the fleet module.
+        self._fleet = None
+        if fleet is not None:
+            from .fleet import FleetConfig, FleetSupervisor
+            if fleet is True:
+                fleet = FleetConfig()
+            if not isinstance(fleet, FleetConfig):
+                raise ValueError(f"fleet must be a FleetConfig (or True for "
+                                 f"defaults), got {fleet!r}")
+            if num_workers < 2:
+                raise ValueError(
+                    f"fleet mode needs num_workers >= 2 (siblings cover a "
+                    f"dead worker's partition), got {num_workers}")
+            if not getattr(self._partitioner, "partitions_by_source", False):
+                raise ValueError(
+                    f"fleet mode routes by source hash (the epoch table "
+                    f"must agree with sub-artifact slicing), so the "
+                    f"partitioner must partition by source "
+                    f"(e.g. 'hash_source'); got {partitioner!r}")
+            self._fleet = FleetSupervisor(self, fleet)
+            self.stats.extra.setdefault("fleet", True)
 
     @staticmethod
     def _validate_sub_artifacts(artifact_path: str,
@@ -461,38 +707,60 @@ class ShardedRoutingService:
     # ==================================================================
     # worker lifecycle
     # ==================================================================
+    def _spawn_worker(self, worker_id: int) -> _WorkerHandle:
+        """Spawn one worker process; the caller installs the handle.
+
+        Slot ``worker_id`` loads its sub-artifact slice when one exists for
+        it (dynamic fleet slots past the base set always load the full
+        artifact).  In fleet mode a sliced worker also gets the parent
+        artifact as its cover path, so it can answer out-of-slice queries
+        while a sibling is down.
+        """
+        task_queue = self._ctx.Queue()
+        reader, writer = self._ctx.Pipe(duplex=False)
+        if (self.sub_artifact_paths is not None
+                and worker_id < len(self.sub_artifact_paths)):
+            worker_artifact = self.sub_artifact_paths[worker_id]
+            slice_spec = (worker_id, len(self.sub_artifact_paths))
+            cover = self.artifact_path if self._fleet is not None else None
+        else:
+            worker_artifact = self.artifact_path
+            slice_spec = None
+            cover = None
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(worker_id, worker_artifact, self.cache_config,
+                  self.kernel, self.telemetry, task_queue,
+                  writer, cover, slice_spec),
+            daemon=True, name=f"repro-shard-{worker_id}")
+        process.start()
+        # The child owns the write end now; dropping the parent's copy
+        # keeps the fd table bounded across respawns.
+        writer.close()
+        return _WorkerHandle(worker_id, process, task_queue,
+                             channel=_ResultChannel(reader))
+
     def start(self) -> "ShardedRoutingService":
         """Spawn the workers and block until every one has warmed up."""
         if self._closed:
             raise ShardError("sharded service is closed")
         if self._started:
             return self
-        self._result_queue = self._ctx.Queue()
         for worker_id in range(self.num_workers):
-            task_queue = self._ctx.Queue()
-            worker_artifact = (self.sub_artifact_paths[worker_id]
-                               if self.sub_artifact_paths is not None
-                               else self.artifact_path)
-            process = self._ctx.Process(
-                target=_shard_worker,
-                args=(worker_id, worker_artifact, self.cache_config,
-                      self.kernel, self.telemetry, task_queue,
-                      self._result_queue),
-                daemon=True, name=f"repro-shard-{worker_id}")
-            process.start()
-            self._workers.append(_WorkerHandle(worker_id, process, task_queue))
+            self._workers.append(self._spawn_worker(worker_id))
         ready = 0
         load_seconds: List[float] = []
         deadline = time.monotonic() + self._warm_timeout
         while ready < self.num_workers:
-            try:
-                message = self._result_queue.get(
-                    timeout=max(0.01, deadline - time.monotonic()))
-            except queue_module.Empty:
-                self._abort()
-                raise ShardError(
-                    f"only {ready}/{self.num_workers} workers warmed up "
-                    f"within {self._warm_timeout}s")
+            message = self._next_message(
+                timeout=min(0.1, max(0.01, deadline - time.monotonic())))
+            if message is None:
+                if time.monotonic() >= deadline:
+                    self._abort()
+                    raise ShardError(
+                        f"only {ready}/{self.num_workers} workers warmed "
+                        f"up within {self._warm_timeout}s")
+                continue
             if message[0] == "failed":
                 self._abort()
                 raise ShardError(
@@ -508,11 +776,12 @@ class ShardedRoutingService:
         self._collector_stop.clear()
         self._collector = threading.Thread(
             target=_collector_main,
-            args=(weakref.ref(self), self._collector_stop,
-                  self._result_queue),
+            args=(weakref.ref(self), self._collector_stop),
             name="repro-shard-collector", daemon=True)
         self._collector.start()
         self._started = True
+        if self._fleet is not None:
+            self._fleet.start()
         return self
 
     def close(self, drain: bool = True,
@@ -532,6 +801,10 @@ class ShardedRoutingService:
             self._closed = True
             if not self._started:
                 return []
+            if self._fleet is not None:
+                # Stop the supervisor first: no respawn or scale decision
+                # may race the teardown below.
+                self._fleet.stop()
             deadline = time.monotonic() + timeout
             if drain:
                 # In-flight tickets complete through the collector before
@@ -552,9 +825,8 @@ class ShardedRoutingService:
                         except (OSError, ValueError):
                             pass
                 while expecting and time.monotonic() < deadline:
-                    try:
-                        message = self._result_queue.get(timeout=0.05)
-                    except queue_module.Empty:
+                    message = self._next_message(timeout=0.05)
+                    if message is None:
                         continue
                     # Late "ok"/"stats" replies from interrupted requests
                     # are skipped; only the final per-worker snapshot is
@@ -565,7 +837,14 @@ class ShardedRoutingService:
                 # Stragglers past the deadline get terminated below and
                 # their final snapshots are lost; record who, so
                 # merged_stats can say its totals are incomplete instead
-                # of silently under-counting.
+                # of silently under-counting.  Workers the fleet already
+                # retired carry their snapshot on the handle (parked
+                # workers sent "bye" when scaled down) — fold those in;
+                # dead slots never made it into ``expecting`` (their
+                # process was gone) and are expected to be missing.
+                for handle in self._workers:
+                    if handle.final_stats is not None:
+                        final_stats.append(handle.final_stats)
                 self._undrained_workers = sorted(expecting)
             if not drain:
                 # Fail-stop path: nobody was asked to exit, so don't wait.
@@ -580,13 +859,17 @@ class ShardedRoutingService:
             self._final_worker_stats = final_stats
             for handle in self._workers:
                 handle.task_queue.close()
-            if self._result_queue is not None:
-                self._result_queue.close()
+                if handle.channel is not None:
+                    handle.channel.close()
+            for channel in self._retired_channels:
+                channel.close()
+            self._retired_channels = []
             # Wake anyone still blocked in submit/wait with a clear error.
             with self._can_submit:
                 if self._tickets and self._failure is None:
                     self._failure = ShardError(
-                        "sharded service closed with batches in flight")
+                        "sharded service closed with batches in flight",
+                        pending_request_ids=tuple(sorted(self._tickets)))
                 for ticket in self._tickets.values():
                     ticket.error = self._failure
                     ticket.done.set()
@@ -629,14 +912,43 @@ class ShardedRoutingService:
 
     @property
     def is_running(self) -> bool:
-        return (self._started and not self._closed
-                and all(h.process.is_alive() for h in self._workers))
+        if not self._started or self._closed:
+            return False
+        if self._fleet is not None:
+            # Fleet mode survives individual deaths: running means at
+            # least one routable worker (the supervisor is respawning the
+            # rest, or has latched a FleetError if it cannot).
+            return self._failure is None and any(
+                h.state == "alive" and h.process.is_alive()
+                for h in self._workers)
+        return all(h.process.is_alive() for h in self._workers)
 
     # ==================================================================
-    # collector: completes tickets from the shared reply queue
+    # collector: completes tickets from the per-worker reply pipes
     # ==================================================================
+    def _next_message(self, timeout: float):
+        """The next worker→parent message, or ``None`` after ``timeout``.
+
+        Thin wrapper over :func:`_poll_channels` against a fresh channel
+        snapshot.  Consumed by one thread at a time: ``start()`` during
+        warm-up, the collector while serving, and ``close()`` during the
+        drain (the collector itself snapshots and polls directly so it
+        never holds the service while blocked).
+        """
+        with self._lock:
+            channels = [h.channel for h in self._workers
+                        if h.channel is not None and not h.channel.exhausted]
+        return _poll_channels(channels, self._result_backlog, timeout)
+
     def _check_liveness(self) -> None:
         """Notice workers that died without replying (OOM kill, segfault)."""
+        if self._fleet is not None:
+            # The supervisor recovers instead of latching: re-scatter the
+            # dead slot's unanswered shards to siblings now (the collector
+            # calls this between replies, well inside the heartbeat) and
+            # leave respawn to the beat thread.
+            self._fleet.poll_liveness()
+            return
         with self._lock:
             waiting = bool(self._tickets) or bool(self._stats_waiters)
         if not waiting:
@@ -646,10 +958,9 @@ class ShardedRoutingService:
         if not dead:
             return
         # Grace read: the worker may have replied just before dying and
-        # the message may still be in flight through the pipe.
-        try:
-            message = self._result_queue.get(timeout=0.5)
-        except (queue_module.Empty, OSError, ValueError):
+        # the bytes may still be sitting in its pipe.
+        message = self._next_message(timeout=0.5)
+        if message is None:
             self._latch_failure(ShardError(
                 f"worker(s) {dead} died without replying"))
             return
@@ -661,18 +972,36 @@ class ShardedRoutingService:
             _, worker_id, request_id, indexed = message
             with self._can_submit:
                 ticket = self._tickets.get(request_id)
-                if ticket is None or worker_id not in ticket.pending_workers:
+                if ticket is None:
                     return  # late reply from an aborted request
+                shards = ticket.outstanding.get(worker_id)
+                if not shards:
+                    # Late reply from a worker whose shard was already
+                    # re-scattered to a sibling after its (apparent)
+                    # death; the sibling's answers are identical, so
+                    # dropping this one is safe either way.
+                    return
                 for index, value in indexed:
                     ticket.results[index] = value
-                ticket.pending_workers.discard(worker_id)
+                # Workers answer their task queue in FIFO order, so this
+                # reply retires the oldest outstanding shard.
+                shards.pop(0)
+                if not shards:
+                    del ticket.outstanding[worker_id]
                 self._inflight[worker_id] = max(
                     0, self._inflight.get(worker_id, 0) - 1)
-                if not ticket.pending_workers:
+                if not ticket.outstanding:
                     del self._tickets[request_id]
                     self._completed_batches += 1
                     ticket.done.set()
                 self._can_submit.notify_all()
+            return
+        if self._fleet is not None and tag in ("pong", "ready", "failed",
+                                               "bye"):
+            # Supervisor traffic: heartbeat replies and the lifecycle of
+            # respawned / scaled workers (initial warm-up "ready"s are
+            # consumed directly by start(), before the collector runs).
+            self._fleet.on_message(message)
             return
         if tag == "error":
             _, worker_id, request_id, summary, worker_tb = message
@@ -701,6 +1030,10 @@ class ShardedRoutingService:
         """Fail-stop latch: every current and future caller sees ``error``."""
         with self._can_submit:
             if self._failure is None:
+                if not error.pending_request_ids:
+                    # Record which submitted batches were lost so callers
+                    # can retry precisely instead of replaying everything.
+                    error.pending_request_ids = tuple(sorted(self._tickets))
                 self._failure = error
             for ticket in self._tickets.values():
                 ticket.error = self._failure
@@ -753,23 +1086,42 @@ class ShardedRoutingService:
             self.stats.batched_queries += len(pairs)
             if not pairs:
                 self._completed_batches += 1
-                return _BatchTicket(0, kind, 0, ())
+                return _BatchTicket(0, kind, 0)
             scatter_start = time.perf_counter()
-            shards = self._partitioner.partition(pairs)
+            epoch = None
+            assignments: List[Tuple[int, List]] = []
+            if self._fleet is None:
+                shards = self._partitioner.partition(pairs)
+                assignments = [(handle.worker_id, shard)
+                               for handle, shard
+                               in zip(self._workers, shards) if shard]
+            elif self._fleet.has_routable:
+                epoch, assignments = self._fleet.partition(pairs)
             partition_seconds = time.perf_counter() - scatter_start
-            targets = [handle.worker_id
-                       for handle, shard in zip(self._workers, shards)
-                       if shard]
             wait_start = time.perf_counter()
             while True:
                 if self._failure is not None:
                     raise self._failure
                 if self._closed:
                     raise ShardError("sharded service is closed")
+                if self._fleet is not None:
+                    # Never race a migration or a death: the routing table
+                    # is epoch-versioned and partitioning happens under
+                    # the same lock that publishes it, so re-partition if
+                    # the epoch moved while this submitter waited.  (The
+                    # static-partitioner path partitions exactly once —
+                    # round_robin is stateful — and its worker set never
+                    # changes.)
+                    routable = self._fleet.has_routable
+                    if routable and epoch != self._fleet.epoch:
+                        epoch, assignments = self._fleet.partition(pairs)
+                else:
+                    routable = True
+                targets = [worker_id for worker_id, _ in assignments]
                 depth_ok = len(self._tickets) < self.pipeline_depth
-                window_ok = all(self._inflight[w] < self.max_inflight
+                window_ok = all(self._inflight.get(w, 0) < self.max_inflight
                                 for w in targets)
-                if depth_ok and window_ok:
+                if routable and depth_ok and window_ok:
                     break
                 if self.admission == "reject":
                     raise BackpressureError(
@@ -785,13 +1137,16 @@ class ShardedRoutingService:
             waited = time.perf_counter() - wait_start
             self._request_counter += 1
             request_id = self._request_counter
-            ticket = _BatchTicket(request_id, kind, len(pairs), targets)
+            ticket = _BatchTicket(request_id, kind, len(pairs),
+                                  {worker_id: [shard]
+                                   for worker_id, shard in assignments})
             self._tickets[request_id] = ticket
             enqueue_start = time.perf_counter()
-            for handle, shard in zip(self._workers, shards):
-                if shard:
-                    self._inflight[handle.worker_id] += 1
-                    handle.task_queue.put(("query", request_id, kind, shard))
+            for worker_id, shard in assignments:
+                self._inflight[worker_id] = \
+                    self._inflight.get(worker_id, 0) + 1
+                self._workers[worker_id].task_queue.put(
+                    ("query", request_id, kind, shard))
             if self.metrics.enabled:
                 # scatter = partition + enqueue; the admission wait is its
                 # own span so backpressure is visible, not folded in.
@@ -847,14 +1202,29 @@ class ShardedRoutingService:
         """
         if self._closed or not self._started:
             return list(self._final_worker_stats)
-        waiter = {"remaining": {h.worker_id for h in self._workers},
-                  "snapshots": {}, "done": threading.Event(), "error": None}
         with self._can_submit:
             if self._failure is not None:
                 raise self._failure
-            self._stats_waiters.append(waiter)
-        for handle in self._workers:
-            handle.task_queue.put(("stats",))
+            # Only alive workers are asked; dead/warming/parked slots get
+            # placeholders below so the list stays aligned with the slot
+            # order (the adaptive partitioner and the fleet rebalancer
+            # index it by shard).  The fleet death handler scrubs waiters
+            # for workers that die mid-request, so this cannot hang on a
+            # slot that will never answer.
+            queried = [h for h in self._workers
+                       if h.state == "alive" and h.process.is_alive()]
+            waiter = {"remaining": {h.worker_id for h in queried},
+                      "snapshots": {}, "done": threading.Event(),
+                      "error": None}
+            if waiter["remaining"]:
+                self._stats_waiters.append(waiter)
+            else:
+                waiter["done"].set()
+        for handle in queried:
+            try:
+                handle.task_queue.put(("stats",))
+            except (OSError, ValueError):
+                pass
         deadline = time.monotonic() + self._reply_timeout
         while not waiter["done"].wait(timeout=0.2):
             if time.monotonic() >= deadline:
@@ -866,7 +1236,15 @@ class ShardedRoutingService:
             error = waiter["error"]
             self._abort()
             raise error
-        return [waiter["snapshots"][h.worker_id] for h in self._workers]
+        out: List[ServingStats] = []
+        for handle in self._workers:
+            snapshot = waiter["snapshots"].get(handle.worker_id)
+            if snapshot is None:
+                snapshot = (handle.final_stats
+                            if handle.final_stats is not None
+                            else ServingStats())
+            out.append(snapshot)
+        return out
 
     def merged_stats(self) -> ServingStats:
         """One aggregate :class:`ServingStats` over all workers.
@@ -899,6 +1277,8 @@ class ShardedRoutingService:
             merged.extra["telemetry"] = merge_exports(
                 [merged.extra.get("telemetry", {}), front_end])
         merged.extra.update(self._partitioner.describe())
+        if self._fleet is not None:
+            merged.extra["fleet"] = self._fleet.status()
         if self._undrained_workers:
             merged.extra["undrained_workers"] = list(self._undrained_workers)
         return merged

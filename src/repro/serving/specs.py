@@ -8,9 +8,27 @@ so a serving session is fully reproducible from its config alone::
     grid:rows=10,cols=12          ba:n=150,m=2
     geometric:n=120,radius=0.18   tree:n=100        path:n=64
     road:rows=16,cols=16,highway_every=4,shortcut_fraction=0.03
+    powerlaw:n=300,exponent=2.3   fattree:k=6,hosts=2
 
 The optional ``weights=...`` key selects a weight distribution: ``unit``,
-``uniform:LO:HI``, ``mixed``, or ``heavy``.
+``uniform:LO:HI``, ``mixed``, or ``heavy``.  Families that own their weight
+structure (``road``, ``fattree``) reject ``weights=`` and expose their own
+weight knobs instead.
+
+Families dispatch through the :data:`~repro.serving.registry.GRAPH_FAMILIES`
+registry, so downstream code can add one::
+
+    from repro.serving import register_graph_family
+
+    @register_graph_family("ring-of-cliques")
+    def _ring_of_cliques(want, weights, seed, spec):
+        return build_it(want("n", int), want("cliques", int, 4),
+                        weights, seed)
+
+A builder receives ``want(key, cast, default=None)`` (consuming parameter
+accessor — a missing key without a default raises, and unconsumed keys are
+reported after the builder returns), the parsed ``weights`` strategy (or
+``None``), the ``seed``, and the raw spec string for error messages.
 """
 
 from __future__ import annotations
@@ -19,6 +37,7 @@ from typing import Dict, Optional
 
 from .. import graphs
 from ..graphs.weighted_graph import WeightedGraph
+from .registry import GRAPH_FAMILIES, register_graph_family
 
 __all__ = ["parse_graph_spec"]
 
@@ -36,6 +55,84 @@ def _parse_weights(spec: Optional[str]):
     if spec == "heavy":
         return graphs.heavy_tailed_weights()
     raise ValueError(f"unknown weight spec {spec!r}")
+
+
+@register_graph_family("er")
+def _er_family(want, weights, seed, spec):
+    return graphs.erdos_renyi_graph(want("n", int), want("p", float),
+                                    weights, seed=seed)
+
+
+@register_graph_family("grid")
+def _grid_family(want, weights, seed, spec):
+    return graphs.grid_graph(want("rows", int), want("cols", int),
+                             weights, seed=seed)
+
+
+@register_graph_family("ba")
+def _ba_family(want, weights, seed, spec):
+    return graphs.barabasi_albert_graph(want("n", int), want("m", int, 2),
+                                        weights, seed=seed)
+
+
+@register_graph_family("geometric")
+def _geometric_family(want, weights, seed, spec):
+    return graphs.random_geometric_graph(want("n", int),
+                                         want("radius", float),
+                                         weights, seed=seed)
+
+
+@register_graph_family("road")
+def _road_family(want, weights, seed, spec):
+    if weights is not None:
+        raise ValueError(
+            f"the road family owns its weights (highway corridors vs "
+            f"local streets); drop 'weights=' from {spec!r} and tune "
+            f"highway_weight/street_low/street_high instead")
+    return graphs.road_grid_graph(
+        want("rows", int), want("cols", int),
+        highway_every=want("highway_every", int, 4),
+        highway_weight=want("highway_weight", int, 1),
+        street_low=want("street_low", int, 5),
+        street_high=want("street_high", int, 12),
+        shortcut_fraction=want("shortcut_fraction", float, 0.02),
+        seed=seed)
+
+
+@register_graph_family("powerlaw")
+def _powerlaw_family(want, weights, seed, spec):
+    return graphs.powerlaw_graph(
+        want("n", int),
+        exponent=want("exponent", float, 2.5),
+        min_degree=want("min_degree", int, 1),
+        weights=weights, seed=seed)
+
+
+@register_graph_family("fattree")
+def _fattree_family(want, weights, seed, spec):
+    if weights is not None:
+        raise ValueError(
+            f"the fattree family owns its weights (one knob per fabric "
+            f"tier); drop 'weights=' from {spec!r} and tune "
+            f"core_weight/aggregation_weight/host_weight instead")
+    k = want("k", int, 4)
+    return graphs.fat_tree_graph(
+        k,
+        hosts_per_edge=want("hosts", int, max(1, k // 2)),
+        core_weight=want("core_weight", int, 1),
+        aggregation_weight=want("aggregation_weight", int, 2),
+        host_weight=want("host_weight", int, 10),
+        seed=seed)
+
+
+@register_graph_family("tree")
+def _tree_family(want, weights, seed, spec):
+    return graphs.random_tree(want("n", int), weights, seed=seed)
+
+
+@register_graph_family("path")
+def _path_family(want, weights, seed, spec):
+    return graphs.path_graph(want("n", int), weights, seed=seed)
 
 
 def parse_graph_spec(spec: str) -> WeightedGraph:
@@ -60,39 +157,11 @@ def parse_graph_spec(spec: str) -> WeightedGraph:
             raise ValueError(f"graph spec {spec!r} is missing {key!r}")
         return default
 
-    if name == "er":
-        graph = graphs.erdos_renyi_graph(want("n", int), want("p", float),
-                                         weights, seed=seed)
-    elif name == "grid":
-        graph = graphs.grid_graph(want("rows", int), want("cols", int),
-                                  weights, seed=seed)
-    elif name == "ba":
-        graph = graphs.barabasi_albert_graph(want("n", int), want("m", int, 2),
-                                             weights, seed=seed)
-    elif name == "geometric":
-        graph = graphs.random_geometric_graph(want("n", int),
-                                              want("radius", float),
-                                              weights, seed=seed)
-    elif name == "road":
-        if weights is not None:
-            raise ValueError(
-                f"the road family owns its weights (highway corridors vs "
-                f"local streets); drop 'weights=' from {spec!r} and tune "
-                f"highway_weight/street_low/street_high instead")
-        graph = graphs.road_grid_graph(
-            want("rows", int), want("cols", int),
-            highway_every=want("highway_every", int, 4),
-            highway_weight=want("highway_weight", int, 1),
-            street_low=want("street_low", int, 5),
-            street_high=want("street_high", int, 12),
-            shortcut_fraction=want("shortcut_fraction", float, 0.02),
-            seed=seed)
-    elif name == "tree":
-        graph = graphs.random_tree(want("n", int), weights, seed=seed)
-    elif name == "path":
-        graph = graphs.path_graph(want("n", int), weights, seed=seed)
-    else:
-        raise ValueError(f"unknown graph family {name!r} in spec {spec!r}")
+    if name not in GRAPH_FAMILIES:
+        raise ValueError(
+            f"unknown graph family {name!r} in spec {spec!r}; "
+            f"available: {', '.join(GRAPH_FAMILIES.names())}")
+    graph = GRAPH_FAMILIES.get(name)(want, weights, seed, spec)
     if params:
         raise ValueError(f"unused graph spec keys {sorted(params)} in {spec!r}")
     return graph

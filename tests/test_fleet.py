@@ -1,0 +1,339 @@
+"""Elastic fleet: chaos recovery, epoch routing, scaling, failure semantics.
+
+The chaos tests SIGKILL a live worker process mid-stream and assert the
+fleet's one hard contract: every answer stays list-for-list identical to
+single-process serving, with the death and the respawn visible in the
+supervisor counters.  The unit tests pin the deterministic pieces — the
+epoch table, the config validation, the typed degradation when the
+respawn budget runs out — without needing worker processes at all.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import graphs
+from repro.serving import (
+    FleetConfig,
+    FleetError,
+    RoutingEpoch,
+    RoutingService,
+    ServingConfig,
+    ShardError,
+    ShardedRoutingService,
+    make_workload,
+    stable_node_hash,
+    write_shard_artifacts,
+)
+
+
+@pytest.fixture(scope="module")
+def fleet_graph():
+    return graphs.erdos_renyi_graph(30, 0.15, graphs.uniform_weights(1, 50),
+                                    seed=17)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(fleet_graph, tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("fleet") / "hierarchy.artifact")
+    RoutingService.build_or_load(path, graph=fleet_graph, k=3, seed=4)
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_service(artifact_path):
+    return RoutingService.load(artifact_path)
+
+
+def open_fleet(artifact_path, num_workers=3, sub_artifacts=False, **knobs):
+    knobs.setdefault("heartbeat_interval", 0.05)
+    knobs.setdefault("respawn_limit", 5)
+    sub_paths = None
+    if sub_artifacts:
+        sub_paths = write_shard_artifacts(artifact_path, num_workers)
+    return ShardedRoutingService(
+        artifact_path, num_workers=num_workers, partitioner="hash_source",
+        sub_artifact_paths=sub_paths, fleet=FleetConfig(**knobs))
+
+
+def kill_worker(service, worker_id):
+    """SIGKILL one live worker process, as the OOM killer would."""
+    process = service._workers[worker_id].process
+    os.kill(process.pid, signal.SIGKILL)
+    process.join(timeout=10.0)
+    assert not process.is_alive()
+
+
+def wait_for(predicate, deadline=20.0, message="condition"):
+    start = time.monotonic()
+    while time.monotonic() - start < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+class TestRoutingEpoch:
+    NODES = list(range(40)) + ["core0", "pod1-edge0-host2"]
+
+    def test_base_slot_is_source_hash(self):
+        table = RoutingEpoch(1, 4, {}, (0, 1, 2, 3))
+        for node in self.NODES:
+            assert table.slot_of(node) == stable_node_hash(node) % 4
+
+    def test_override_redirects(self):
+        moved = self.NODES[0]
+        table = RoutingEpoch(2, 4, {moved: 3}, (0, 1, 2, 3))
+        assert table.slot_of(moved) == 3
+        untouched = self.NODES[1]
+        assert table.slot_of(untouched) == stable_node_hash(untouched) % 4
+
+    def test_dead_slot_falls_back_deterministically(self):
+        full = RoutingEpoch(1, 4, {}, (0, 1, 2, 3))
+        holed = RoutingEpoch(2, 4, {}, (0, 2, 3))
+        for node in self.NODES:
+            slot = holed.slot_of(node)
+            assert slot in (0, 2, 3)
+            if full.slot_of(node) != 1:
+                # Slots that were never on the dead worker do not move.
+                assert slot == full.slot_of(node)
+            # Deterministic: same table, same answer.
+            assert holed.slot_of(node) == slot
+
+    def test_override_to_dead_slot_falls_back(self):
+        table = RoutingEpoch(3, 4, {self.NODES[0]: 1}, (0, 2))
+        assert table.slot_of(self.NODES[0]) in (0, 2)
+
+    def test_empty_routable_raises_typed_error(self):
+        table = RoutingEpoch(4, 4, {}, ())
+        with pytest.raises(FleetError, match="no routable workers"):
+            table.slot_of(self.NODES[0])
+
+
+class TestConfigValidation:
+    def test_fleet_config_defaults_valid(self):
+        config = FleetConfig()
+        assert config.to_dict()["respawn_limit"] == 3
+
+    @pytest.mark.parametrize("bad", [
+        {"min_workers": 0},
+        {"max_workers": 1, "min_workers": 2},
+        {"heartbeat_interval": 0.0},
+        {"respawn_limit": -1},
+        {"hang_timeout": 0.0},
+        {"scale_up_depth": 0.2, "scale_down_depth": 0.4},
+        {"sustain_beats": 0},
+        {"feedback_every": 0},
+        {"migrate_fraction": 0.0},
+        {"migrate_fraction": 1.5},
+        {"min_window": 0},
+    ])
+    def test_fleet_config_rejects(self, bad):
+        with pytest.raises(ValueError):
+            FleetConfig(**bad)
+
+    def test_serving_config_fleet_needs_workers(self):
+        with pytest.raises(ValueError, match="workers >= 2"):
+            ServingConfig(workers=1, fleet=True)
+
+    def test_serving_config_bounds_need_fleet(self):
+        with pytest.raises(ValueError, match="only apply with"):
+            ServingConfig(workers=2, min_workers=1)
+        with pytest.raises(ValueError, match="only apply with"):
+            ServingConfig(workers=2, max_workers=4)
+
+    def test_serving_config_bounds_validated(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            ServingConfig(workers=2, fleet=True, min_workers=3)
+        with pytest.raises(ValueError, match="max_workers"):
+            ServingConfig(workers=4, fleet=True, min_workers=2,
+                          max_workers=1)
+
+    def test_sharded_rejects_fleet_misuse(self, artifact_path):
+        with pytest.raises(ValueError, match="num_workers >= 2"):
+            ShardedRoutingService(artifact_path, num_workers=1,
+                                  partitioner="hash_source", fleet=True)
+        with pytest.raises(ValueError, match="partition by source"):
+            ShardedRoutingService(artifact_path, num_workers=2,
+                                  partitioner="round_robin", fleet=True)
+        with pytest.raises(ValueError, match="FleetConfig"):
+            ShardedRoutingService(artifact_path, num_workers=2,
+                                  partitioner="hash_source", fleet="yes")
+
+    def test_min_workers_capped_by_initial_count(self, artifact_path):
+        with pytest.raises(ValueError, match="initial"):
+            ShardedRoutingService(artifact_path, num_workers=2,
+                                  partitioner="hash_source",
+                                  fleet=FleetConfig(min_workers=3,
+                                                    max_workers=5))
+
+
+class TestPendingRequestIds:
+    """Satellite: a latched ShardError names the in-flight batches."""
+
+    def test_latched_error_carries_pending_request_ids(self, fleet_graph,
+                                                       artifact_path):
+        sharded = ShardedRoutingService(artifact_path, num_workers=2).start()
+        nodes = fleet_graph.nodes()
+        with pytest.raises(ShardError) as excinfo:
+            sharded.route_batch([(nodes[0], "no-such-node")])
+        assert excinfo.value.pending_request_ids != ()
+        assert all(isinstance(rid, int)
+                   for rid in excinfo.value.pending_request_ids)
+
+    def test_default_is_empty(self):
+        assert ShardError("boom").pending_request_ids == ()
+
+
+class TestChaosRecovery:
+    @pytest.mark.parametrize("shape", ["uniform", "zipf", "bursty"])
+    def test_kill_mid_stream_keeps_answers_identical(self, fleet_graph,
+                                                     artifact_path,
+                                                     reference_service,
+                                                     shape):
+        workload = make_workload(shape, fleet_graph, 240, seed=9)
+        expected = reference_service.route_batch(workload.pairs)
+        batches = [workload.pairs[i:i + 40]
+                   for i in range(0, len(workload.pairs), 40)]
+        with open_fleet(artifact_path, num_workers=3) as sharded:
+            routes = []
+            for number, batch in enumerate(batches):
+                if number == 2:
+                    kill_worker(sharded, 1)
+                routes.extend(sharded.route_batch(batch))
+            wait_for(lambda: sharded._fleet.respawns >= 1,
+                     message="respawn counter")
+            status = sharded._fleet.status()
+        assert [t.path for t in routes] == [t.path for t in expected]
+        assert [t.weight for t in routes] == [t.weight for t in expected]
+        assert status["worker_deaths"] >= 1
+        assert status["respawns"] >= 1
+        assert status["epoch"] >= 2  # death + ready each publish
+
+    def test_kill_with_sub_artifacts_uses_cover(self, fleet_graph,
+                                                artifact_path,
+                                                reference_service):
+        """Sliced workers answer a dead sibling's sources from the cover."""
+        workload = make_workload("zipf", fleet_graph, 200, seed=5)
+        expected = reference_service.distance_batch(workload.pairs)
+        with open_fleet(artifact_path, num_workers=3,
+                        sub_artifacts=True) as sharded:
+            first = sharded.distance_batch(workload.pairs[:100])
+            kill_worker(sharded, 0)
+            second = sharded.distance_batch(workload.pairs[100:])
+            wait_for(lambda: sharded._fleet.respawns >= 1,
+                     message="respawn counter")
+            merged = sharded.merged_stats()
+        assert first + second == expected
+        assert merged.extra["fleet"]["worker_deaths"] >= 1
+        # Siblings answered out-of-slice queries through the cover path.
+        assert merged.extra.get("cover_queries", 0) > 0
+
+    def test_respawned_slice_regenerated_when_file_vanishes(
+            self, fleet_graph, artifact_path, reference_service):
+        workload = make_workload("uniform", fleet_graph, 120, seed=3)
+        expected = reference_service.distance_batch(workload.pairs)
+        with open_fleet(artifact_path, num_workers=2,
+                        sub_artifacts=True) as sharded:
+            os.remove(sharded.sub_artifact_paths[1])
+            kill_worker(sharded, 1)
+            answers = sharded.distance_batch(workload.pairs)
+            wait_for(lambda: sharded._fleet.respawns >= 1,
+                     message="respawn after slice regeneration")
+            assert os.path.exists(sharded.sub_artifact_paths[1])
+        assert answers == expected
+
+    def test_budget_exhaustion_degrades_to_fleet_error(self, fleet_graph,
+                                                       artifact_path):
+        nodes = fleet_graph.nodes()
+        pairs = [(nodes[i % len(nodes)], nodes[(i * 7 + 1) % len(nodes)])
+                 for i in range(40)]
+        with open_fleet(artifact_path, num_workers=2,
+                        respawn_limit=0) as sharded:
+            sharded.route_batch(pairs)  # healthy first
+            kill_worker(sharded, 0)
+            deadline = time.monotonic() + 20.0
+            with pytest.raises(FleetError, match="respawn budget"):
+                while time.monotonic() < deadline:
+                    sharded.route_batch(pairs)
+            assert not sharded.is_running
+
+    def test_fleet_error_is_a_shard_error(self):
+        error = FleetError("out of budget")
+        assert isinstance(error, ShardError)
+        assert error.pending_request_ids == ()
+
+    def test_telemetry_counters_exported(self, fleet_graph, artifact_path):
+        workload = make_workload("uniform", fleet_graph, 120, seed=11)
+        sub_paths = write_shard_artifacts(artifact_path, 2)
+        with ShardedRoutingService(
+                artifact_path, num_workers=2, partitioner="hash_source",
+                sub_artifact_paths=sub_paths, telemetry=True,
+                fleet=FleetConfig(heartbeat_interval=0.05,
+                                  respawn_limit=5)) as sharded:
+            sharded.route_batch(workload.pairs[:60])
+            kill_worker(sharded, 1)
+            sharded.route_batch(workload.pairs[60:])
+            wait_for(lambda: sharded._fleet.respawns >= 1,
+                     message="respawn counter")
+            merged = sharded.merged_stats()
+        telemetry = merged.extra["telemetry"]
+        assert telemetry["fleet_worker_deaths"]["value"] >= 1
+        assert telemetry["fleet_respawns"]["value"] >= 1
+        assert telemetry["respawn"]["type"] == "histogram"
+        assert telemetry["respawn"]["count"] >= 1
+        assert telemetry["fleet_queue_depth"]["type"] == "gauge"
+
+
+class TestElasticScaling:
+    def test_scale_down_then_up_preserves_answers(self, fleet_graph,
+                                                  artifact_path,
+                                                  reference_service):
+        """Drive the scaling transitions directly (deterministically)."""
+        workload = make_workload("uniform", fleet_graph, 150, seed=13)
+        expected = reference_service.distance_batch(workload.pairs)
+        with open_fleet(artifact_path, num_workers=3,
+                        min_workers=1, max_workers=3) as sharded:
+            fleet = sharded._fleet
+            first = sharded.distance_batch(workload.pairs[:50])
+
+            fleet._scale_down(sharded)
+            states = [h.state for h in sharded._workers]
+            assert states.count("parked") == 1
+            assert fleet.scale_downs == 1
+            wait_for(lambda: sharded._workers[2].final_stats is not None,
+                     message="parked worker's bye")
+            second = sharded.distance_batch(workload.pairs[50:100])
+
+            fleet._scale_up(sharded)
+            fleet._run_respawns(sharded)
+            wait_for(lambda: fleet.scale_ups >= 1, message="unpark")
+            assert all(h.state == "alive" for h in sharded._workers)
+            third = sharded.distance_batch(workload.pairs[100:])
+            status = fleet.status()
+        assert first + second + third == expected
+        assert status["scale_downs"] == 1 and status["scale_ups"] == 1
+
+    def test_dynamic_slot_beyond_base_count(self, fleet_graph,
+                                            artifact_path,
+                                            reference_service):
+        """A scale-up past the initial count spawns a fresh dynamic slot."""
+        workload = make_workload("zipf", fleet_graph, 150, seed=21)
+        expected = reference_service.distance_batch(workload.pairs)
+        with open_fleet(artifact_path, num_workers=2,
+                        max_workers=3) as sharded:
+            fleet = sharded._fleet
+            first = sharded.distance_batch(workload.pairs[:75])
+            fleet._scale_up(sharded)
+            fleet._run_respawns(sharded)
+            wait_for(lambda: fleet.scale_ups >= 1, message="dynamic spawn")
+            assert len(sharded._workers) == 3
+            assert sharded._workers[2].state == "alive"
+            second = sharded.distance_batch(workload.pairs[75:])
+            status = fleet.status()
+        assert first + second == expected
+        # The fresh slot was seeded with cold sources via overrides.
+        assert status["overrides"] >= 0
+        assert status["routable"] == [0, 1, 2]

@@ -116,6 +116,95 @@ class TestRoadGrid:
             graphs.road_grid_graph(5, 5, shortcut_fraction=1.5)
 
 
+class TestPowerlaw:
+    def test_connected_and_sized(self):
+        g = graphs.powerlaw_graph(60, exponent=2.3, seed=5)
+        assert g.num_nodes == 60
+        assert g.is_connected()
+
+    def test_heavy_tail_has_hubs(self):
+        g = graphs.powerlaw_graph(200, exponent=2.1, min_degree=2, seed=1)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        # A hub well above the median is what distinguishes the family
+        # from ER at comparable density.
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_min_degree_respected_when_connected(self):
+        g = graphs.powerlaw_graph(80, exponent=2.5, min_degree=3,
+                                  seed=2, connect=False)
+        # Stub matching drops self-loops/duplicates, so allow slack below
+        # min_degree but the bulk of nodes must reach it.
+        at_least = sum(1 for v in g.nodes() if g.degree(v) >= 3)
+        assert at_least >= 0.8 * g.num_nodes
+
+    def test_deterministic_given_seed(self):
+        a = graphs.powerlaw_graph(50, exponent=2.5, seed=7)
+        b = graphs.powerlaw_graph(50, exponent=2.5, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+        c = graphs.powerlaw_graph(50, exponent=2.5, seed=8)
+        assert sorted(a.edges()) != sorted(c.edges())
+
+    def test_weights_strategy_applies(self):
+        g = graphs.powerlaw_graph(40, weights=graphs.uniform_weights(5, 9),
+                                  seed=3)
+        assert all(5 <= w <= 9 for _, _, w in g.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graphs.powerlaw_graph(2)
+        with pytest.raises(ValueError):
+            graphs.powerlaw_graph(30, exponent=1.0)
+        with pytest.raises(ValueError):
+            graphs.powerlaw_graph(30, min_degree=0)
+        with pytest.raises(ValueError):
+            graphs.powerlaw_graph(30, min_degree=30)
+
+
+class TestFatTree:
+    def test_connected_and_sized(self):
+        g = graphs.fat_tree_graph(k=4)
+        # (k/2)^2 cores + k pods * (k/2 agg + k/2 edge + (k/2)^2 hosts)
+        assert g.num_nodes == 4 + 4 * (2 + 2 + 4)
+        assert g.is_connected()
+
+    def test_hosts_per_edge_overrides_fill(self):
+        g = graphs.fat_tree_graph(k=4, hosts_per_edge=1)
+        hosts = [v for v in g.nodes() if "-host" in str(v)]
+        assert len(hosts) == 4 * 2  # one host under each edge switch
+
+    def test_tier_weights(self):
+        g = graphs.fat_tree_graph(k=4, core_weight=1, aggregation_weight=3,
+                                  host_weight=7)
+        assert g.weight("core0", "pod0-agg0") == 1
+        assert g.weight("pod0-agg0", "pod0-edge0") == 3
+        assert g.weight("pod0-edge0", "pod0-edge0-host0") == 7
+
+    def test_fully_deterministic(self):
+        a = graphs.fat_tree_graph(k=6, seed=0)
+        b = graphs.fat_tree_graph(k=6, seed=99)  # seed is interface-only
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_inter_pod_paths_climb_to_core(self):
+        g = graphs.fat_tree_graph(k=4, core_weight=1, aggregation_weight=2,
+                                  host_weight=10)
+        _, parent = graphs.dijkstra(g, "pod0-edge0-host0")
+        node, path = "pod1-edge0-host0", []
+        while node is not None:
+            path.append(node)
+            node = parent[node]
+        assert any(str(v).startswith("core") for v in path)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graphs.fat_tree_graph(k=3)
+        with pytest.raises(ValueError):
+            graphs.fat_tree_graph(k=0)
+        with pytest.raises(ValueError):
+            graphs.fat_tree_graph(k=4, hosts_per_edge=-1)
+        with pytest.raises(ValueError):
+            graphs.fat_tree_graph(k=4, host_weight=0)
+
+
 class TestWeightStrategies:
     def test_unit_weights(self):
         g = graphs.path_graph(5, graphs.unit_weights())

@@ -420,12 +420,32 @@ class TestCli:
                                    shortcut_fraction=0.1, seed=2)
         assert sorted(road.edges()) == sorted(expected.edges())
 
+    def test_parse_powerlaw_spec(self):
+        spec = parse_graph_spec(
+            "powerlaw:n=50,exponent=2.2,min_degree=2,seed=6")
+        assert spec.num_nodes == 50
+        assert spec.is_connected()
+        from repro.graphs import powerlaw_graph
+        expected = powerlaw_graph(50, exponent=2.2, min_degree=2, seed=6)
+        assert sorted(spec.edges()) == sorted(expected.edges())
+
+    def test_parse_fattree_spec(self):
+        spec = parse_graph_spec("fattree:k=4,hosts=2")
+        assert spec.is_connected()
+        assert spec.weight("core0", "pod0-agg0") == 1
+        from repro.graphs import fat_tree_graph
+        expected = fat_tree_graph(k=4, hosts_per_edge=2)
+        assert sorted(spec.edges()) == sorted(expected.edges())
+
     @pytest.mark.parametrize("bad_spec", [
         "mystery:n=10",            # unknown family
         "er:n=10",                 # missing p
         "er:n=10,p=0.5,extra=1",   # unused key
         "er:n,p=0.5",              # malformed item
         "road:rows=4,cols=4,weights=unit",  # road family owns its weights
+        "fattree:k=4,weights=unit",   # fattree family owns its weights
+        "fattree:k=3,hosts=2",        # odd k
+        "powerlaw:n=30,exponent=0.5",  # non-normalisable tail
     ])
     def test_bad_graph_specs_rejected(self, bad_spec):
         with pytest.raises(ValueError):
