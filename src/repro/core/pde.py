@@ -37,20 +37,41 @@ rounds and ``O(sigma^2 / eps * log n)`` broadcasts per node.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..congest.metrics import CongestMetrics, merge_metrics
 from ..graphs.weighted_graph import WeightedGraph
+from ..obs.metrics import NULL_REGISTRY
 from .source_detection import (
     DETECTION_ENGINES,
     DetectionEntry,
+    IntAdjacency,
     SourceDetectionResult,
     detect_sources,
 )
 from .weight_rounding import RoundingScheme
 
-__all__ = ["PDEEntry", "PDEResult", "solve_pde", "pde_engine_names"]
+__all__ = [
+    "PDEEntry",
+    "PDEResult",
+    "PARALLEL_PDE_ENGINES",
+    "solve_pde",
+    "pde_engine_names",
+    "validate_pde_instance",
+    "weight_adjacency",
+    "level_adjacency",
+    "fold_detection_lists",
+    "finalize_pde_result",
+]
+
+#: Engines whose per-level detections may be fanned out to parallel build
+#: workers (see :mod:`repro.routing.parallel_build`): those that are pure
+#: functions of ``(graph, S, h', sigma)`` with analytic metrics.  The
+#: faithful CONGEST simulator is excluded — its measured metrics are the
+#: point of running it, and they must be produced by one coherent run.
+PARALLEL_PDE_ENGINES = ("logical", "batched")
 
 
 @dataclass(frozen=True)
@@ -190,9 +211,122 @@ class PDEResult:
         )
 
 
+def validate_pde_instance(graph: WeightedGraph, sources: Iterable[Hashable],
+                          h: int, sigma: int, engine: str) -> Set[Hashable]:
+    """Validate one ``(S, h, sigma)`` instance; returns the source set.
+
+    Shared by the sequential solver and the parallel orchestrator so both
+    reject malformed instances with identical errors *before* any worker
+    process is spawned.
+    """
+    source_set = set(sources)
+    if not source_set:
+        raise ValueError("the source set must be non-empty")
+    for s in source_set:
+        if not graph.has_node(s):
+            raise ValueError(f"source {s!r} is not a node of the graph")
+    if engine not in DETECTION_ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"available: {sorted(DETECTION_ENGINES)}")
+    if h < 1 or sigma < 1:
+        raise ValueError("h and sigma must be at least 1")
+    return source_set
+
+
+def weight_adjacency(graph: WeightedGraph
+                     ) -> Dict[Hashable, List[Tuple[Hashable, int]]]:
+    """Directed weight adjacency ``{v: [(u, w), ...]}``, hoisted once.
+
+    One ``solve_pde`` call runs ``imax + 1`` independent detections on the
+    same graph; materialising the neighbour lists once and deriving each
+    level's integer lengths from them (:func:`level_adjacency`) replaces
+    ``imax + 1`` full adjacency-map traversals with list comprehensions
+    over flat tuples.
+    """
+    return {v: list(graph.neighbor_weights(v).items()) for v in graph.nodes()}
+
+
+def level_adjacency(weight_adj: Dict[Hashable, List[Tuple[Hashable, int]]],
+                    base: float) -> IntAdjacency:
+    """Integer-length adjacency of the virtual graph ``G_i``.
+
+    Computes ``max(1, ceil(w / b(i)))`` per directed edge — bit-identical
+    to routing every weight through
+    :meth:`~repro.core.weight_rounding.RoundingScheme.edge_length_fn`, which
+    is what keeps hoisted-adjacency detections (and parallel build workers,
+    which run this exact function) indistinguishable from the per-level
+    callback path.
+    """
+    return {
+        v: [(u, max(1, math.ceil(w / base))) for u, w in nbrs]
+        for v, nbrs in weight_adj.items()
+    }
+
+
+def fold_detection_lists(lists: Dict[Hashable, List[DetectionEntry]],
+                         rounding: RoundingScheme, level: int,
+                         estimates: Dict[Hashable, Dict[Hashable, float]],
+                         next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]],
+                         levels_used: Dict[Hashable, Dict[Hashable, int]]) -> None:
+    """Fold one rounding level's detection lists into the running minimum.
+
+    The strict ``<`` means the *earliest* level achieving a value wins the
+    tie; callers must therefore fold levels in increasing order — the
+    parallel merge relies on this being the whole ordering contract.
+    """
+    for node, entries in lists.items():
+        if node not in estimates:
+            continue  # ignore any virtual helper nodes
+        for entry in entries:
+            value = rounding.scaled_distance(level, entry.distance)
+            current = estimates[node].get(entry.source)
+            if current is None or value < current:
+                estimates[node][entry.source] = value
+                next_hops[node][entry.source] = entry.next_hop
+                levels_used[node][entry.source] = level
+
+
+def finalize_pde_result(graph: WeightedGraph, source_set: Set[Hashable],
+                        h: int, sigma: int, epsilon: float,
+                        rounding: RoundingScheme,
+                        estimates: Dict[Hashable, Dict[Hashable, float]],
+                        next_hops: Dict[Hashable, Dict[Hashable, Optional[Hashable]]],
+                        levels_used: Dict[Hashable, Dict[Hashable, int]],
+                        level_metrics: List[CongestMetrics],
+                        per_level: Dict[int, SourceDetectionResult],
+                        store_levels: bool) -> PDEResult:
+    """Assemble the :class:`PDEResult` from fully-folded estimate tables."""
+    lists: Dict[Hashable, List[PDEEntry]] = {}
+    for node in graph.nodes():
+        entries = [
+            PDEEntry(estimate=est, source=s,
+                     next_hop=next_hops[node].get(s),
+                     level=levels_used[node].get(s, 0))
+            for s, est in estimates[node].items()
+        ]
+        entries.sort(key=lambda e: e.key())
+        lists[node] = entries[:sigma]
+
+    metrics = merge_metrics(*level_metrics, sequential=True)
+    return PDEResult(
+        sources=source_set,
+        h=h,
+        sigma=sigma,
+        epsilon=epsilon,
+        lists=lists,
+        estimates=estimates,
+        next_hops=next_hops,
+        levels_used=levels_used,
+        rounding=rounding,
+        metrics=metrics,
+        per_level=per_level if store_levels else None,
+    )
+
+
 def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: int,
               epsilon: float, engine: str = "batched", message_cap: bool = True,
-              store_levels: bool = True) -> PDEResult:
+              store_levels: bool = True, build_workers: int = 1,
+              registry=None) -> PDEResult:
     """Solve ``(1+eps)``-approximate ``(S, h, sigma)``-estimation (Theorem 3.3).
 
     Parameters
@@ -225,18 +359,35 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
         released immediately instead of being retained for all levels.  (The
         folded ``estimates`` tables themselves can still hold up to the
         union of every level's top-``sigma`` sources per node.)
+    build_workers:
+        Number of processes to solve the per-rounding-level detections with.
+        The default ``1`` runs everything in-process; ``> 1`` fans the
+        independent levels across a spawn-based pool
+        (:mod:`repro.routing.parallel_build`) with a deterministic merge —
+        the result is identical to the sequential solve.  Only the pure
+        engines (:data:`PARALLEL_PDE_ENGINES`) support it.
+    registry:
+        Optional telemetry registry; each level's detection is timed under a
+        ``level_solve`` span (plus ``build_scatter``/``build_merge`` on the
+        parallel path).  ``None`` disables instrumentation.
     """
-    source_set = set(sources)
-    if not source_set:
-        raise ValueError("the source set must be non-empty")
-    for s in source_set:
-        if not graph.has_node(s):
-            raise ValueError(f"source {s!r} is not a node of the graph")
-    if engine not in DETECTION_ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; "
-                         f"available: {sorted(DETECTION_ENGINES)}")
-    if h < 1 or sigma < 1:
-        raise ValueError("h and sigma must be at least 1")
+    obs = registry if registry is not None else NULL_REGISTRY
+    source_set = validate_pde_instance(graph, sources, h, sigma, engine)
+    if build_workers < 1:
+        raise ValueError("build_workers must be >= 1")
+    if build_workers > 1:
+        if engine not in PARALLEL_PDE_ENGINES:
+            raise ValueError(
+                f"engine {engine!r} does not support parallel builds; "
+                f"build_workers > 1 requires one of "
+                f"{sorted(PARALLEL_PDE_ENGINES)}")
+        # Imported lazily: routing.parallel_build depends on this module.
+        from ..routing.parallel_build import solve_pde_parallel
+
+        return solve_pde_parallel(graph, source_set, h=h, sigma=sigma,
+                                  epsilon=epsilon, engine=engine,
+                                  build_workers=build_workers,
+                                  store_levels=store_levels, registry=obs)
 
     rounding = RoundingScheme(epsilon=epsilon, max_weight=graph.max_weight())
     horizon = rounding.horizon(h)
@@ -246,55 +397,33 @@ def solve_pde(graph: WeightedGraph, sources: Iterable[Hashable], h: int, sigma: 
         v: {} for v in graph.nodes()}
     levels_used: Dict[Hashable, Dict[Hashable, int]] = {v: {} for v in graph.nodes()}
 
+    weight_adj = weight_adjacency(graph) if engine == "batched" else None
+
     per_level: Dict[int, SourceDetectionResult] = {}
     level_metrics: List[CongestMetrics] = []
     for level in rounding.levels():
         length_fn = rounding.edge_length_fn(level)
-        engine_kwargs = {"message_cap": message_cap} if engine == "simulate" else {}
-        detection = detect_sources(graph, source_set, horizon, sigma,
-                                   edge_length=length_fn, engine=engine,
-                                   **engine_kwargs)
+        engine_kwargs = {}
+        if engine == "simulate":
+            engine_kwargs["message_cap"] = message_cap
+        elif engine == "batched":
+            engine_kwargs["adjacency"] = level_adjacency(
+                weight_adj, rounding.base(level))
+        with obs.span("level_solve"):
+            detection = detect_sources(graph, source_set, horizon, sigma,
+                                       edge_length=length_fn, engine=engine,
+                                       **engine_kwargs)
         level_metrics.append(detection.metrics)
         # Fold this level into the running minimum right away; the raw
         # detection result is retained only when the caller asked for it.
-        for node, entries in detection.lists.items():
-            if node not in estimates:
-                continue  # ignore any virtual helper nodes
-            for entry in entries:
-                value = rounding.scaled_distance(level, entry.distance)
-                current = estimates[node].get(entry.source)
-                if current is None or value < current:
-                    estimates[node][entry.source] = value
-                    next_hops[node][entry.source] = entry.next_hop
-                    levels_used[node][entry.source] = level
+        fold_detection_lists(detection.lists, rounding, level,
+                             estimates, next_hops, levels_used)
         if store_levels:
             per_level[level] = detection
 
-    lists: Dict[Hashable, List[PDEEntry]] = {}
-    for node in graph.nodes():
-        entries = [
-            PDEEntry(estimate=est, source=s,
-                     next_hop=next_hops[node].get(s),
-                     level=levels_used[node].get(s, 0))
-            for s, est in estimates[node].items()
-        ]
-        entries.sort(key=lambda e: e.key())
-        lists[node] = entries[:sigma]
-
-    metrics = merge_metrics(*level_metrics, sequential=True)
-    return PDEResult(
-        sources=source_set,
-        h=h,
-        sigma=sigma,
-        epsilon=epsilon,
-        lists=lists,
-        estimates=estimates,
-        next_hops=next_hops,
-        levels_used=levels_used,
-        rounding=rounding,
-        metrics=metrics,
-        per_level=per_level if store_levels else None,
-    )
+    return finalize_pde_result(graph, source_set, h, sigma, epsilon, rounding,
+                               estimates, next_hops, levels_used,
+                               level_metrics, per_level, store_levels)
 
 
 def pde_engine_names() -> List[str]:

@@ -55,6 +55,7 @@ __all__ = [
     "DetectionEntry",
     "SourceDetectionResult",
     "DETECTION_ENGINES",
+    "IntAdjacency",
     "detect_sources",
     "detect_sources_logical",
     "detect_sources_batched",
@@ -187,8 +188,14 @@ def detect_sources_logical(graph: WeightedGraph, sources: Set[Hashable], h: int,
 # ----------------------------------------------------------------------
 # batched engine
 # ----------------------------------------------------------------------
+#: Precomputed directed adjacency with integer lengths:
+#: ``adjacency[v] = [(u, length), ...]`` for every node ``v``.
+IntAdjacency = Dict[Hashable, List[Tuple[Hashable, int]]]
+
+
 def detect_sources_batched(graph: WeightedGraph, sources: Set[Hashable], h: int,
                            sigma: int, edge_length: Optional[LengthFn] = None,
+                           adjacency: Optional[IntAdjacency] = None,
                            ) -> SourceDetectionResult:
     """Compute ``(S, h, sigma)``-detection with one multi-source Dijkstra.
 
@@ -211,6 +218,14 @@ def detect_sources_batched(graph: WeightedGraph, sources: Set[Hashable], h: int,
 
     Accepts the same degenerate boundaries as the logical engine: ``h = 0``
     and ``sigma = 0``.
+
+    ``adjacency`` optionally supplies the integer-length adjacency
+    ``{v: [(u, length), ...]}`` (one entry per node of ``graph``, lengths
+    equal to ``max(1, int(edge_length(v, u, w)))``) so callers solving many
+    detection instances on the same graph — the PDE solver iterating
+    rounding levels, and parallel build workers — hoist the materialisation
+    out of this function instead of paying it per call.  When given,
+    ``edge_length`` is ignored; the caller owns the equivalence.
     """
     if h < 0 or sigma < 0:
         raise ValueError("h and sigma must be non-negative")
@@ -232,14 +247,16 @@ def detect_sources_batched(graph: WeightedGraph, sources: Set[Hashable], h: int,
     # order — lists[v] is therefore built already sorted.
     done: Dict[Hashable, Set[Hashable]] = {v: set() for v in graph.nodes()}
 
-    # Directed adjacency with the integer lengths materialised once: each
-    # edge is otherwise re-measured on every one of its up-to-sigma
-    # relaxations, and the length callback dominates the inner loop.
-    adjacency: Dict[Hashable, List[Tuple[Hashable, int]]] = {
-        v: [(u, max(1, int(length(v, u, w))))
-            for u, w in graph.neighbor_weights(v).items()]
-        for v in graph.nodes()
-    }
+    # Directed adjacency with the integer lengths materialised once (unless
+    # the caller hoisted it): each edge is otherwise re-measured on every
+    # one of its up-to-sigma relaxations, and the length callback dominates
+    # the inner loop.
+    if adjacency is None:
+        adjacency = {
+            v: [(u, max(1, int(length(v, u, w))))
+                for u, w in graph.neighbor_weights(v).items()]
+            for v in graph.nodes()
+        }
 
     # Heap keys are (distance, source rank, tiebreak) where ranks enumerate
     # the sources in repr order — integer comparisons instead of string

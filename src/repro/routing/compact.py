@@ -40,12 +40,18 @@ def choose_truncation_level(n: int, k: int, diameter: int) -> int:
 def build_compact_routing(graph: WeightedGraph, k: int, epsilon: float = 0.25,
                           seed: int = 0, mode: str = "auto",
                           l0: Optional[int] = None, budget_constant: float = 2.0,
-                          engine: str = "batched") -> CompactRoutingHierarchy:
+                          engine: str = "batched", build_workers: int = 1,
+                          registry=None) -> CompactRoutingHierarchy:
     """Build compact routing tables per Corollary 4.14.
 
     ``mode="auto"`` measures the hop diameter ``D`` and uses the truncated
     construction with the corollary's ``l0`` when ``k >= 3`` (for ``k = 2``
     the corollary's minimum is attained by the non-truncated construction).
+
+    ``build_workers > 1`` fans the independent per-level PDE instances
+    across a process pool (:mod:`repro.routing.parallel_build`); the result
+    is identical to the sequential build.  ``registry`` receives build-stage
+    telemetry spans when given.
     """
     if mode == "auto":
         if k >= 3:
@@ -54,15 +60,18 @@ def build_compact_routing(graph: WeightedGraph, k: int, epsilon: float = 0.25,
                 graph.num_nodes, k, diameter)
             hierarchy = CompactRoutingHierarchy.build(
                 graph, k, epsilon=epsilon, seed=seed, mode="truncated", l0=level,
-                budget_constant=budget_constant, engine=engine)
+                budget_constant=budget_constant, engine=engine,
+                build_workers=build_workers, registry=registry)
             hierarchy.build_params.update(requested_mode="auto",
                                           auto_hop_diameter=diameter)
         else:
             hierarchy = CompactRoutingHierarchy.build(
                 graph, k, epsilon=epsilon, seed=seed, mode="budget",
-                budget_constant=budget_constant, engine=engine)
+                budget_constant=budget_constant, engine=engine,
+                build_workers=build_workers, registry=registry)
             hierarchy.build_params["requested_mode"] = "auto"
         return hierarchy
     return CompactRoutingHierarchy.build(
         graph, k, epsilon=epsilon, seed=seed, mode=mode, l0=l0,
-        budget_constant=budget_constant, engine=engine)
+        budget_constant=budget_constant, engine=engine,
+        build_workers=build_workers, registry=registry)

@@ -41,7 +41,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..congest.bfs import build_bfs_tree, pipelined_broadcast_rounds
 from ..congest.metrics import CongestMetrics, merge_metrics
-from ..core.pde import PDEResult, solve_pde
+from ..core.pde import PARALLEL_PDE_ENGINES, PDEResult, solve_pde
 from ..graphs.distances import dijkstra, path_weight, shortest_path_diameter
 from ..graphs.weighted_graph import WeightedGraph
 from ..obs.metrics import NULL_REGISTRY
@@ -276,7 +276,8 @@ class CompactRoutingHierarchy:
     def build(cls, graph: WeightedGraph, k: int, epsilon: float = 0.25,
               seed: int = 0, mode: str = "budget", l0: Optional[int] = None,
               budget_constant: float = 2.0, spd: Optional[int] = None,
-              engine: str = "batched") -> "CompactRoutingHierarchy":
+              engine: str = "batched", build_workers: int = 1,
+              registry=None) -> "CompactRoutingHierarchy":
         """Build the approximate hierarchy.
 
         Parameters
@@ -295,11 +296,29 @@ class CompactRoutingHierarchy:
             :func:`repro.core.pde.solve_pde`).  Skeleton-level instances are
             globally simulated per Lemma 4.12, so ``"simulate"`` falls back
             to ``"logical"`` there (the rounds are accounted analytically).
+        build_workers:
+            Processes to fan the independent per-level (and per-rounding-
+            level) detection instances across
+            (:mod:`repro.routing.parallel_build`).  ``1`` (default) builds
+            sequentially in-process; ``> 1`` requires a pure engine
+            (``"logical"``/``"batched"``).  The built hierarchy is
+            *identical* either way — down to the artifact checksum.
+        registry:
+            Optional telemetry registry for build-stage spans
+            (``level_solve``, ``build_scatter``, ``build_merge``).
         """
         if k < 1:
             raise ValueError("k must be >= 1")
         if mode not in ("budget", "spd", "truncated"):
             raise ValueError(f"unknown mode {mode!r}")
+        if build_workers < 1:
+            raise ValueError("build_workers must be >= 1")
+        if build_workers > 1 and engine not in PARALLEL_PDE_ENGINES:
+            raise ValueError(
+                f"engine {engine!r} does not support parallel builds; "
+                f"build_workers > 1 requires one of "
+                f"{sorted(PARALLEL_PDE_ENGINES)}")
+        obs = registry if registry is not None else NULL_REGISTRY
         if mode == "truncated":
             if k < 2:
                 raise ValueError("truncated mode needs k >= 2")
@@ -338,33 +357,74 @@ class CompactRoutingHierarchy:
         pde_results: List[Optional[PDEResult]] = []
 
         # --- levels computed directly on G --------------------------------
-        direct_levels = range(k) if mode != "truncated" else range(l0)
-        for l in direct_levels:
-            h, sigma = level_budgets(l)
-            pde = solve_pde(graph, level_sets[l], h=h, sigma=sigma,
-                            epsilon=epsilon, engine=engine, store_levels=False)
+        # In truncated mode the level-l0 skeleton estimation also runs on G
+        # and is independent of the direct levels, so the parallel path
+        # scatters it in the same batch (phase A); skeleton levels depend on
+        # its output and form a second batch (phase B) below.
+        direct_levels = list(range(k) if mode != "truncated" else range(l0))
+        direct_budgets = {l: level_budgets(l) for l in direct_levels}
+        skel_budget: Optional[Tuple[int, int]] = None
+        if mode == "truncated":
+            h_l0 = max(1, min(n, int(math.ceil(
+                budget_constant * n ** (l0 / k) * log_n))))
+            skel_budget = (h_l0, max(1, len(level_sets[l0])))
+
+        pde_skel: Optional[PDEResult] = None
+        if build_workers > 1:
+            from .parallel_build import PDEInstance, solve_pde_instances
+
+            instances = [
+                PDEInstance(token="graph", sources=tuple(level_sets[l]),
+                            h=direct_budgets[l][0], sigma=direct_budgets[l][1],
+                            epsilon=epsilon, engine=engine)
+                for l in direct_levels
+            ]
+            if skel_budget is not None:
+                instances.append(
+                    PDEInstance(token="graph", sources=tuple(level_sets[l0]),
+                                h=skel_budget[0], sigma=skel_budget[1],
+                                epsilon=epsilon, engine=engine))
+            solved = solve_pde_instances(instances, {"graph": graph},
+                                         build_workers=build_workers,
+                                         registry=obs)
+            direct_pdes = solved[:len(direct_levels)]
+            if skel_budget is not None:
+                pde_skel = solved[-1]
+        else:
+            direct_pdes = [
+                solve_pde(graph, level_sets[l], h=direct_budgets[l][0],
+                          sigma=direct_budgets[l][1], epsilon=epsilon,
+                          engine=engine, store_levels=False, registry=obs)
+                for l in direct_levels
+            ]
+            if skel_budget is not None:
+                pde_skel = solve_pde(graph, level_sets[l0], h=skel_budget[0],
+                                     sigma=skel_budget[1], epsilon=epsilon,
+                                     engine=engine, store_levels=False,
+                                     registry=obs)
+
+        for l, pde in zip(direct_levels, direct_pdes):
+            h, sigma = direct_budgets[l]
             pde_results.append(pde)
             level_metrics.append(pde.metrics)
             level_data.append(_LevelData(sources=level_sets[l], h=h, sigma=sigma,
                                          estimates=pde.estimates))
 
-        pde_skel: Optional[PDEResult] = None
         skeleton_graph: Optional[WeightedGraph] = None
         attach_trees: Optional[TreeFamily] = None
         skeleton_trees: Dict[int, TreeFamily] = {}
 
         # --- truncated levels computed on the skeleton graph ---------------
         if mode == "truncated":
-            h_l0 = max(1, min(n, int(math.ceil(
-                budget_constant * n ** (l0 / k) * log_n))))
-            pde_skel = solve_pde(graph, level_sets[l0], h=h_l0,
-                                 sigma=max(1, len(level_sets[l0])),
-                                 epsilon=epsilon, engine=engine, store_levels=False)
             level_metrics.append(pde_skel.metrics)
             skeleton_graph = skeleton_graph_from_pde(pde_skel, level_sets[l0])
             attach_trees = build_destination_trees(graph, pde_skel)
 
             bfs_height = build_bfs_tree(graph, graph.nodes()[0]).height
+            # The skeleton computation is simulated globally (Lemma 4.12),
+            # so the faithful CONGEST engine does not apply here.
+            skeleton_engine = "logical" if engine == "simulate" else engine
+            skel_levels: List[Tuple[int, int, int, bool]] = []
             for l in range(l0, k):
                 sigma = max(1, min(len(level_sets[l]),
                                    int(math.ceil(budget_constant * n ** (1.0 / k) * log_n))))
@@ -372,17 +432,43 @@ class CompactRoutingHierarchy:
                     sigma = max(1, len(level_sets[l]))
                 h_skel = max(1, min(max(1, skeleton_graph.num_nodes), int(math.ceil(
                     budget_constant * n ** ((l + 1 - l0) / k) * log_n))))
-                if skeleton_graph.num_edges == 0 or len(level_sets[l]) == 0:
+                solvable = (skeleton_graph.num_edges > 0
+                            and len(level_sets[l]) > 0)
+                skel_levels.append((l, h_skel, sigma, solvable))
+            to_solve = [(l, h_skel, sigma)
+                        for l, h_skel, sigma, ok in skel_levels if ok]
+            if build_workers > 1 and to_solve:
+                from .parallel_build import PDEInstance, solve_pde_instances
+
+                sk_instances = [
+                    PDEInstance(token="skeleton",
+                                sources=tuple(level_sets[l]), h=h_skel,
+                                sigma=sigma, epsilon=epsilon,
+                                engine=skeleton_engine)
+                    for l, h_skel, sigma in to_solve
+                ]
+                sk_solved = dict(zip(
+                    (l for l, _, _ in to_solve),
+                    solve_pde_instances(sk_instances,
+                                        {"skeleton": skeleton_graph},
+                                        build_workers=build_workers,
+                                        registry=obs)))
+            else:
+                sk_solved = {
+                    l: solve_pde(skeleton_graph, level_sets[l], h=h_skel,
+                                 sigma=sigma, epsilon=epsilon,
+                                 engine=skeleton_engine, store_levels=False,
+                                 registry=obs)
+                    for l, h_skel, sigma in to_solve
+                }
+
+            for l, h_skel, sigma, solvable in skel_levels:
+                if not solvable:
                     pde_results.append(None)
                     level_data.append(_LevelData(sources=level_sets[l], h=h_skel,
                                                  sigma=sigma, skeleton_level=True))
                     continue
-                # The skeleton computation is simulated globally (Lemma 4.12),
-                # so the faithful CONGEST engine does not apply here.
-                skeleton_engine = "logical" if engine == "simulate" else engine
-                pde_sk = solve_pde(skeleton_graph, level_sets[l], h=h_skel,
-                                   sigma=sigma, epsilon=epsilon,
-                                   engine=skeleton_engine, store_levels=False)
+                pde_sk = sk_solved[l]
                 pde_results.append(pde_sk)
                 skeleton_trees[l] = build_destination_trees(skeleton_graph, pde_sk)
                 # Lemma 4.12 round accounting for the global simulation of

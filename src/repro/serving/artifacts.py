@@ -563,7 +563,8 @@ def _hierarchy_meta(hierarchy: CompactRoutingHierarchy,
     }
 
 
-def _hierarchy_sections(hierarchy: CompactRoutingHierarchy) -> Dict[str, bytes]:
+def _hierarchy_sections(hierarchy: CompactRoutingHierarchy,
+                        compress_node_table: bool = False) -> Dict[str, bytes]:
     """Encode a built hierarchy as the format-2 section family."""
     graph_nodes = hierarchy.graph.nodes()
     intern = NodeInternTable(graph_nodes)
@@ -595,7 +596,7 @@ def _hierarchy_sections(hierarchy: CompactRoutingHierarchy) -> Dict[str, bytes]:
     sections: Dict[str, bytes] = {}
     sections["meta"] = json.dumps(_hierarchy_meta(hierarchy, n),
                                   sort_keys=True).encode("utf-8")
-    sections["nodes"] = intern.encode()
+    sections["nodes"] = intern.encode(compress=compress_node_table)
     sections["pivots"] = PivotRowTable.encode(n, k - 1, pivot_rows)
     sections["bunches"] = OffsetRecordTable.encode(bunch_rows)
     sections["graph"] = _dumps(hierarchy.graph.export_state())
@@ -781,7 +782,8 @@ def _load_hierarchy_v2(path: str) -> Tuple[CompactRoutingHierarchy, ArtifactInfo
 # ----------------------------------------------------------------------
 def save_hierarchy(hierarchy: CompactRoutingHierarchy, path: str,
                    metadata: Optional[Dict[str, Any]] = None,
-                   format: int = FORMAT_VERSION) -> ArtifactInfo:
+                   format: int = FORMAT_VERSION,
+                   compress_node_table: bool = False) -> ArtifactInfo:
     """Persist a built compact-routing hierarchy.
 
     ``format=2`` (the default) writes the mmap-able section-table layout;
@@ -789,10 +791,21 @@ def save_hierarchy(hierarchy: CompactRoutingHierarchy, path: str,
     (k, epsilon, mode, l0, seed, engine, ...) are merged into the header
     metadata either way, so :func:`artifact_info` answers "what is this
     file?" without touching the payload.
+
+    ``compress_node_table=True`` (format 2 only) front-codes the node
+    intern table — string labels store shared-prefix lengths plus
+    suffixes — and records ``node_table_encoding: "front_coded"`` in the
+    header.  Current readers auto-detect either encoding; readers
+    predating front coding reject a compressed table with a typed
+    error rather than misreading it.  Query answers never depend on the
+    encoding.
     """
     if format not in SUPPORTED_FORMATS:
         raise ValueError(f"format must be one of {list(SUPPORTED_FORMATS)}, "
                          f"got {format!r}")
+    if compress_node_table and format == 1:
+        raise ValueError("compress_node_table requires the format-2 "
+                         "section layout (format=2)")
     merged = {"n": hierarchy.graph.num_nodes, "m": hierarchy.graph.num_edges}
     merged.update(hierarchy.build_params)
     merged.update(metadata or {})
@@ -800,8 +813,12 @@ def save_hierarchy(hierarchy: CompactRoutingHierarchy, path: str,
         return write_artifact(path, KIND_HIERARCHY, hierarchy.export_state(),
                               metadata=merged,
                               state_version=hierarchy.STATE_VERSION)
+    merged["node_table_encoding"] = ("front_coded" if compress_node_table
+                                     else "tagged")
     return write_artifact_v2(path, KIND_HIERARCHY,
-                             _hierarchy_sections(hierarchy),
+                             _hierarchy_sections(
+                                 hierarchy,
+                                 compress_node_table=compress_node_table),
                              metadata=merged,
                              state_version=hierarchy.STATE_VERSION)
 
@@ -874,8 +891,102 @@ def shard_artifact_path(artifact_path: str, shard: int, workers: int) -> str:
     return f"{artifact_path}.shard{shard}of{workers}"
 
 
+def _decode_slicing_state(reader, num_workers: int) -> Dict[str, Any]:
+    """Decode everything shard slicing needs from an open v2 reader."""
+    meta = reader.load_json("meta")
+    intern = NodeInternTable.decode(reader.section_bytes("nodes"))
+    # Copy the bunch section out of the mapping: the slicer reads every
+    # row anyway, and holding no view lets the reader close cleanly.
+    bunch_table = OffsetRecordTable(bytes(reader.section_bytes("bunches")))
+    k = meta["k"]
+    return {
+        "meta": meta,
+        "intern": intern,
+        "bunch_table": bunch_table,
+        "k": k,
+        "n": meta["num_nodes"],
+        "owner": [stable_node_hash(node) % num_workers
+                  for node in intern.nodes()],
+        "tree_states": [reader.load_pickle(f"level_trees_{level}")
+                        for level in range(k)],
+        "copied": {name: bytes(reader.section_bytes(name))
+                   for name in ("nodes", "pivots", "graph", "levels",
+                                "skeleton", "metrics")},
+        "metadata": dict(reader.info.metadata),
+        "state_version": reader.info.state_version,
+    }
+
+
+def _write_one_shard_slice(state: Dict[str, Any], artifact_path: str,
+                           shard: int, num_workers: int,
+                           partitioner: str) -> str:
+    """Slice and write one shard's sub-artifact from decoded parent state."""
+    meta, intern = state["meta"], state["intern"]
+    bunch_table, k, n = state["bunch_table"], state["k"], state["n"]
+    owner, tree_states, copied = (state["owner"], state["tree_states"],
+                                  state["copied"])
+
+    bunch_rows: List[Optional[List[Tuple[int, float]]]] = []
+    keep_roots: List[set] = [set() for _ in range(k)]
+    for level in range(k):
+        base = level * n
+        for index in range(n):
+            row_index = base + index
+            if owner[index] == shard and bunch_table.has_row(row_index):
+                items = bunch_table.row_items(row_index)
+                bunch_rows.append(items)
+                keep_roots[level].update(src for src, _ in items)
+            else:
+                bunch_rows.append(None)
+
+    provenance = {"shard": shard, "workers": num_workers,
+                  "partitioner": partitioner}
+    sub_meta = dict(meta)
+    sub_meta["sub_artifact"] = provenance
+
+    sections: Dict[str, bytes] = {}
+    sections["meta"] = json.dumps(sub_meta, sort_keys=True).encode("utf-8")
+    sections["nodes"] = copied["nodes"]
+    sections["pivots"] = copied["pivots"]
+    sections["bunches"] = OffsetRecordTable.encode(bunch_rows)
+    sections["graph"] = copied["graph"]
+    sections["levels"] = copied["levels"]
+    for level in range(k):
+        tree_state = tree_states[level]
+        if tree_state is None:
+            kept = None
+        else:
+            roots = {intern.node_at(i) for i in keep_roots[level]}
+            kept = [entry for entry in tree_state if entry["root"] in roots]
+        sections[f"level_trees_{level}"] = _dumps(kept)
+        # level_aux_<level> deliberately absent: construction-time
+        # state a serving worker never reads.
+    sections["skeleton"] = copied["skeleton"]
+    sections["metrics"] = copied["metrics"]
+
+    out_path = shard_artifact_path(artifact_path, shard, num_workers)
+    metadata = dict(state["metadata"])
+    metadata["sub_artifact"] = provenance
+    write_artifact_v2(out_path, KIND_HIERARCHY, sections, metadata=metadata,
+                      state_version=state["state_version"])
+    return out_path
+
+
+def _shard_slice_job(artifact_path: str, shard: int, num_workers: int,
+                     partitioner: str) -> str:
+    """Slice one shard in a worker process (opens its own reader)."""
+    reader = ArtifactV2Reader(artifact_path, expected_kind=KIND_HIERARCHY)
+    try:
+        state = _decode_slicing_state(reader, num_workers)
+        return _write_one_shard_slice(state, artifact_path, shard,
+                                      num_workers, partitioner)
+    finally:
+        reader.close()
+
+
 def write_shard_artifacts(artifact_path: str, num_workers: int,
-                          partitioner: str = "hash_source") -> List[str]:
+                          partitioner: str = "hash_source",
+                          build_workers: int = 1) -> List[str]:
     """Materialise per-shard sub-artifacts of a format-2 hierarchy artifact.
 
     Shard ``w`` owns the source nodes with ``stable_node_hash(node) %
@@ -889,11 +1000,19 @@ def write_shard_artifacts(artifact_path: str, num_workers: int,
     queries whose source it owns answers identically to full-artifact
     serving while loading a fraction of the table bytes.
 
+    ``build_workers > 1`` fans the per-shard slicing across a spawn-based
+    process pool (each worker opens the parent artifact by path — nothing
+    heavy is pickled); the fleet respawn path uses this so regenerating a
+    missing slice does not serialise on one core while siblings cover.
+    Slice contents are identical either way.
+
     Returns the sub-artifact paths in shard order (written atomically,
     overwriting earlier slices).
     """
     if num_workers < 1:
         raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if build_workers < 1:
+        raise ValueError(f"build_workers must be >= 1, got {build_workers}")
     if partitioner != "hash_source":
         raise ValueError(
             f"sub-artifact slicing is defined for the source-hash "
@@ -907,73 +1026,29 @@ def write_shard_artifacts(artifact_path: str, num_workers: int,
             f"default) — an existing artifact is served as-is regardless "
             f"of the requested format, so changing the config alone does "
             f"not rewrite it")
+    if build_workers > 1 and num_workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        from multiprocessing import get_context
+
+        from ..routing.parallel_build import ParallelBuildError
+
+        with ProcessPoolExecutor(max_workers=min(build_workers, num_workers),
+                                 mp_context=get_context("spawn")) as pool:
+            futures = [pool.submit(_shard_slice_job, artifact_path, shard,
+                                   num_workers, partitioner)
+                       for shard in range(num_workers)]
+            try:
+                return [future.result() for future in futures]
+            except BrokenProcessPool as exc:
+                raise ParallelBuildError(
+                    "a shard-slicing worker died before completing its "
+                    "sub-artifact") from exc
     reader = ArtifactV2Reader(artifact_path, expected_kind=KIND_HIERARCHY)
     try:
-        meta = reader.load_json("meta")
-        intern = NodeInternTable.decode(reader.section_bytes("nodes"))
-        # Copy the bunch section out of the mapping: the slicer reads every
-        # row anyway, and holding no view lets the reader close cleanly.
-        bunch_table = OffsetRecordTable(bytes(reader.section_bytes("bunches")))
-        k = meta["k"]
-        n = meta["num_nodes"]
-        nodes = intern.nodes()
-        owner = [stable_node_hash(node) % num_workers for node in nodes]
-
-        tree_states = [reader.load_pickle(f"level_trees_{level}")
-                       for level in range(k)]
-        copied = {name: bytes(reader.section_bytes(name))
-                  for name in ("nodes", "pivots", "graph", "levels",
-                               "skeleton", "metrics")}
-
-        paths: List[str] = []
-        for shard in range(num_workers):
-            bunch_rows: List[Optional[List[Tuple[int, float]]]] = []
-            keep_roots: List[set] = [set() for _ in range(k)]
-            for level in range(k):
-                base = level * n
-                for index in range(n):
-                    row_index = base + index
-                    if owner[index] == shard and bunch_table.has_row(row_index):
-                        items = bunch_table.row_items(row_index)
-                        bunch_rows.append(items)
-                        keep_roots[level].update(src for src, _ in items)
-                    else:
-                        bunch_rows.append(None)
-
-            provenance = {"shard": shard, "workers": num_workers,
-                          "partitioner": partitioner}
-            sub_meta = dict(meta)
-            sub_meta["sub_artifact"] = provenance
-
-            sections: Dict[str, bytes] = {}
-            sections["meta"] = json.dumps(sub_meta,
-                                          sort_keys=True).encode("utf-8")
-            sections["nodes"] = copied["nodes"]
-            sections["pivots"] = copied["pivots"]
-            sections["bunches"] = OffsetRecordTable.encode(bunch_rows)
-            sections["graph"] = copied["graph"]
-            sections["levels"] = copied["levels"]
-            for level in range(k):
-                state = tree_states[level]
-                if state is None:
-                    kept = None
-                else:
-                    roots = {intern.node_at(i) for i in keep_roots[level]}
-                    kept = [tree_state for tree_state in state
-                            if tree_state["root"] in roots]
-                sections[f"level_trees_{level}"] = _dumps(kept)
-                # level_aux_<level> deliberately absent: construction-time
-                # state a serving worker never reads.
-            sections["skeleton"] = copied["skeleton"]
-            sections["metrics"] = copied["metrics"]
-
-            out_path = shard_artifact_path(artifact_path, shard, num_workers)
-            metadata = dict(reader.info.metadata)
-            metadata["sub_artifact"] = provenance
-            write_artifact_v2(out_path, KIND_HIERARCHY, sections,
-                              metadata=metadata,
-                              state_version=reader.info.state_version)
-            paths.append(out_path)
-        return paths
+        state = _decode_slicing_state(reader, num_workers)
+        return [_write_one_shard_slice(state, artifact_path, shard,
+                                       num_workers, partitioner)
+                for shard in range(num_workers)]
     finally:
         reader.close()

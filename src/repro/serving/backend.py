@@ -159,7 +159,8 @@ def open_service(config: ServingConfig,
         return RoutingService.build(
             graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
             mode=build.mode, engine=build.engine, cache_config=config.cache,
-            kernel=config.kernel, telemetry=config.telemetry)
+            kernel=config.kernel, telemetry=config.telemetry,
+            build_workers=build.build_workers)
 
     if config.artifact_path is None:
         raise ValueError("sharded serving (workers > 1) requires "
@@ -192,7 +193,8 @@ def open_service(config: ServingConfig,
         # stale slice of a rebuilt artifact would silently serve old tables.
         sub_paths = write_shard_artifacts(config.artifact_path,
                                           config.workers,
-                                          partitioner=config.partitioner)
+                                          partitioner=config.partitioner,
+                                          build_workers=config.build.build_workers)
     fleet = None
     if config.fleet:
         from .fleet import FleetConfig
@@ -216,4 +218,5 @@ def open_service(config: ServingConfig,
         sub_artifact_paths=sub_paths, start_method=config.start_method,
         warm_timeout=config.warm_timeout, reply_timeout=config.reply_timeout,
         graph=graph, stats=stats, kernel=config.kernel,
-        telemetry=config.telemetry, fleet=fleet)
+        telemetry=config.telemetry, fleet=fleet,
+        build_workers=config.build.build_workers)

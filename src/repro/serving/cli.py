@@ -86,6 +86,7 @@ FLAG_CONFIG_FIELDS: Dict[str, Optional[str]] = {
     "hot_decay_window": "cache.hot_decay_window",
     "hot_decay_threshold": "cache.hot_decay_threshold",
     "artifact_format": "build.artifact_format",
+    "build_workers": "build.build_workers",
     "sub_artifacts": "sub_artifacts",
     "workers": "workers",
     "partitioner": "partitioner",
@@ -199,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hot-decay-threshold", type=int, default=1,
                         help="windowed hot-hit count a promoted pair needs "
                              "to stay pinned (--hot-decay-window > 0)")
+    parser.add_argument("--build-workers", type=int, default=1,
+                        help="process-pool width for hierarchy construction "
+                             "and sub-artifact slicing; the parallel build "
+                             "is checksum-identical to the sequential one "
+                             "(default 1 = sequential)")
     parser.add_argument("--artifact-format", type=int, default=2,
                         choices=[1, 2],
                         help="on-disk layout written on the build path: "
@@ -394,7 +400,8 @@ def config_from_args(args: argparse.Namespace,
             respawn_limit=args.respawn_limit,
             build=BuildConfig(k=args.k, epsilon=args.epsilon, seed=args.seed,
                               mode=args.mode, engine=args.engine,
-                              artifact_format=args.artifact_format),
+                              artifact_format=args.artifact_format,
+                              build_workers=args.build_workers),
             cache=CacheConfig(policy=args.cache_policy,
                               capacity=args.cache_size,
                               hot_set=args.hot_set,

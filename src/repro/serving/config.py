@@ -68,7 +68,11 @@ class BuildConfig:
     1 = legacy monolithic pickle) — it is a storage detail, not a build
     parameter, so it does *not* participate in the freshness check: an
     existing artifact of either format with matching build parameters is
-    served as-is.
+    served as-is.  ``build_workers`` likewise stays out of the freshness
+    check: the parallel build is checksum-identical to the sequential one,
+    so how many processes built an artifact never makes it stale (the
+    worker count is still recorded in the header provenance via the
+    serving config).
     """
 
     k: int = 3
@@ -77,6 +81,7 @@ class BuildConfig:
     mode: str = "auto"
     engine: str = "batched"
     artifact_format: int = 2
+    build_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -86,6 +91,11 @@ class BuildConfig:
         if self.artifact_format not in (1, 2):
             raise ValueError(f"artifact_format must be 1 or 2, "
                              f"got {self.artifact_format!r}")
+        if not isinstance(self.build_workers, int) \
+                or isinstance(self.build_workers, bool) \
+                or self.build_workers < 1:
+            raise ValueError(f"build_workers must be an int >= 1, "
+                             f"got {self.build_workers!r}")
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)

@@ -577,8 +577,10 @@ class FleetSupervisor:
                 # regenerate the whole slice set from the parent artifact.
                 from .artifacts import write_shard_artifacts
                 try:
-                    write_shard_artifacts(service.artifact_path,
-                                          len(service.sub_artifact_paths))
+                    write_shard_artifacts(
+                        service.artifact_path,
+                        len(service.sub_artifact_paths),
+                        build_workers=getattr(service, "build_workers", 1))
                 except Exception as exc:
                     service._latch_failure(FleetError(
                         f"could not regenerate the sub-artifact slice for "

@@ -173,14 +173,22 @@ class RoutingService:
               cache_config: Optional[CacheConfig] = None,
               kernel: str = "auto", telemetry: bool = False,
               **build_kwargs) -> "RoutingService":
-        """Build a hierarchy from scratch and wrap it in a service."""
+        """Build a hierarchy from scratch and wrap it in a service.
+
+        ``build_kwargs`` forwards to
+        :func:`~repro.routing.compact.build_compact_routing` —
+        ``build_workers=N`` selects the multi-process parallel build
+        (identical artifact, telemetry spans recorded when ``telemetry``
+        is on).
+        """
         stats = ServingStats()
         metrics = make_registry(telemetry)
         start = time.perf_counter()
         with metrics.span("hierarchy_build"):
             hierarchy = build_compact_routing(graph, k=k, epsilon=epsilon,
                                               seed=seed, mode=mode,
-                                              engine=engine, **build_kwargs)
+                                              engine=engine, registry=metrics,
+                                              **build_kwargs)
         stats.build_seconds = time.perf_counter() - start
         return cls(hierarchy, cache_size=cache_size, stats=stats,
                    cache_config=cache_config, kernel=kernel, metrics=metrics)
@@ -244,11 +252,14 @@ class RoutingService:
             cache=CacheConfig(capacity=cache_size), save=save, **build_kwargs)
 
     def save(self, path: str, metadata: Optional[Dict[str, object]] = None,
-             format: int = 2) -> ArtifactInfo:
+             format: int = 2,
+             compress_node_table: bool = False) -> ArtifactInfo:
         """Persist the underlying hierarchy as a versioned artifact
-        (``format=2`` — the mmap-able section table — by default)."""
+        (``format=2`` — the mmap-able section table — by default;
+        ``compress_node_table=True`` front-codes the node intern table)."""
         return save_hierarchy(self.hierarchy, path, metadata=metadata,
-                              format=format)
+                              format=format,
+                              compress_node_table=compress_node_table)
 
     # ==================================================================
     # single queries
@@ -651,6 +662,7 @@ def build_or_load_service(path: str, graph: Optional[WeightedGraph] = None,
     if graph is None:
         raise ValueError(f"artifact {path!r} does not exist and no graph "
                          "was provided to build from")
+    build_kwargs.setdefault("build_workers", build.build_workers)
     service = RoutingService.build(
         graph, k=build.k, epsilon=build.epsilon, seed=build.seed,
         mode=build.mode, engine=build.engine, cache_config=cache,

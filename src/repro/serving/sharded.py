@@ -495,9 +495,12 @@ class ShardedRoutingService:
                  graph: Optional[WeightedGraph] = None,
                  stats: Optional[ServingStats] = None,
                  kernel: str = "auto", telemetry: bool = False,
-                 fleet=None) -> None:
+                 fleet=None, build_workers: int = 1) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if build_workers < 1:
+            raise ValueError(f"build_workers must be >= 1, "
+                             f"got {build_workers}")
         if pipeline_depth < 1:
             raise ValueError(f"pipeline_depth must be >= 1, "
                              f"got {pipeline_depth}")
@@ -553,6 +556,9 @@ class ShardedRoutingService:
         self.admission = admission
         self.kernel = kernel
         self.telemetry = telemetry
+        #: Process-pool width for sub-artifact slice regeneration (the
+        #: fleet respawn path); never affects query answers.
+        self.build_workers = build_workers
         #: Front-end registry: scatter/gather/inflight_wait spans and the
         #: queue-depth histogram live here; per-worker span histograms live
         #: in the workers and merge through ``ServingStats.merge`` (see

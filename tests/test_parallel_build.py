@@ -1,0 +1,172 @@
+"""Parallel hierarchy construction: identity, degeneracy, failure, wiring.
+
+The contract under test is absolute: ``build_workers`` may change wall
+clock and nothing else.  A hierarchy built on N processes must be
+*artifact-checksum-identical* to the sequential build — same
+``payload_sha256``, not merely the same answers — across every
+construction mode and pool-eligible engine.  A worker crash mid-build
+must surface a typed error without hanging and without leaving a partial
+artifact behind.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro import graphs
+from repro.core.pde import solve_pde
+from repro.routing.compact import build_compact_routing
+from repro.routing.parallel_build import (
+    CRASH_ENV_VAR,
+    ParallelBuildError,
+    solve_pde_parallel,
+)
+from repro.serving import BuildConfig, ServingConfig, open_service
+from repro.serving.artifacts import artifact_info, save_hierarchy
+from repro.serving.cli import build_parser, config_from_args
+
+
+def small_graph(n=40, seed=3):
+    p = min(1.0, 6.0 / max(1, n - 1))
+    return graphs.erdos_renyi_graph(n, p, graphs.uniform_weights(1, 12),
+                                    seed=seed)
+
+
+def _checksum(hierarchy, tmp, name):
+    path = os.path.join(tmp, name)
+    save_hierarchy(hierarchy, path)
+    return artifact_info(path).payload_sha256
+
+
+# ----------------------------------------------------------------------
+# solve_pde level
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["logical", "batched"])
+def test_solve_pde_parallel_identity(engine):
+    graph = small_graph()
+    sources = sorted(graph.nodes())[:6]
+    seq = solve_pde(graph, sources, h=6, sigma=3, epsilon=0.25,
+                    engine=engine, store_levels=True)
+    par = solve_pde(graph, sources, h=6, sigma=3, epsilon=0.25,
+                    engine=engine, store_levels=True, build_workers=2)
+    assert par.export_state() == seq.export_state()
+
+
+def test_solve_pde_build_workers_one_is_sequential():
+    graph = small_graph()
+    sources = sorted(graph.nodes())[:4]
+    seq = solve_pde(graph, sources, h=5, sigma=2, epsilon=0.25)
+    one = solve_pde(graph, sources, h=5, sigma=2, epsilon=0.25,
+                    build_workers=1)
+    assert one.export_state() == seq.export_state()
+
+
+def test_solve_pde_rejects_bad_build_workers():
+    graph = small_graph()
+    sources = sorted(graph.nodes())[:2]
+    with pytest.raises(ValueError, match="build_workers must be >= 1"):
+        solve_pde(graph, sources, h=4, sigma=2, epsilon=0.25,
+                  build_workers=0)
+    with pytest.raises(ValueError, match="simulate"):
+        solve_pde(graph, sources, h=4, sigma=2, epsilon=0.25,
+                  engine="simulate", build_workers=2)
+
+
+# ----------------------------------------------------------------------
+# full hierarchy: checksum identity across modes and engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["budget", "spd", "truncated"])
+@pytest.mark.parametrize("engine", ["logical", "batched"])
+def test_parallel_build_checksum_identical(mode, engine):
+    graph = small_graph()
+    kwargs = dict(k=3, epsilon=0.25, seed=7, mode=mode, engine=engine)
+    if mode == "truncated":
+        kwargs["l0"] = 2
+    seq = build_compact_routing(graph, **kwargs)
+    par = build_compact_routing(graph, build_workers=2, **kwargs)
+    with tempfile.TemporaryDirectory() as tmp:
+        assert (_checksum(par, tmp, "par") == _checksum(seq, tmp, "seq"))
+
+
+def test_build_workers_absent_from_build_params():
+    # build_params serialises into the checksummed meta section, so the
+    # worker count must never leak into it (provenance lives in the
+    # artifact *header*, via the serving config).
+    graph = small_graph(30)
+    hierarchy = build_compact_routing(graph, 3, seed=1, build_workers=2)
+    assert "build_workers" not in hierarchy.build_params
+
+
+def test_build_rejects_bad_build_workers():
+    graph = small_graph(30)
+    with pytest.raises(ValueError, match="build_workers must be >= 1"):
+        build_compact_routing(graph, 3, build_workers=0)
+    with pytest.raises(ValueError, match="simulate"):
+        build_compact_routing(graph, 3, engine="simulate", build_workers=2)
+
+
+# ----------------------------------------------------------------------
+# worker crash: typed error, no hang, no partial artifact
+# ----------------------------------------------------------------------
+def test_worker_crash_surfaces_typed_error(monkeypatch):
+    graph = small_graph(30)
+    sources = sorted(graph.nodes())[:4]
+    monkeypatch.setenv(CRASH_ENV_VAR, "graph:0")
+    with pytest.raises(ParallelBuildError, match="worker died"):
+        solve_pde_parallel(graph, sources, h=5, sigma=2, epsilon=0.25,
+                           engine="batched", build_workers=2)
+
+
+def test_worker_crash_leaves_no_partial_artifact(monkeypatch):
+    graph = small_graph(30)
+    monkeypatch.setenv(CRASH_ENV_VAR, "graph:0")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "crash.artifact")
+        config = ServingConfig(
+            artifact_path=path,
+            build=BuildConfig(k=3, seed=1, build_workers=2))
+        with pytest.raises(ParallelBuildError):
+            open_service(config, graph=graph)
+        assert not os.path.exists(path)
+        assert os.listdir(tmp) == []   # no tmp-file debris either
+
+
+# ----------------------------------------------------------------------
+# config / CLI wiring
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bad", [0, -1, 1.5, True, "4"])
+def test_build_config_rejects_bad_build_workers(bad):
+    with pytest.raises(ValueError, match="build_workers"):
+        BuildConfig(build_workers=bad)
+
+
+def test_build_config_default_is_sequential():
+    assert BuildConfig().build_workers == 1
+    assert BuildConfig(build_workers=3).build_workers == 3
+
+
+def test_cli_build_workers_flag_reaches_config():
+    parser = build_parser()
+    args = parser.parse_args(["--graph", "er:n=30,p=0.2",
+                              "--build-workers", "4"])
+    config = config_from_args(args, parser)
+    assert config.build.build_workers == 4
+    default = config_from_args(parser.parse_args(
+        ["--graph", "er:n=30,p=0.2"]), parser)
+    assert default.build.build_workers == 1
+
+
+def test_open_service_parallel_build_matches_sequential():
+    graph = small_graph(30)
+    with tempfile.TemporaryDirectory() as tmp:
+        checksums = {}
+        for name, workers in (("seq", 1), ("par", 2)):
+            path = os.path.join(tmp, f"{name}.artifact")
+            service = open_service(ServingConfig(
+                artifact_path=path,
+                build=BuildConfig(k=3, seed=5, build_workers=workers)),
+                graph=graph)
+            service.close()
+            checksums[name] = artifact_info(path).payload_sha256
+        assert checksums["par"] == checksums["seq"]
